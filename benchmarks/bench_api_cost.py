@@ -1,0 +1,47 @@
+"""API-cost profile — what the paper's budget axis hides.
+
+The paper expresses budgets as "x% of |V| API calls" and equates one
+walk sample with one call.  That is exact for NeighborSample; for
+NeighborExploration the exploration of labeled nodes downloads extra
+profile pages, and the line-graph baselines read two friend lists per
+``G'`` step.  This bench measures the *charged* page downloads of every
+algorithm at the same sample budget on two regimes (abundant gender
+labels, rare location labels) and records the calls-per-sample ratios.
+"""
+
+from bench_support import write_result
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.cost import format_cost_table, profile_api_costs
+
+
+def _profile(settings):
+    sections = []
+    for dataset_name, pair_index, regime in (
+        ("facebook", 0, "abundant labels (gender)"),
+        ("pokec", 0, "rare labels (locations)"),
+    ):
+        dataset = load_dataset(dataset_name, seed=settings["seed"], scale=settings["scale"])
+        t1, t2 = dataset.target_pairs[pair_index]
+        sample_size = max(1, int(0.05 * dataset.graph.num_nodes))
+        profiles = profile_api_costs(
+            dataset.graph,
+            t1,
+            t2,
+            sample_size=sample_size,
+            repetitions=max(2, settings["repetitions"] // 2),
+            seed=settings["seed"],
+        )
+        sections.append(
+            f"{dataset.spec.paper_name} — {regime}, target pair {(t1, t2)}, k={sample_size}"
+        )
+        sections.append(format_cost_table(profiles))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def test_api_cost_per_algorithm(benchmark, settings):
+    report = benchmark.pedantic(_profile, args=(settings,), rounds=1, iterations=1)
+    path = write_result("api_cost_profile.txt", report)
+    assert path.exists()
+    assert "calls per sample" in report

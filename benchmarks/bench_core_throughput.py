@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the core pipeline components.
+
+Unlike the table/figure benches (one-shot experiment regenerations),
+these use pytest-benchmark conventionally: many rounds of the same
+operation, so regressions in the samplers, the walk engine or the
+estimators show up as timing changes.
+"""
+
+import pytest
+
+from repro.core.estimators import (
+    EdgeHansenHurwitzEstimator,
+    NodeHansenHurwitzEstimator,
+    NodeReweightedEstimator,
+)
+from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
+from repro.datasets.registry import load_dataset
+from repro.graph.api import RestrictedGraphAPI
+from repro.walks.engine import RandomWalk
+from repro.walks.kernels import SimpleRandomWalkKernel
+
+
+@pytest.fixture(scope="module")
+def facebook_graph(settings):
+    return load_dataset("facebook", seed=settings["seed"], scale=min(settings["scale"], 0.25)).graph
+
+
+def test_throughput_simple_walk(benchmark, facebook_graph):
+    api = RestrictedGraphAPI(facebook_graph)
+
+    def run():
+        return RandomWalk(api, SimpleRandomWalkKernel(), burn_in=0, rng=1).run(500)
+
+    result = benchmark(run)
+    assert len(result) == 500
+
+
+def test_throughput_neighbor_sample(benchmark, facebook_graph):
+    api = RestrictedGraphAPI(facebook_graph)
+
+    def run():
+        sampler = NeighborSampleSampler(api, 1, 2, burn_in=10, rng=2)
+        return sampler.sample(200)
+
+    samples = benchmark(run)
+    assert samples.k == 200
+
+
+def test_throughput_neighbor_exploration(benchmark, facebook_graph):
+    api = RestrictedGraphAPI(facebook_graph)
+
+    def run():
+        sampler = NeighborExplorationSampler(api, 1, 2, burn_in=10, rng=3)
+        return sampler.sample(200)
+
+    samples = benchmark(run)
+    assert samples.k == 200
+
+
+def test_throughput_edge_hh_estimator(benchmark, facebook_graph):
+    api = RestrictedGraphAPI(facebook_graph)
+    samples = NeighborSampleSampler(api, 1, 2, burn_in=10, rng=4).sample(500)
+    result = benchmark(EdgeHansenHurwitzEstimator().estimate, samples)
+    assert result.estimate >= 0
+
+
+def test_throughput_node_estimators(benchmark, facebook_graph):
+    api = RestrictedGraphAPI(facebook_graph)
+    samples = NeighborExplorationSampler(api, 1, 2, burn_in=10, rng=5).sample(500)
+
+    def run():
+        hh = NodeHansenHurwitzEstimator().estimate(samples).estimate
+        rw = NodeReweightedEstimator().estimate(samples).estimate
+        return hh, rw
+
+    hh, rw = benchmark(run)
+    assert hh >= 0 and rw >= 0

@@ -1,0 +1,73 @@
+"""Extension benchmark — labeled wedge / triangle estimation accuracy.
+
+Not a table of the paper: it exercises the future-work direction the
+paper names in its conclusion (label-refined wedge and triangle counts)
+and records the NRMSE of the extension estimators at a 5%|V| budget.
+"""
+
+from bench_support import write_result
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.metrics import nrmse
+from repro.extensions import (
+    LabeledTriangleEstimator,
+    LabeledWedgeEstimator,
+    count_target_triangles,
+    count_target_wedges,
+)
+from repro.graph.api import RestrictedGraphAPI
+from repro.utils.rng import spawn_rngs
+from repro.walks.mixing import recommended_burn_in
+
+
+def _run(settings):
+    dataset = load_dataset("facebook", seed=settings["seed"], scale=min(settings["scale"], 0.25))
+    graph = dataset.graph
+    burn_in = recommended_burn_in(graph, rng=settings["seed"])
+    budget = max(1, int(0.05 * graph.num_nodes))
+    repetitions = max(3, settings["repetitions"])
+
+    wedge_truth = count_target_wedges(graph, 1, 2, 1)
+    triangle_truth = count_target_triangles(graph, 1, 1, 2)
+
+    wedge_estimates = []
+    triangle_estimates = []
+    for rng in spawn_rngs(91, repetitions):
+        wedge_estimates.append(
+            LabeledWedgeEstimator(RestrictedGraphAPI(graph), 1, 2, 1, burn_in=burn_in, rng=rng)
+            .estimate(budget)
+            .estimate
+        )
+        triangle_estimates.append(
+            LabeledTriangleEstimator(
+                RestrictedGraphAPI(graph), 1, 1, 2, burn_in=burn_in, rng=rng
+            )
+            .estimate(budget)
+            .estimate
+        )
+    return {
+        "wedge_truth": wedge_truth,
+        "triangle_truth": triangle_truth,
+        "wedge_nrmse": nrmse(wedge_estimates, wedge_truth),
+        "triangle_nrmse": nrmse(triangle_estimates, triangle_truth),
+        "budget": budget,
+    }
+
+
+def test_extension_labeled_motifs(benchmark, settings):
+    outcome = benchmark.pedantic(_run, args=(settings,), rounds=1, iterations=1)
+    write_result(
+        "extension_labeled_motifs.txt",
+        "\n".join(
+            [
+                "Extension: label-refined wedge and triangle estimation (5%|V| budget)",
+                f"true (1,2,1) wedges        : {outcome['wedge_truth']}",
+                f"wedge estimator NRMSE      : {outcome['wedge_nrmse']:.3f}",
+                f"true (1,1,2) triangles     : {outcome['triangle_truth']}",
+                f"triangle estimator NRMSE   : {outcome['triangle_nrmse']:.3f}",
+                f"walk samples per run (k)   : {outcome['budget']}",
+            ]
+        ),
+    )
+    assert outcome["wedge_nrmse"] >= 0
+    assert outcome["triangle_nrmse"] >= 0

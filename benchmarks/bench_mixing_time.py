@@ -1,0 +1,45 @@
+"""§5.1 "Mixing Time" — measured mixing time per dataset.
+
+The paper measures T(1e-3) = 3200 / 200 / 100 / 800 / 900 steps for
+Facebook / Google+ / Pokec / Orkut / LiveJournal and concludes that the
+stationary distribution is cheap to reach.  This bench measures the
+burn-in recommended for every stand-in (exact TV-distance mixing time
+for small graphs, spectral bound for large ones) and records it next to
+the paper's figure.
+"""
+
+import pytest
+
+from bench_support import write_result
+
+from repro.datasets.registry import DATASET_SPECS, dataset_names, load_dataset
+from repro.walks.mixing import recommended_burn_in
+
+EPSILON = 1e-3
+
+
+def _measure(dataset_name, settings):
+    dataset = load_dataset(dataset_name, seed=settings["seed"], scale=settings["scale"])
+    burn_in = recommended_burn_in(dataset.graph, epsilon=EPSILON, rng=settings["seed"])
+    return dataset, burn_in
+
+
+@pytest.mark.parametrize("dataset_name", dataset_names())
+def test_mixing_time_per_dataset(benchmark, settings, dataset_name):
+    dataset, burn_in = benchmark.pedantic(
+        _measure, args=(dataset_name, settings), rounds=1, iterations=1
+    )
+    spec = DATASET_SPECS[dataset_name]
+    write_result(
+        f"mixing_time_{dataset_name}.txt",
+        "\n".join(
+            [
+                f"Mixing time reproduction for {spec.paper_name} (epsilon={EPSILON})",
+                f"reproduced graph: |V|={dataset.graph.num_nodes}, |E|={dataset.graph.num_edges}",
+                f"measured burn-in (this repo)      : {burn_in}",
+                f"paper-reported mixing time (crawl): {spec.paper_mixing_time}",
+            ]
+        ),
+    )
+    # The paper's point: mixing is fast relative to the graph size.
+    assert burn_in < dataset.graph.num_nodes

@@ -1,0 +1,39 @@
+"""Table 1 — statistics of the datasets.
+
+The paper's Table 1 lists |V| and |E| of the five crawls.  This bench
+regenerates the equivalent table for the synthetic stand-ins (original
+sizes are shown alongside for reference) and times dataset generation.
+"""
+
+from bench_support import write_result
+
+from repro.datasets.registry import DATASET_SPECS, dataset_names, load_dataset
+
+
+def _build_table(settings) -> str:
+    lines = [
+        "Table 1 reproduction: statistics of datasets (synthetic stand-ins)",
+        f"{'Network':<14}{'|V|':>10}{'|E|':>12}{'paper |V|':>14}{'paper |E|':>16}{'labels':>9}",
+    ]
+    for name in dataset_names():
+        dataset = load_dataset(name, seed=settings["seed"], scale=settings["scale"])
+        summary = dataset.summary()
+        spec = DATASET_SPECS[name]
+        lines.append(
+            f"{spec.paper_name:<14}{summary.num_nodes:>10}{summary.num_edges:>12}"
+            f"{spec.paper_num_nodes:>14}{spec.paper_num_edges:>16}"
+            f"{summary.num_distinct_labels:>9}"
+        )
+        for pair in dataset.target_pairs:
+            lines.append(
+                f"    target pair {pair}: F={dataset.target_counts[pair]}"
+                f" ({100 * dataset.fraction(pair):.4f}% of |E|)"
+            )
+    return "\n".join(lines)
+
+
+def test_table01_dataset_statistics(benchmark, settings):
+    table = benchmark.pedantic(_build_table, args=(settings,), rounds=1, iterations=1)
+    path = write_result("table01_datasets.txt", table)
+    assert path.exists()
+    assert "Facebook" in table and "Livejournal" in table

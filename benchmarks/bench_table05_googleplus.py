@@ -1,0 +1,15 @@
+"""Table 5 — Google+, target label (1, 2), NRMSE vs sample size.
+
+Gender labels on the (much larger, denser) Google+ crawl with 26.9% of
+edges being target edges; the paper's winner at 5%|V| is
+NeighborSample-HH with NRMSE 0.029.
+"""
+
+from bench_support import run_and_record_table
+
+
+def test_table05_googleplus_gender(benchmark, settings):
+    result = benchmark.pedantic(
+        run_and_record_table, args=(5, settings), rounds=1, iterations=1
+    )
+    assert len(result.table.cells) == 10

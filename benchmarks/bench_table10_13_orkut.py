@@ -1,0 +1,18 @@
+"""Tables 10-13 — Orkut, four degree-label pairs of increasing frequency.
+
+Degree-bucket labels; the paper's target-edge shares range from 0.001%
+to 0.657% of |E|.  NeighborExploration wins the rare-label tables and
+NeighborSample catches up as the share grows.
+"""
+
+import pytest
+
+from bench_support import run_and_record_table
+
+
+@pytest.mark.parametrize("table_number", [10, 11, 12, 13])
+def test_tables_10_13_orkut_degree_labels(benchmark, settings, table_number):
+    result = benchmark.pedantic(
+        run_and_record_table, args=(table_number, settings), rounds=1, iterations=1
+    )
+    assert len(result.table.cells) == 10

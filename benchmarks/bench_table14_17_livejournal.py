@@ -1,0 +1,18 @@
+"""Tables 14-17 — LiveJournal, four degree-label pairs of increasing frequency.
+
+Degree-bucket labels; shares range from 0.001% to 4.1% of |E| in the
+paper.  As in Orkut, NeighborExploration dominates for the rare pairs
+and the two proposed families converge for the frequent ones.
+"""
+
+import pytest
+
+from bench_support import run_and_record_table
+
+
+@pytest.mark.parametrize("table_number", [14, 15, 16, 17])
+def test_tables_14_17_livejournal_degree_labels(benchmark, settings, table_number):
+    result = benchmark.pedantic(
+        run_and_record_table, args=(table_number, settings), rounds=1, iterations=1
+    )
+    assert len(result.table.cells) == 10

@@ -1,0 +1,68 @@
+"""Tables 18-22 — Theorem 4.1-4.5 sample-size bounds per dataset and label pair.
+
+The paper reports, for every evaluated (dataset, label pair), the number
+of samples each theorem requires for a (0.1, 0.1)-approximation, and
+notes that the experiments need far fewer samples in practice.  This
+bench computes the same five bounds on the stand-ins.
+"""
+
+import pytest
+
+from bench_support import write_result
+
+from repro.core.bounds import compute_all_bounds
+from repro.datasets.registry import dataset_names, load_dataset
+
+TABLE_BY_DATASET = {
+    "facebook": 18,
+    "googleplus": 19,
+    "pokec": 20,
+    "orkut": 21,
+    "livejournal": 22,
+}
+
+COLUMNS = [
+    "NeighborSample-HH",
+    "NeighborSample-HT",
+    "NeighborExploration-HH",
+    "NeighborExploration-HT",
+    "NeighborExploration-RW",
+]
+
+
+def _build_table(dataset_name, settings) -> str:
+    dataset = load_dataset(dataset_name, seed=settings["seed"], scale=settings["scale"])
+    table_number = TABLE_BY_DATASET[dataset_name]
+    header = f"{'pair':<14}" + "".join(f"{name:>26}" for name in COLUMNS)
+    lines = [
+        f"Table {table_number} reproduction: (0.1, 0.1)-approximation sample-size "
+        f"bounds in {dataset.spec.paper_name}",
+        header,
+    ]
+    for pair in dataset.target_pairs:
+        bounds = compute_all_bounds(dataset.graph, pair[0], pair[1], epsilon=0.1, delta=0.1)
+        as_dict = bounds.as_dict()
+        lines.append(
+            f"{str(pair):<14}" + "".join(f"{as_dict[name]:>26.3e}" for name in COLUMNS)
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("dataset_name", dataset_names())
+def test_tables_18_22_sample_size_bounds(benchmark, settings, dataset_name):
+    table = benchmark.pedantic(
+        _build_table, args=(dataset_name, settings), rounds=1, iterations=1
+    )
+    table_number = TABLE_BY_DATASET[dataset_name]
+    write_result(f"table{table_number}_bounds_{dataset_name}.txt", table)
+    assert "NeighborExploration-RW" in table
+
+
+def test_bounds_exceed_practical_budgets(settings):
+    """§5.2's observation: the theoretical bounds dwarf the budgets that
+    already give good estimates (5% of |V|)."""
+    dataset = load_dataset("pokec", seed=settings["seed"], scale=settings["scale"])
+    pair = dataset.target_pairs[0]
+    bounds = compute_all_bounds(dataset.graph, pair[0], pair[1])
+    practical_budget = 0.05 * dataset.graph.num_nodes
+    assert bounds.neighbor_sample_hh > practical_budget

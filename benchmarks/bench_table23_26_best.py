@@ -1,0 +1,62 @@
+"""Tables 23-26 — best algorithm per label pair using 5%|V| API calls.
+
+The paper's summary tables list, for every evaluated (dataset, label)
+setting, which algorithm achieved the lowest NRMSE at the largest budget
+and what that NRMSE was.  This bench reruns every NRMSE table at the
+largest budget only and assembles the same summary, next to the paper's
+reported winners.
+"""
+
+from bench_support import table_config, write_result
+
+from repro.experiments.reporting import format_summary_table
+from repro.experiments.tables import TABLE_DEFINITIONS, run_paper_table
+
+SUMMARY_GROUPS = {
+    23: [4, 5],            # Facebook and Google+
+    24: [6, 7, 8, 9],      # Pokec
+    25: [10, 11, 12, 13],  # Orkut
+    26: [14, 15, 16, 17],  # LiveJournal
+}
+
+
+def _build_summary(settings) -> str:
+    config = table_config(settings).with_overrides(
+        sample_fractions=(settings["fractions"][-1],)
+    )
+    sections = []
+    for summary_table, nrmse_tables in SUMMARY_GROUPS.items():
+        entries = []
+        paper_lines = []
+        for number in nrmse_tables:
+            result = run_paper_table(number, config)
+            definition = TABLE_DEFINITIONS[number]
+            best_name, best_value = result.reproduced_best()
+            entries.append(
+                (result.table.dataset, result.table.target_pair, best_name, best_value)
+            )
+            paper_lines.append(
+                f"    paper Table {number}: {definition.paper_best_algorithm} "
+                f"(NRMSE {definition.paper_best_nrmse}) on label {definition.paper_target_label}"
+            )
+        sections.append(
+            format_summary_table(
+                entries,
+                caption=(
+                    f"Table {summary_table} reproduction: best algorithm using "
+                    f"{settings['fractions'][-1] * 100:.1f}%|V| API calls"
+                ),
+            )
+        )
+        sections.append("  paper reference:")
+        sections.extend(paper_lines)
+        sections.append("")
+    return "\n".join(sections)
+
+
+def test_tables_23_26_best_algorithm_summary(benchmark, settings):
+    summary = benchmark.pedantic(_build_summary, args=(settings,), rounds=1, iterations=1)
+    path = write_result("table23_26_best_algorithms.txt", summary)
+    assert path.exists()
+    assert "Table 23 reproduction" in summary
+    assert "Table 26 reproduction" in summary

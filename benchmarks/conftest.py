@@ -1,0 +1,25 @@
+"""Pytest fixtures for the benchmark harness.
+
+The heavy lifting lives in :mod:`bench_support`; this conftest only
+exposes the shared settings as a fixture and makes sure the results
+directory exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import bench_support
+
+
+@pytest.fixture(scope="session")
+def settings():
+    """Benchmark-wide experiment settings (env-var overridable)."""
+    return bench_support.bench_settings()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def results_dir():
+    """Create benchmarks/results/ once per session."""
+    bench_support.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return bench_support.RESULTS_DIR

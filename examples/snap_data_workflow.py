@@ -1,0 +1,73 @@
+"""Running the estimators on real SNAP-format data.
+
+The reproduction ships with synthetic stand-ins, but the loaders accept
+the exact file formats the paper's datasets are distributed in: a
+whitespace-separated edge list (as published by SNAP / KONECT) plus a
+``node label [label ...]`` profile file.  Point the two paths below at
+real downloads (e.g. ``facebook_combined.txt`` and a gender file) to
+rerun the paper's pipeline on the original data.
+
+Without real files the script writes a tiny demonstration dataset to a
+temporary directory first, so it always runs.
+
+Run with::
+
+    python examples/snap_data_workflow.py [edge_file] [label_file]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core.pipeline import estimate_target_edge_count
+from repro.datasets.labeling import assign_binary_labels
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.graph.io import load_snap_dataset, save_labeled_graph
+from repro.graph.statistics import count_target_edges, summarize_graph
+
+
+def write_demo_files(directory: Path) -> tuple[Path, Path]:
+    """Create a small SNAP-style edge list + label file for demonstration."""
+    graph = powerlaw_cluster_osn(600, 5, 0.3, rng=3)
+    assign_binary_labels(graph, 0.45, labels=(1, 2), rng=4)
+
+    edge_path = directory / "demo_edges.txt"
+    label_path = directory / "demo_labels.txt"
+    with open(edge_path, "w", encoding="utf-8") as handle:
+        handle.write("# demo SNAP-style edge list\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")
+    with open(label_path, "w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            labels = " ".join(str(label) for label in graph.labels_of(node))
+            handle.write(f"{node} {labels}\n")
+    # Also demonstrate the library's own TSV cache format.
+    save_labeled_graph(graph, directory / "demo_graph.tsv")
+    return edge_path, label_path
+
+
+def main() -> None:
+    if len(sys.argv) >= 3:
+        edge_path, label_path = Path(sys.argv[1]), Path(sys.argv[2])
+        print(f"loading real data: {edge_path} + {label_path}")
+    else:
+        tmp = Path(tempfile.mkdtemp(prefix="repro_snap_demo_"))
+        edge_path, label_path = write_demo_files(tmp)
+        print(f"no files given; wrote a demo dataset under {tmp}")
+
+    graph = load_snap_dataset(edge_path, label_path)
+    summary = summarize_graph(graph, name=edge_path.stem)
+    print(f"loaded graph: |V|={summary.num_nodes}, |E|={summary.num_edges}, "
+          f"max degree {summary.max_degree}, {summary.num_distinct_labels} labels")
+
+    t1, t2 = 1, 2
+    truth = count_target_edges(graph, t1, t2)
+    result = estimate_target_edge_count(
+        graph, t1, t2, algorithm="NeighborSample-HH", budget_fraction=0.05, seed=1
+    )
+    print(f"target labels ({t1}, {t2}): true F = {truth}, "
+          f"estimated F = {result.estimate:.1f} using {result.api_calls} API calls")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Market sizing for a new Spanish course in Hong Kong (the paper's intro example).
+
+The paper motivates the problem with an education institution deciding
+whether to launch a Spanish course in Hong Kong: a good proxy for demand
+is the number of friendships between users living in Hong Kong and users
+living in Spain.  Those links are *rare* relative to the whole network,
+which is exactly the regime where the paper's NeighborExploration
+algorithm shines (§5.3).
+
+This script builds a location-labeled OSN (Zipf-distributed locations,
+like the Pokec stand-in), treats two mid-tail locations as "Hong Kong"
+and "Spain", and estimates the number of cross-location friendships
+under a tight API budget, comparing NeighborSample against
+NeighborExploration.
+
+Run with::
+
+    python examples/spanish_course_market.py
+"""
+
+from repro.core.estimators import EdgeHansenHurwitzEstimator, NodeHansenHurwitzEstimator
+from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
+from repro.datasets.labeling import assign_zipf_labels
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.statistics import count_target_edges, label_histogram
+from repro.walks.mixing import recommended_burn_in
+
+
+def main() -> None:
+    # --- build a synthetic OSN with location labels --------------------
+    graph = powerlaw_cluster_osn(4000, 10, 0.3, rng=11)
+    assign_zipf_labels(graph, num_labels=120, exponent=1.1, rng=12)
+
+    histogram = label_histogram(graph)
+    # Pick two mid-tail locations and pretend they are Hong Kong and Spain.
+    by_popularity = sorted(histogram, key=histogram.get, reverse=True)
+    hong_kong, spain = by_popularity[10], by_popularity[18]
+    truth = count_target_edges(graph, hong_kong, spain)
+
+    print("Scenario: how many Hong Kong <-> Spain friendships exist?")
+    print(f"network size      : {graph.num_nodes} users, {graph.num_edges} friendships")
+    print(f"'Hong Kong' users : {histogram[hong_kong]}   'Spain' users: {histogram[spain]}")
+    print(f"true cross links  : {truth}  ({100 * truth / graph.num_edges:.3f}% of all friendships)")
+    print()
+
+    burn_in = recommended_burn_in(graph, rng=1)
+    budget = int(0.05 * graph.num_nodes)  # 5% of |V| API calls, as in the paper
+
+    # --- NeighborSample: uniform edge sampling -------------------------
+    ns_api = RestrictedGraphAPI(graph)
+    ns_samples = NeighborSampleSampler(
+        ns_api, hong_kong, spain, burn_in=burn_in, rng=2024
+    ).sample(budget)
+    ns_result = EdgeHansenHurwitzEstimator().estimate(ns_samples)
+
+    # --- NeighborExploration: explore neighbors of labeled users -------
+    ne_api = RestrictedGraphAPI(graph)
+    ne_samples = NeighborExplorationSampler(
+        ne_api, hong_kong, spain, burn_in=burn_in, rng=2024
+    ).sample(budget)
+    ne_result = NodeHansenHurwitzEstimator().estimate(ne_samples)
+
+    print(f"budget: k = {budget} walk samples (burn-in {burn_in} steps)")
+    for name, result in (("NeighborSample-HH", ns_result), ("NeighborExploration-HH", ne_result)):
+        if truth:
+            error = abs(result.estimate - truth) / truth
+            print(f"{name:>24}: estimate = {result.estimate:8.1f}   relative error = {error:.2f}")
+        else:
+            print(f"{name:>24}: estimate = {result.estimate:8.1f}")
+    print()
+    print("Because the target links are rare, NeighborSample rarely touches one, "
+          "while NeighborExploration counts every target link around each sampled "
+          "Hong Kong / Spain user — the paper's §5.3 recommendation.")
+
+
+if __name__ == "__main__":
+    main()

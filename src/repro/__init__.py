@@ -1,0 +1,87 @@
+"""repro — counting edges with target labels in OSNs via random walk.
+
+A full reproduction of Wu, Long, Fu & Chen, *"Counting Edges with Target
+Labels in Online Social Networks via Random Walk"* (EDBT 2018).
+
+Quick start
+-----------
+>>> from repro import load_dataset, estimate_target_edge_count
+>>> dataset = load_dataset("facebook", seed=1, scale=0.25)
+>>> result = estimate_target_edge_count(
+...     dataset.graph, 1, 2,
+...     algorithm="NeighborSample-HH", budget_fraction=0.05, seed=7,
+... )
+>>> result.estimate > 0
+True
+
+Sub-packages
+------------
+``repro.core``
+    The paper's contribution: NeighborSample / NeighborExploration
+    sampling, the Hansen–Hurwitz / Horvitz–Thompson / re-weighted
+    estimators, the Theorem 4.1–4.5 bounds and the one-call pipeline.
+``repro.graph``
+    Labeled-graph substrate, restricted OSN API, cleaning, line graph,
+    loaders and exact statistics.
+``repro.walks``
+    Random-walk kernels, the walk engine, mixing-time machinery and the
+    thinning strategy.
+``repro.baselines``
+    The EX-* adaptations of existing node-counting algorithms.
+``repro.datasets``
+    Synthetic stand-ins for the paper's five OSN crawls.
+``repro.experiments``
+    NRMSE harness, sweeps, and runners for every table and figure.
+``repro.osn``
+    |V| / |E| estimation backing the prior-knowledge assumption.
+"""
+
+from repro.core import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    EdgeHansenHurwitzEstimator,
+    EdgeHorvitzThompsonEstimator,
+    EstimateResult,
+    NeighborExplorationSampler,
+    NeighborSampleSampler,
+    NodeHansenHurwitzEstimator,
+    NodeHorvitzThompsonEstimator,
+    NodeReweightedEstimator,
+    available_algorithms,
+    compute_all_bounds,
+    estimate_target_edge_count,
+)
+from repro.datasets import load_dataset, dataset_names
+from repro.exceptions import ReproError
+from repro.graph import (
+    LabeledGraph,
+    RestrictedGraphAPI,
+    count_target_edges,
+    summarize_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "LabeledGraph",
+    "RestrictedGraphAPI",
+    "count_target_edges",
+    "summarize_graph",
+    "NeighborSampleSampler",
+    "NeighborExplorationSampler",
+    "EdgeHansenHurwitzEstimator",
+    "EdgeHorvitzThompsonEstimator",
+    "NodeHansenHurwitzEstimator",
+    "NodeHorvitzThompsonEstimator",
+    "NodeReweightedEstimator",
+    "EstimateResult",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "available_algorithms",
+    "estimate_target_edge_count",
+    "compute_all_bounds",
+    "load_dataset",
+    "dataset_names",
+]

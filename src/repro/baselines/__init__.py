@@ -1,0 +1,31 @@
+"""Baseline algorithms: node-counting random walks adapted via the line graph.
+
+These are the EX-* rows of the paper's tables (§5.1, "Adaptations of
+Existing Algorithms"): random-walk estimators of the *number of target
+nodes* from Li et al. (ICDE 2015), run on the line graph ``G'`` of the
+OSN so that target nodes of ``G'`` correspond to target edges of ``G``.
+"""
+
+from repro.baselines.adaptations import (
+    LineGraphBaseline,
+    ExReweightedBaseline,
+    ExMetropolisHastingsBaseline,
+    ExMaximumDegreeBaseline,
+    ExRejectionControlledMHBaseline,
+    ExGeneralMaximumDegreeBaseline,
+    line_graph_max_degree,
+    make_baseline,
+    BASELINE_NAMES,
+)
+
+__all__ = [
+    "LineGraphBaseline",
+    "ExReweightedBaseline",
+    "ExMetropolisHastingsBaseline",
+    "ExMaximumDegreeBaseline",
+    "ExRejectionControlledMHBaseline",
+    "ExGeneralMaximumDegreeBaseline",
+    "line_graph_max_degree",
+    "make_baseline",
+    "BASELINE_NAMES",
+]

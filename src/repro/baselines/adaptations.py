@@ -1,0 +1,225 @@
+"""Adaptations of existing node-counting algorithms to target-edge counting.
+
+The construction (paper §5.1):
+
+1. Transform ``G`` into the line graph ``G' = (H, R)``: each edge of
+   ``G`` is a node of ``G'``; two ``G'`` nodes are adjacent iff the
+   underlying edges share an endpoint.  ``|H| = |E|`` is known because
+   ``|E|`` is prior knowledge.
+2. A node of ``G'`` is a *target node* iff the underlying edge is a
+   target edge, so counting target nodes in ``G'`` counts target edges
+   in ``G``.
+3. Run a node-counting random-walk estimator from Li et al. (ICDE 2015)
+   on ``G'``: the re-weighted estimator on a simple random walk (EX-RW),
+   Metropolis–Hastings (EX-MHRW), maximum-degree (EX-MDRW),
+   rejection-controlled MH with knob ``α`` (EX-RCMH), or general
+   maximum-degree with knob ``δ`` (EX-GMD).
+
+Every variant reduces to the same re-weighted form
+
+.. math::
+
+   \\hat F = |H| · \\frac{Σ_i I(v_i) / w(v_i)}{Σ_i 1 / w(v_i)}
+
+where ``w`` is the (unnormalised) stationary weight of the walk used —
+constant for MHRW/MDRW, ``deg_{G'}`` for the simple walk, and the
+kernel-specific weights for RCMH/GMD.
+
+The MD/GMD kernels need the maximum degree of ``G'``; a neighbor-list
+API cannot provide it, so — as is standard when evaluating these
+baselines — the harness feeds them the exact value
+(:func:`line_graph_max_degree`), the most favourable setting for them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.core.estimators.base import EstimateResult
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.line_graph import LineGraphAPI
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.walks.engine import RandomWalk
+from repro.walks.kernels import (
+    GeneralMaximumDegreeKernel,
+    MaximumDegreeKernel,
+    MetropolisHastingsKernel,
+    RejectionControlledMHKernel,
+    SimpleRandomWalkKernel,
+    TransitionKernel,
+)
+
+
+def line_graph_max_degree(graph: LabeledGraph) -> int:
+    """Exact maximum degree of ``G'``: ``max over edges (d(u) + d(v) − 2)``."""
+    worst = 0
+    for u, v in graph.edges():
+        worst = max(worst, graph.degree(u) + graph.degree(v) - 2)
+    return worst
+
+
+class LineGraphBaseline(ABC):
+    """Common machinery for all EX-* baselines."""
+
+    #: Table 2 abbreviation, overridden by subclasses.
+    name: str = "EX"
+
+    @abstractmethod
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        """Create the walk kernel this baseline uses on ``G'``."""
+
+    def estimate(
+        self,
+        api: RestrictedGraphAPI,
+        t1: Label,
+        t2: Label,
+        k: int,
+        burn_in: int = 0,
+        rng: RandomSource = None,
+    ) -> EstimateResult:
+        """Walk ``G'`` for ``k`` collected steps and re-weight into ``F̂``."""
+        check_positive_int(k, "k")
+        check_non_negative_int(burn_in, "burn_in")
+        generator = ensure_rng(rng)
+        line_api = LineGraphAPI(api, t1, t2)
+        kernel = self.build_kernel(line_api)
+        walk = RandomWalk(line_api, kernel, burn_in=burn_in, rng=generator)
+        result = walk.run(k)
+
+        weighted_hits = 0.0
+        weighted_total = 0.0
+        target_hits = 0
+        for node in result.nodes:
+            weight = kernel.stationary_weight(line_api, node)
+            if weight <= 0:
+                raise EstimationError(
+                    f"kernel {kernel!r} produced non-positive stationary weight"
+                )
+            weighted_total += 1.0 / weight
+            if line_api.is_target(node):
+                weighted_hits += 1.0 / weight
+                target_hits += 1
+        if weighted_total == 0:
+            raise EstimationError("degenerate walk: all stationary weights were zero")
+        estimate = line_api.num_nodes * weighted_hits / weighted_total
+        return EstimateResult(
+            estimate=estimate,
+            estimator=self.name,
+            sample_size=k,
+            target_labels=(t1, t2),
+            api_calls=api.api_calls,
+            details={"target_hits": float(target_hits)},
+        )
+
+
+class ExReweightedBaseline(LineGraphBaseline):
+    """EX-RW: simple random walk on ``G'`` with re-weighted estimation."""
+
+    name = "EX-RW"
+
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        return SimpleRandomWalkKernel()
+
+
+class ExMetropolisHastingsBaseline(LineGraphBaseline):
+    """EX-MHRW: Metropolis–Hastings walk on ``G'`` (uniform stationary law)."""
+
+    name = "EX-MHRW"
+
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        return MetropolisHastingsKernel()
+
+
+class ExMaximumDegreeBaseline(LineGraphBaseline):
+    """EX-MDRW: maximum-degree walk on ``G'`` (uniform stationary law).
+
+    Needs the maximum degree of ``G'``; pass the exact value (via
+    :func:`line_graph_max_degree`) or any upper bound.
+    """
+
+    name = "EX-MDRW"
+
+    def __init__(self, line_max_degree: float) -> None:
+        if line_max_degree <= 0:
+            raise ConfigurationError("line_max_degree must be positive")
+        self.line_max_degree = float(line_max_degree)
+
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        return MaximumDegreeKernel(self.line_max_degree)
+
+
+class ExRejectionControlledMHBaseline(LineGraphBaseline):
+    """EX-RCMH: rejection-controlled MH walk on ``G'``, knob ``alpha ∈ [0, 0.3]``."""
+
+    name = "EX-RCMH"
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        self.alpha = alpha
+
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        return RejectionControlledMHKernel(alpha=self.alpha)
+
+
+class ExGeneralMaximumDegreeBaseline(LineGraphBaseline):
+    """EX-GMD: general maximum-degree walk on ``G'``, knob ``delta ∈ [0.3, 0.7]``."""
+
+    name = "EX-GMD"
+
+    def __init__(self, line_max_degree: float, delta: float = 0.5) -> None:
+        if line_max_degree <= 0:
+            raise ConfigurationError("line_max_degree must be positive")
+        self.line_max_degree = float(line_max_degree)
+        self.delta = delta
+
+    def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
+        return GeneralMaximumDegreeKernel(self.line_max_degree, delta=self.delta)
+
+
+#: Table 2 abbreviations of the baselines, in the order used by the tables.
+BASELINE_NAMES = ["EX-MDRW", "EX-MHRW", "EX-RW", "EX-RCMH", "EX-GMD"]
+
+
+def make_baseline(
+    name: str,
+    line_max_degree: Optional[float] = None,
+    rcmh_alpha: float = 0.2,
+    gmd_delta: float = 0.5,
+) -> LineGraphBaseline:
+    """Factory mapping a Table 2 abbreviation to a configured baseline.
+
+    *line_max_degree* is required for EX-MDRW and EX-GMD.
+    """
+    if name == "EX-RW":
+        return ExReweightedBaseline()
+    if name == "EX-MHRW":
+        return ExMetropolisHastingsBaseline()
+    if name == "EX-MDRW":
+        if line_max_degree is None:
+            raise ConfigurationError("EX-MDRW requires line_max_degree")
+        return ExMaximumDegreeBaseline(line_max_degree)
+    if name == "EX-RCMH":
+        return ExRejectionControlledMHBaseline(alpha=rcmh_alpha)
+    if name == "EX-GMD":
+        if line_max_degree is None:
+            raise ConfigurationError("EX-GMD requires line_max_degree")
+        return ExGeneralMaximumDegreeBaseline(line_max_degree, delta=gmd_delta)
+    raise ConfigurationError(
+        f"unknown baseline {name!r}; available: {', '.join(BASELINE_NAMES)}"
+    )
+
+
+__all__ = [
+    "LineGraphBaseline",
+    "ExReweightedBaseline",
+    "ExMetropolisHastingsBaseline",
+    "ExMaximumDegreeBaseline",
+    "ExRejectionControlledMHBaseline",
+    "ExGeneralMaximumDegreeBaseline",
+    "line_graph_max_degree",
+    "make_baseline",
+    "BASELINE_NAMES",
+]

@@ -1,0 +1,288 @@
+"""Command-line interface: ``repro-osn`` / ``python -m repro``.
+
+Sub-commands
+------------
+``datasets``
+    Print the Table 1-style summary of every dataset stand-in.
+``estimate``
+    Estimate a target-edge count on one dataset with one algorithm.
+``table``
+    Reproduce one of the paper's NRMSE tables (4–17).
+``figure``
+    Reproduce the data series behind Figure 1 or 2.
+``bounds``
+    Print the Theorem 4.1–4.5 sample-size bounds (Tables 18–22 style).
+``mixing``
+    Print the measured mixing time of a dataset stand-in.
+``select``
+    Run the adaptive pilot-then-select strategy (paper §5.3 automated).
+``cost``
+    Profile the charged API calls of every algorithm at a fixed budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.bounds import compute_all_bounds
+from repro.core.pipeline import available_algorithms, estimate_target_edge_count
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import run_paper_figure
+from repro.experiments.reporting import (
+    format_frequency_series,
+    format_nrmse_table,
+)
+from repro.experiments.tables import list_tables, run_paper_table
+from repro.graph.statistics import count_target_edges
+from repro.utils.logging import configure_logging
+from repro.walks.mixing import recommended_burn_in
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-osn`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-osn",
+        description="Counting edges with target labels in OSNs via random walk "
+        "(EDBT 2018 reproduction).",
+    )
+    parser.add_argument("--verbose", action="store_true", help="enable INFO logging")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the dataset stand-ins")
+
+    estimate = subparsers.add_parser("estimate", help="run one estimation")
+    estimate.add_argument("--dataset", choices=dataset_names(), default="facebook")
+    estimate.add_argument("--pair-index", type=int, default=0, help="target pair index")
+    estimate.add_argument(
+        "--algorithm", choices=available_algorithms(), default="NeighborExploration-HH"
+    )
+    estimate.add_argument("--budget", type=float, default=0.05, help="fraction of |V|")
+    estimate.add_argument("--scale", type=float, default=0.5, help="dataset scale")
+    estimate.add_argument("--seed", type=int, default=2018)
+
+    table = subparsers.add_parser("table", help="reproduce a paper NRMSE table")
+    table.add_argument("number", type=int, choices=list_tables())
+    table.add_argument("--repetitions", type=int, default=20)
+    table.add_argument("--scale", type=float, default=0.25)
+    table.add_argument("--seed", type=int, default=2018)
+    table.add_argument(
+        "--budgets",
+        type=float,
+        nargs="+",
+        default=[0.01, 0.03, 0.05],
+        help="sample-size fractions of |V|",
+    )
+
+    figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
+    figure.add_argument("number", type=int, choices=[1, 2])
+    figure.add_argument("--repetitions", type=int, default=10)
+    figure.add_argument("--scale", type=float, default=0.25)
+    figure.add_argument("--seed", type=int, default=2018)
+
+    bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
+    bounds.add_argument("--dataset", choices=dataset_names(), default="facebook")
+    bounds.add_argument("--pair-index", type=int, default=0)
+    bounds.add_argument("--scale", type=float, default=0.5)
+    bounds.add_argument("--epsilon", type=float, default=0.1)
+    bounds.add_argument("--delta", type=float, default=0.1)
+    bounds.add_argument("--seed", type=int, default=2018)
+
+    mixing = subparsers.add_parser("mixing", help="measured mixing time of a dataset")
+    mixing.add_argument("--dataset", choices=dataset_names(), default="facebook")
+    mixing.add_argument("--scale", type=float, default=0.25)
+    mixing.add_argument("--epsilon", type=float, default=1e-3)
+    mixing.add_argument("--seed", type=int, default=2018)
+
+    select = subparsers.add_parser(
+        "select", help="adaptive pilot-then-select estimation (paper §5.3)"
+    )
+    select.add_argument("--dataset", choices=dataset_names(), default="pokec")
+    select.add_argument("--pair-index", type=int, default=0)
+    select.add_argument("--budget", type=float, default=0.05, help="fraction of |V|")
+    select.add_argument("--threshold", type=float, default=0.05)
+    select.add_argument("--scale", type=float, default=0.25)
+    select.add_argument("--seed", type=int, default=2018)
+
+    cost = subparsers.add_parser("cost", help="API calls charged per algorithm")
+    cost.add_argument("--dataset", choices=dataset_names(), default="facebook")
+    cost.add_argument("--pair-index", type=int, default=0)
+    cost.add_argument("--budget", type=float, default=0.05, help="fraction of |V|")
+    cost.add_argument("--repetitions", type=int, default=3)
+    cost.add_argument("--scale", type=float, default=0.25)
+    cost.add_argument("--seed", type=int, default=2018)
+    return parser
+
+
+def _command_datasets(args) -> int:
+    print(f"{'name':<14}{'|V|':>10}{'|E|':>12}{'max deg':>10}{'avg deg':>10}{'labels':>8}")
+    for name in dataset_names():
+        dataset = load_dataset(name, seed=0, scale=0.25)
+        summary = dataset.summary()
+        print(
+            f"{name:<14}{summary.num_nodes:>10}{summary.num_edges:>12}"
+            f"{summary.max_degree:>10}{summary.average_degree:>10.1f}"
+            f"{summary.num_distinct_labels:>8}"
+        )
+        for pair in dataset.target_pairs:
+            count = dataset.target_counts[pair]
+            print(f"    target pair {pair}: F={count} ({100 * dataset.fraction(pair):.3f}% of |E|)")
+    return 0
+
+
+def _command_estimate(args) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    t1, t2 = dataset.target_pairs[args.pair_index]
+    truth = count_target_edges(dataset.graph, t1, t2)
+    result = estimate_target_edge_count(
+        dataset.graph,
+        t1,
+        t2,
+        algorithm=args.algorithm,
+        budget_fraction=args.budget,
+        seed=args.seed,
+    )
+    print(f"dataset            : {dataset.spec.paper_name} (scale {args.scale})")
+    print(f"target labels      : ({t1}, {t2})")
+    print(f"algorithm          : {result.estimator}")
+    print(f"sample size (k)    : {result.sample_size}")
+    print(f"API calls charged  : {result.api_calls}")
+    print(f"estimated F        : {result.estimate:.1f}")
+    print(f"true F             : {truth}")
+    print(f"relative error     : {result.relative_error(truth):.3f}")
+    return 0
+
+
+def _command_table(args) -> int:
+    config = ExperimentConfig(
+        dataset="facebook",  # replaced by run_paper_table with the table's dataset
+        sample_fractions=tuple(args.budgets),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    result = run_paper_table(args.number, config)
+    print(format_nrmse_table(result.table, caption=f"Reproduction of paper Table {args.number}"))
+    reproduced_name, reproduced_value = result.reproduced_best()
+    paper_name, paper_value = result.paper_best()
+    print()
+    print(f"paper best at 5%|V|      : {paper_name} (NRMSE {paper_value})")
+    print(f"reproduced best (largest): {reproduced_name} (NRMSE {reproduced_value:.3f})")
+    agreement = result.agreement()
+    print(f"family agreement         : {agreement['family_match']}")
+    print(f"proposed beats baselines : {agreement['proposed_wins']}")
+    return 0
+
+
+def _command_figure(args) -> int:
+    config = ExperimentConfig(
+        dataset="orkut",  # replaced by run_paper_figure with the figure's dataset
+        repetitions=args.repetitions,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    result = run_paper_figure(args.number, config, repetitions=args.repetitions)
+    print(
+        format_frequency_series(
+            result.points,
+            caption=f"Reproduction of paper Figure {args.number} "
+            f"({result.definition.dataset}, 5%|V| API calls)",
+        )
+    )
+    return 0
+
+
+def _command_bounds(args) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    t1, t2 = dataset.target_pairs[args.pair_index]
+    bounds = compute_all_bounds(dataset.graph, t1, t2, epsilon=args.epsilon, delta=args.delta)
+    print(f"dataset      : {dataset.spec.paper_name} (scale {args.scale})")
+    print(f"target labels: ({t1}, {t2}), F = {bounds.true_count}")
+    print(f"(epsilon, delta) = ({args.epsilon}, {args.delta})")
+    for name, value in bounds.as_dict().items():
+        print(f"  {name:<26}{value:>16.1f}")
+    return 0
+
+
+def _command_mixing(args) -> int:
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    burn_in = recommended_burn_in(dataset.graph, epsilon=args.epsilon, rng=args.seed)
+    paper = dataset.spec.paper_mixing_time
+    print(f"dataset                 : {dataset.spec.paper_name} (scale {args.scale})")
+    print(f"measured burn-in T({args.epsilon}): {burn_in}")
+    print(f"paper-reported mixing time (full graph): {paper}")
+    return 0
+
+
+def _command_select(args) -> int:
+    from repro.core.selector import estimate_with_adaptive_selection
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    t1, t2 = dataset.target_pairs[args.pair_index]
+    truth = count_target_edges(dataset.graph, t1, t2)
+    sample_size = max(1, int(args.budget * dataset.graph.num_nodes))
+    report = estimate_with_adaptive_selection(
+        dataset.graph,
+        t1,
+        t2,
+        sample_size=sample_size,
+        threshold=args.threshold,
+        seed=args.seed,
+    )
+    print(f"dataset              : {dataset.spec.paper_name} (scale {args.scale})")
+    print(f"target labels        : ({t1}, {t2})")
+    print(f"pilot F/|E| estimate : {report.pilot_relative_count:.5f} (threshold {report.threshold})")
+    print(f"selected algorithm   : {report.selected_algorithm}")
+    print(f"final estimate       : {report.estimate:.1f}")
+    print(f"true F               : {truth}")
+    if truth:
+        print(f"relative error       : {abs(report.estimate - truth) / truth:.3f}")
+    return 0
+
+
+def _command_cost(args) -> int:
+    from repro.experiments.cost import format_cost_table, profile_api_costs
+
+    dataset = load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+    t1, t2 = dataset.target_pairs[args.pair_index]
+    sample_size = max(1, int(args.budget * dataset.graph.num_nodes))
+    profiles = profile_api_costs(
+        dataset.graph,
+        t1,
+        t2,
+        sample_size=sample_size,
+        repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(f"dataset: {dataset.spec.paper_name} (scale {args.scale}), "
+          f"target pair ({t1}, {t2}), k={sample_size}")
+    print(format_cost_table(profiles))
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "estimate": _command_estimate,
+    "table": _command_table,
+    "figure": _command_figure,
+    "bounds": _command_bounds,
+    "mixing": _command_mixing,
+    "select": _command_select,
+    "cost": _command_cost,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

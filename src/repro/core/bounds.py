@@ -1,0 +1,199 @@
+"""Sample-size bounds from Theorems 4.1–4.5 of the paper.
+
+Each theorem states how many samples ``k`` suffice for the corresponding
+estimator to be an ``(ε, δ)``-approximation of the true target-edge
+count ``F`` (Chebyshev-based, so generally loose — the paper's Tables
+18–22 show the bounds, and §5.2 notes that far fewer samples are enough
+in practice).
+
+All bounds are *oracle* quantities: they involve sums over the whole
+graph (``F``, ``T(u)``, degrees), so they can only be evaluated with
+full access.  They serve as diagnostics and reproduce Tables 18–22.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.exceptions import EstimationError
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.statistics import count_target_edges, target_incident_counts
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class SampleSizeBounds:
+    """Theorem 4.1–4.5 bounds for one (graph, label pair, ε, δ) setting."""
+
+    neighbor_sample_hh: float
+    neighbor_sample_ht: float
+    neighbor_exploration_hh: float
+    neighbor_exploration_ht: float
+    neighbor_exploration_rw: float
+    epsilon: float
+    delta: float
+    true_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Map Table 2 abbreviation -> bound, in the order of Tables 18–22."""
+        return {
+            "NeighborSample-HH": self.neighbor_sample_hh,
+            "NeighborSample-HT": self.neighbor_sample_ht,
+            "NeighborExploration-HH": self.neighbor_exploration_hh,
+            "NeighborExploration-HT": self.neighbor_exploration_ht,
+            "NeighborExploration-RW": self.neighbor_exploration_rw,
+        }
+
+
+def _require_positive_count(true_count: int) -> None:
+    if true_count <= 0:
+        raise EstimationError(
+            "the (epsilon, delta) bounds are undefined when the true target-edge "
+            "count F is zero (relative error has no meaning)"
+        )
+
+
+def bound_neighbor_sample_hh(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> float:
+    """Theorem 4.1: bound for NeighborSample with the Hansen–Hurwitz estimator.
+
+    ``k ≥ (Σ_{X∈E} |E|·I(X) − F²) / (ε² F² δ)``; the sum collapses to
+    ``|E|·F`` because exactly ``F`` edges have ``I(X) = 1``.
+    """
+    check_fraction(epsilon, "epsilon")
+    check_fraction(delta, "delta")
+    true_count = count_target_edges(graph, t1, t2)
+    _require_positive_count(true_count)
+    num_edges = graph.num_edges
+    numerator = num_edges * true_count - true_count**2
+    return max(0.0, numerator / (epsilon**2 * true_count**2 * delta))
+
+
+def bound_neighbor_sample_ht(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> float:
+    """Theorem 4.2: bound for NeighborSample with the Horvitz–Thompson estimator.
+
+    ``k ≥ max_e log((I(e)² + B)/B) / log(1/A(e))`` with ``A(e) = 1 − 1/|E|``
+    and ``B = δ ε² F² / |E|``.  Non-target edges contribute 0, so the
+    maximum is attained at any target edge.
+    """
+    check_fraction(epsilon, "epsilon")
+    check_fraction(delta, "delta")
+    true_count = count_target_edges(graph, t1, t2)
+    _require_positive_count(true_count)
+    num_edges = graph.num_edges
+    if num_edges < 2:
+        raise EstimationError("the HT bound needs a graph with at least two edges")
+    a = 1.0 - 1.0 / num_edges
+    b = delta * epsilon**2 * true_count**2 / num_edges
+    return math.log((1.0 + b) / b) / math.log(1.0 / a)
+
+
+def bound_neighbor_exploration_hh(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> float:
+    """Theorem 4.3: bound for NeighborExploration with the Hansen–Hurwitz estimator.
+
+    ``k ≥ (Σ_u 2|E|·T(u)²/d(u) − 4F²) / (4 ε² F² δ)``.
+    """
+    check_fraction(epsilon, "epsilon")
+    check_fraction(delta, "delta")
+    true_count = count_target_edges(graph, t1, t2)
+    _require_positive_count(true_count)
+    num_edges = graph.num_edges
+    total = 0.0
+    for node, incident in target_incident_counts(graph, t1, t2).items():
+        if incident:
+            total += 2.0 * num_edges * incident**2 / graph.degree(node)
+    numerator = total - 4.0 * true_count**2
+    return max(0.0, numerator / (4.0 * epsilon**2 * true_count**2 * delta))
+
+
+def bound_neighbor_exploration_ht(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> float:
+    """Theorem 4.4: bound for NeighborExploration with the Horvitz–Thompson estimator.
+
+    ``k ≥ max_y log((T(y)² + B)/B) / log(1/A(y))`` with
+    ``A(y) = 1 − d(y)/2|E|`` and ``B = 4 δ ε² F² / |V|``.
+    """
+    check_fraction(epsilon, "epsilon")
+    check_fraction(delta, "delta")
+    true_count = count_target_edges(graph, t1, t2)
+    _require_positive_count(true_count)
+    total_degree = 2.0 * graph.num_edges
+    b = 4.0 * delta * epsilon**2 * true_count**2 / graph.num_nodes
+    worst = 0.0
+    for node, incident in target_incident_counts(graph, t1, t2).items():
+        if incident == 0:
+            continue
+        pi = graph.degree(node) / total_degree
+        a = 1.0 - pi
+        if a <= 0.0:
+            # A single node holds all the mass; one sample always hits it.
+            continue
+        bound = math.log((incident**2 + b) / b) / math.log(1.0 / a)
+        worst = max(worst, bound)
+    return worst
+
+
+def bound_neighbor_exploration_rw(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> float:
+    """Theorem 4.5: bound for NeighborExploration with the Re-weighted estimator.
+
+    ``k ≥ max{ 18(Σ_y T(y)²/π_y − 4F²)/(4 ε² F² δ),
+               18(Σ_y 1/π_y − |V|²)/(ε² |V|² δ) }``
+    with ``π_y = d(y)/2|E|``.
+    """
+    check_fraction(epsilon, "epsilon")
+    check_fraction(delta, "delta")
+    true_count = count_target_edges(graph, t1, t2)
+    _require_positive_count(true_count)
+    num_nodes = graph.num_nodes
+    total_degree = 2.0 * graph.num_edges
+
+    sum_t_term = 0.0
+    sum_inverse_pi = 0.0
+    incident_counts = target_incident_counts(graph, t1, t2)
+    for node in graph.nodes():
+        pi = graph.degree(node) / total_degree
+        sum_inverse_pi += 1.0 / pi
+        incident = incident_counts[node]
+        if incident:
+            sum_t_term += incident**2 / pi
+
+    first = 18.0 * (sum_t_term - 4.0 * true_count**2) / (4.0 * epsilon**2 * true_count**2 * delta)
+    second = 18.0 * (sum_inverse_pi - num_nodes**2) / (epsilon**2 * num_nodes**2 * delta)
+    return max(0.0, first, second)
+
+
+def compute_all_bounds(
+    graph: LabeledGraph, t1: Label, t2: Label, epsilon: float = 0.1, delta: float = 0.1
+) -> SampleSizeBounds:
+    """All five bounds for one setting — a row of Tables 18–22."""
+    return SampleSizeBounds(
+        neighbor_sample_hh=bound_neighbor_sample_hh(graph, t1, t2, epsilon, delta),
+        neighbor_sample_ht=bound_neighbor_sample_ht(graph, t1, t2, epsilon, delta),
+        neighbor_exploration_hh=bound_neighbor_exploration_hh(graph, t1, t2, epsilon, delta),
+        neighbor_exploration_ht=bound_neighbor_exploration_ht(graph, t1, t2, epsilon, delta),
+        neighbor_exploration_rw=bound_neighbor_exploration_rw(graph, t1, t2, epsilon, delta),
+        epsilon=epsilon,
+        delta=delta,
+        true_count=count_target_edges(graph, t1, t2),
+    )
+
+
+__all__ = [
+    "SampleSizeBounds",
+    "bound_neighbor_sample_hh",
+    "bound_neighbor_sample_ht",
+    "bound_neighbor_exploration_hh",
+    "bound_neighbor_exploration_ht",
+    "bound_neighbor_exploration_rw",
+    "compute_all_bounds",
+]

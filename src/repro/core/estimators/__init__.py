@@ -1,0 +1,23 @@
+"""Estimators of the target-edge count built on the two sampling processes."""
+
+from repro.core.estimators.base import EstimateResult, EdgeEstimator, NodeEstimator
+from repro.core.estimators.hansen_hurwitz import (
+    EdgeHansenHurwitzEstimator,
+    NodeHansenHurwitzEstimator,
+)
+from repro.core.estimators.horvitz_thompson import (
+    EdgeHorvitzThompsonEstimator,
+    NodeHorvitzThompsonEstimator,
+)
+from repro.core.estimators.reweighted import NodeReweightedEstimator
+
+__all__ = [
+    "EstimateResult",
+    "EdgeEstimator",
+    "NodeEstimator",
+    "EdgeHansenHurwitzEstimator",
+    "NodeHansenHurwitzEstimator",
+    "EdgeHorvitzThompsonEstimator",
+    "NodeHorvitzThompsonEstimator",
+    "NodeReweightedEstimator",
+]

@@ -1,0 +1,74 @@
+"""Common estimator interfaces and the result record they produce."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.graph.labeled_graph import Label
+
+from repro.core.samplers.base import EdgeSampleSet, NodeSampleSet
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """The outcome of one estimation run.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated number of target edges ``F̂``.
+    estimator:
+        Name of the estimator that produced it (Table 2 abbreviation
+        where applicable).
+    sample_size:
+        Number of samples (``k``) the estimator consumed — after
+        thinning, for Horvitz–Thompson estimators.
+    target_labels:
+        The label pair being estimated, when known.
+    api_calls:
+        Charged API calls used to collect the underlying sample, when
+        known.
+    details:
+        Estimator-specific extras (e.g. number of distinct target edges
+        seen, the thinning interval, ...).
+    """
+
+    estimate: float
+    estimator: str
+    sample_size: int
+    target_labels: Optional[Tuple[Label, Label]] = None
+    api_calls: Optional[int] = None
+    details: Dict[str, float] = field(default_factory=dict)
+
+    def relative_error(self, true_value: float) -> float:
+        """``|F̂ − F| / F`` against a known ground truth."""
+        if true_value == 0:
+            raise ZeroDivisionError("relative error is undefined for F = 0")
+        return abs(self.estimate - true_value) / true_value
+
+
+class EdgeEstimator(ABC):
+    """An estimator that consumes NeighborSample output (edge samples)."""
+
+    #: Table 2 abbreviation, overridden by subclasses.
+    name: str = "edge-estimator"
+
+    @abstractmethod
+    def estimate(self, samples: EdgeSampleSet) -> EstimateResult:
+        """Return the estimated target-edge count from *samples*."""
+
+
+class NodeEstimator(ABC):
+    """An estimator that consumes NeighborExploration output (node samples)."""
+
+    #: Table 2 abbreviation, overridden by subclasses.
+    name: str = "node-estimator"
+
+    @abstractmethod
+    def estimate(self, samples: NodeSampleSet) -> EstimateResult:
+        """Return the estimated target-edge count from *samples*."""
+
+
+__all__ = ["EstimateResult", "EdgeEstimator", "NodeEstimator"]

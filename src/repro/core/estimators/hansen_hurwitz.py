@@ -1,0 +1,83 @@
+"""Hansen–Hurwitz estimators (paper §4.1.2 and §4.2.2).
+
+The Hansen–Hurwitz estimator averages ``value / inclusion probability``
+over the ``k`` draws.  It does not require the draws to be independent
+— only that each draw has the right marginal distribution — which is
+why it pairs with the cheap single-walk implementation.
+
+Edge form (NeighborSample), Equation (2) of the paper::
+
+    F̂ = (1/k) Σ_i |E| · I((u_i, v_i))
+
+Node form (NeighborExploration), Equation (11)::
+
+    F̂ = (1/k) Σ_i |E| · T(u_i) / d(u_i)
+
+Both are unbiased because a simple random walk at stationarity occupies
+an edge with probability ``1/|E|`` and a node with probability
+``d(u)/2|E|``.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators.base import EdgeEstimator, EstimateResult, NodeEstimator
+from repro.core.samplers.base import EdgeSampleSet, NodeSampleSet
+from repro.exceptions import EstimationError
+
+
+class EdgeHansenHurwitzEstimator(EdgeEstimator):
+    """NeighborSample-HH: ``F̂ = (1/k) Σ |E| · I(e_i)`` (Equation 2)."""
+
+    name = "NeighborSample-HH"
+
+    def estimate(self, samples: EdgeSampleSet) -> EstimateResult:
+        samples.require_non_empty()
+        if samples.num_edges <= 0:
+            raise EstimationError("sample set does not carry |E| prior knowledge")
+        k = samples.k
+        target_hits = sum(1 for sample in samples if sample.is_target)
+        estimate = samples.num_edges * target_hits / k
+        return EstimateResult(
+            estimate=estimate,
+            estimator=self.name,
+            sample_size=k,
+            target_labels=samples.target_labels,
+            api_calls=samples.api_calls_used,
+            details={"target_hits": float(target_hits)},
+        )
+
+
+class NodeHansenHurwitzEstimator(NodeEstimator):
+    """NeighborExploration-HH: ``F̂ = (1/k) Σ |E| · T(u_i)/d(u_i)`` (Equation 11)."""
+
+    name = "NeighborExploration-HH"
+
+    def estimate(self, samples: NodeSampleSet) -> EstimateResult:
+        samples.require_non_empty()
+        if samples.num_edges <= 0:
+            raise EstimationError("sample set does not carry |E| prior knowledge")
+        k = samples.k
+        total = 0.0
+        explored = 0
+        for sample in samples:
+            if sample.degree <= 0:
+                raise EstimationError(
+                    f"sampled node {sample.node!r} has degree 0; a random walk "
+                    "cannot have visited it"
+                )
+            if sample.incident_target_edges:
+                total += sample.incident_target_edges / sample.degree
+            if sample.has_target_label:
+                explored += 1
+        estimate = samples.num_edges * total / k
+        return EstimateResult(
+            estimate=estimate,
+            estimator=self.name,
+            sample_size=k,
+            target_labels=samples.target_labels,
+            api_calls=samples.api_calls_used,
+            details={"explored_nodes": float(explored)},
+        )
+
+
+__all__ = ["EdgeHansenHurwitzEstimator", "NodeHansenHurwitzEstimator"]

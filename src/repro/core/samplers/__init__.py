@@ -1,0 +1,19 @@
+"""Random-walk sampling processes: NeighborSample (edges) and NeighborExploration (nodes)."""
+
+from repro.core.samplers.base import (
+    EdgeSample,
+    EdgeSampleSet,
+    NodeSample,
+    NodeSampleSet,
+)
+from repro.core.samplers.neighbor_sample import NeighborSampleSampler
+from repro.core.samplers.neighbor_exploration import NeighborExplorationSampler
+
+__all__ = [
+    "EdgeSample",
+    "EdgeSampleSet",
+    "NodeSample",
+    "NodeSampleSet",
+    "NeighborSampleSampler",
+    "NeighborExplorationSampler",
+]

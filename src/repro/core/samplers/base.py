@@ -1,0 +1,180 @@
+"""Sample records produced by the paper's two sampling processes.
+
+The samplers are decoupled from the estimators through two container
+types:
+
+* :class:`EdgeSampleSet` — what NeighborSample (Algorithm 1) produces:
+  ``k`` edges, each flagged as target/non-target.
+* :class:`NodeSampleSet` — what NeighborExploration (Algorithm 2)
+  produces: ``k`` nodes, each with its degree, whether it carries a
+  target label, and ``T(u)`` (the number of incident target edges) when
+  it does.
+
+Both containers also carry the prior knowledge (``|E|``, ``|V|``) read
+from the restricted API at sampling time, so an estimator needs nothing
+but the sample set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import InsufficientSamplesError
+from repro.graph.labeled_graph import Label, Node
+from repro.walks.thinning import DEFAULT_THINNING_FRACTION, thin_indices
+
+
+@dataclass(frozen=True)
+class EdgeSample:
+    """One edge drawn by the NeighborSample process.
+
+    Attributes
+    ----------
+    u, v:
+        The endpoints in traversal order (``u`` was sampled first, ``v``
+        is the randomly chosen neighbor).
+    is_target:
+        ``I((u, v))`` — whether the edge is a target edge for the label
+        pair being estimated.
+    step_index:
+        Position of this sample within the walk (0-based), used by the
+        thinning strategy of the Horvitz–Thompson estimator.
+    """
+
+    u: Node
+    v: Node
+    is_target: bool
+    step_index: int = 0
+
+    def canonical(self) -> Tuple[Node, Node]:
+        """Endpoint pair in a direction-independent canonical order."""
+        try:
+            return (self.u, self.v) if self.u <= self.v else (self.v, self.u)  # type: ignore[operator]
+        except TypeError:
+            return (self.u, self.v) if repr(self.u) <= repr(self.v) else (self.v, self.u)
+
+
+@dataclass(frozen=True)
+class NodeSample:
+    """One node drawn by the NeighborExploration process.
+
+    Attributes
+    ----------
+    node:
+        The sampled user.
+    degree:
+        ``d(u)`` — needed by every node-based estimator.
+    has_target_label:
+        Whether the node carries ``t1`` or ``t2`` (only then were its
+        neighbors explored).
+    incident_target_edges:
+        ``T(u)`` — number of target edges incident to the node.  Always 0
+        when ``has_target_label`` is ``False`` (a target edge needs one
+        endpoint with a target label... this endpoint).
+    step_index:
+        Position within the walk, for thinning.
+    """
+
+    node: Node
+    degree: int
+    has_target_label: bool
+    incident_target_edges: int
+    step_index: int = 0
+
+
+@dataclass
+class EdgeSampleSet:
+    """The output of NeighborSample: ``k`` edge samples plus prior knowledge."""
+
+    samples: List[EdgeSample] = field(default_factory=list)
+    num_edges: int = 0
+    num_nodes: int = 0
+    target_labels: Optional[Tuple[Label, Label]] = None
+    api_calls_used: int = 0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def k(self) -> int:
+        """The number of sampling iterations (``k`` in the paper)."""
+        return len(self.samples)
+
+    def require_non_empty(self) -> None:
+        """Raise when an estimator is asked to work with zero samples."""
+        if not self.samples:
+            raise InsufficientSamplesError("edge sample set is empty")
+
+    def target_samples(self) -> List[EdgeSample]:
+        """Samples whose edge is a target edge."""
+        return [sample for sample in self.samples if sample.is_target]
+
+    def thinned(self, fraction: float = DEFAULT_THINNING_FRACTION) -> "EdgeSampleSet":
+        """Keep only samples ``r = fraction·k`` steps apart (HT independence fix).
+
+        Thinning operates on walk positions (``step_index``), so it works
+        whether the set was collected by one long walk or independently.
+        """
+        keep = set(thin_indices(len(self.samples), fraction))
+        thinned_samples = [
+            sample for position, sample in enumerate(self.samples) if position in keep
+        ]
+        return EdgeSampleSet(
+            samples=thinned_samples,
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls_used=self.api_calls_used,
+        )
+
+
+@dataclass
+class NodeSampleSet:
+    """The output of NeighborExploration: ``k`` node samples plus prior knowledge."""
+
+    samples: List[NodeSample] = field(default_factory=list)
+    num_edges: int = 0
+    num_nodes: int = 0
+    target_labels: Optional[Tuple[Label, Label]] = None
+    api_calls_used: int = 0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def k(self) -> int:
+        """The number of sampling iterations (``k`` in the paper)."""
+        return len(self.samples)
+
+    def require_non_empty(self) -> None:
+        """Raise when an estimator is asked to work with zero samples."""
+        if not self.samples:
+            raise InsufficientSamplesError("node sample set is empty")
+
+    def labeled_samples(self) -> List[NodeSample]:
+        """Samples whose node carries a target label (and was explored)."""
+        return [sample for sample in self.samples if sample.has_target_label]
+
+    def thinned(self, fraction: float = DEFAULT_THINNING_FRACTION) -> "NodeSampleSet":
+        """Keep only samples ``r = fraction·k`` steps apart (HT independence fix)."""
+        keep = set(thin_indices(len(self.samples), fraction))
+        thinned_samples = [
+            sample for position, sample in enumerate(self.samples) if position in keep
+        ]
+        return NodeSampleSet(
+            samples=thinned_samples,
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls_used=self.api_calls_used,
+        )
+
+
+__all__ = ["EdgeSample", "NodeSample", "EdgeSampleSet", "NodeSampleSet"]

@@ -1,0 +1,174 @@
+"""Adaptive algorithm selection (operationalising the paper's §5.3 guidance).
+
+The paper's experiments end with a practical rule of thumb: when target
+edges are rare, NeighborExploration is the algorithm of choice; when
+they are abundant, NeighborSample is just as good (or slightly better)
+and much cheaper in API calls, because it never explores whole
+neighborhoods.
+
+A practitioner does not know the relative count ``F/|E|`` in advance —
+that is the quantity being estimated.  :func:`estimate_with_adaptive_selection`
+therefore splits the API budget into a small *pilot* phase and a *main*
+phase:
+
+1. the pilot runs NeighborExploration-HH on a small fraction of the
+   budget to obtain a rough ``F̂_pilot`` (NeighborExploration because it
+   is the only family that produces a useful signal when the target
+   edges are rare),
+2. the relative count ``F̂_pilot / |E|`` is compared against a threshold
+   (default 5%, the region where the paper's tables show the two
+   families converging),
+3. the main phase spends the remaining budget on the selected
+   algorithm, and the final estimate is returned together with the
+   pilot diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.estimators import (
+    EdgeHansenHurwitzEstimator,
+    NodeHansenHurwitzEstimator,
+)
+from repro.core.estimators.base import EstimateResult
+from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
+from repro.exceptions import ConfigurationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_fraction, check_non_negative_int, check_positive_int
+from repro.walks.mixing import recommended_burn_in
+
+#: Relative target-edge count above which NeighborSample is preferred.
+DEFAULT_RARITY_THRESHOLD = 0.05
+
+#: Fraction of the sample budget spent on the pilot phase.
+DEFAULT_PILOT_SHARE = 0.2
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Outcome of an adaptive estimation run.
+
+    Attributes
+    ----------
+    result:
+        The main-phase estimate.
+    selected_algorithm:
+        ``"NeighborSample-HH"`` or ``"NeighborExploration-HH"``.
+    pilot_estimate:
+        The pilot phase's (rough) estimate of ``F``.
+    pilot_relative_count:
+        ``pilot_estimate / |E|`` — the quantity compared with the threshold.
+    pilot_sample_size / main_sample_size:
+        How the sample budget was split.
+    threshold:
+        The rarity threshold used for the decision.
+    """
+
+    result: EstimateResult
+    selected_algorithm: str
+    pilot_estimate: float
+    pilot_relative_count: float
+    pilot_sample_size: int
+    main_sample_size: int
+    threshold: float
+
+    @property
+    def estimate(self) -> float:
+        """The final estimate of the target-edge count."""
+        return self.result.estimate
+
+
+def recommend_algorithm(
+    relative_count: float, threshold: float = DEFAULT_RARITY_THRESHOLD
+) -> str:
+    """The paper's §5.3 rule: NeighborSample for abundant target edges,
+    NeighborExploration for rare ones."""
+    if relative_count < 0:
+        raise ConfigurationError(f"relative_count must be non-negative, got {relative_count}")
+    check_fraction(threshold, "threshold")
+    if relative_count >= threshold:
+        return "NeighborSample-HH"
+    return "NeighborExploration-HH"
+
+
+def estimate_with_adaptive_selection(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    sample_size: int,
+    pilot_share: float = DEFAULT_PILOT_SHARE,
+    threshold: float = DEFAULT_RARITY_THRESHOLD,
+    burn_in: Optional[int] = None,
+    seed: RandomSource = None,
+) -> SelectionReport:
+    """Estimate ``F`` with a pilot-then-select strategy.
+
+    Parameters
+    ----------
+    graph:
+        The labeled graph; access during estimation still goes through a
+        :class:`RestrictedGraphAPI` built here.
+    t1, t2:
+        The target labels.
+    sample_size:
+        Total number of walk samples to spend (pilot + main).
+    pilot_share:
+        Fraction of *sample_size* used by the pilot phase.
+    threshold:
+        Relative-count threshold of the selection rule.
+    burn_in:
+        Walk burn-in; derived from the graph's mixing time when omitted.
+    seed:
+        Seed or generator.
+    """
+    check_positive_int(sample_size, "sample_size")
+    check_fraction(pilot_share, "pilot_share")
+    check_fraction(threshold, "threshold")
+    rng = ensure_rng(seed)
+    if burn_in is None:
+        burn_in = recommended_burn_in(graph, rng=rng)
+    else:
+        burn_in = check_non_negative_int(burn_in, "burn_in")
+
+    pilot_size = max(1, int(round(pilot_share * sample_size)))
+    main_size = max(1, sample_size - pilot_size)
+
+    # Pilot: NeighborExploration-HH, the only configuration that yields a
+    # signal when the target edges are rare.
+    pilot_api = RestrictedGraphAPI(graph)
+    pilot_sampler = NeighborExplorationSampler(pilot_api, t1, t2, burn_in=burn_in, rng=rng)
+    pilot_result = NodeHansenHurwitzEstimator().estimate(pilot_sampler.sample(pilot_size))
+    relative_count = pilot_result.estimate / max(1, pilot_api.num_edges)
+
+    selected = recommend_algorithm(relative_count, threshold)
+
+    main_api = RestrictedGraphAPI(graph)
+    if selected == "NeighborSample-HH":
+        sampler = NeighborSampleSampler(main_api, t1, t2, burn_in=burn_in, rng=rng)
+        main_result = EdgeHansenHurwitzEstimator().estimate(sampler.sample(main_size))
+    else:
+        sampler = NeighborExplorationSampler(main_api, t1, t2, burn_in=burn_in, rng=rng)
+        main_result = NodeHansenHurwitzEstimator().estimate(sampler.sample(main_size))
+
+    return SelectionReport(
+        result=main_result,
+        selected_algorithm=selected,
+        pilot_estimate=pilot_result.estimate,
+        pilot_relative_count=relative_count,
+        pilot_sample_size=pilot_size,
+        main_sample_size=main_size,
+        threshold=threshold,
+    )
+
+
+__all__ = [
+    "DEFAULT_RARITY_THRESHOLD",
+    "DEFAULT_PILOT_SHARE",
+    "SelectionReport",
+    "recommend_algorithm",
+    "estimate_with_adaptive_selection",
+]

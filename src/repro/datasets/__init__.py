@@ -1,0 +1,41 @@
+"""Synthetic OSN datasets standing in for the paper's SNAP/KONECT graphs."""
+
+from repro.datasets.labeling import (
+    assign_binary_labels,
+    assign_zipf_labels,
+    assign_degree_bucket_labels,
+    binary_fraction_for_cross_edge_share,
+    POKEC_LOCATIONS,
+)
+from repro.datasets.synthetic import (
+    powerlaw_cluster_osn,
+    barabasi_albert_osn,
+    erdos_renyi_osn,
+    small_world_osn,
+)
+from repro.datasets.registry import (
+    Dataset,
+    DatasetSpec,
+    DATASET_SPECS,
+    dataset_names,
+    load_dataset,
+    select_target_pairs,
+)
+
+__all__ = [
+    "assign_binary_labels",
+    "assign_zipf_labels",
+    "assign_degree_bucket_labels",
+    "binary_fraction_for_cross_edge_share",
+    "POKEC_LOCATIONS",
+    "powerlaw_cluster_osn",
+    "barabasi_albert_osn",
+    "erdos_renyi_osn",
+    "small_world_osn",
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "dataset_names",
+    "load_dataset",
+    "select_target_pairs",
+]

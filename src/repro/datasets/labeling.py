@@ -1,0 +1,206 @@
+"""Label-assignment models mirroring the paper's three label types.
+
+The paper uses three kinds of node labels (§5.1):
+
+* **gender** (Facebook, Google+) — essentially binary, with the
+  male–female edge share at 42.4% (Facebook) and 26.9% (Google+),
+* **location** (Pokec) — hundreds of locations with a heavy-tailed
+  popularity distribution; pairs of locations give very rare target
+  edges (0.001%–0.03% of all edges),
+* **degree bucket** (Orkut, LiveJournal) — the node's degree is used as
+  its label because those datasets ship without profiles.
+
+The three functions below reproduce those models on synthetic graphs.
+All labels are integers, as in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_fraction, check_positive, check_positive_int
+
+#: A synthetic stand-in for the paper's Table 3 (label id -> Slovak location).
+#: Only the first few ids carry names; the rest are generated on demand.
+POKEC_LOCATIONS: Dict[int, str] = {
+    2: "zilinsky kraj, kysucke nove mesto",
+    13: "zahranicie, zahranicie - australia",
+    20: "kosicky kraj, michalovce",
+    24: "trnavsky kraj, trnava",
+    51: "trnavsky kraj, skalica",
+    86: "bratislavsky kraj, bratislava - nove mesto",
+    122: "kosicky kraj, kosice - ostatne",
+    135: "banskobystricky kraj, dudince",
+}
+
+
+def binary_fraction_for_cross_edge_share(cross_share: float) -> float:
+    """Solve ``2 p (1 − p) = cross_share`` for the smaller root ``p``.
+
+    Under independent binary label assignment with probability ``p`` for
+    label 1, the expected share of edges joining a label-1 node to a
+    label-2 node is ``2 p (1 − p)``.  This inverts that relationship so
+    a synthetic graph can be tuned to the paper's observed edge shares
+    (42.4% for Facebook, 26.9% for Google+).
+    """
+    check_fraction(cross_share, "cross_share")
+    if cross_share > 0.5:
+        raise ConfigurationError(
+            f"cross_share cannot exceed 0.5 under independent assignment, got {cross_share}"
+        )
+    discriminant = math.sqrt(1.0 - 2.0 * cross_share)
+    return (1.0 - discriminant) / 2.0
+
+
+def assign_binary_labels(
+    graph: LabeledGraph,
+    label_one_probability: float = 0.5,
+    labels: Tuple[int, int] = (1, 2),
+    rng: RandomSource = None,
+    homophily: float = 0.0,
+) -> None:
+    """Assign each node one of two labels (gender model), in place.
+
+    Parameters
+    ----------
+    label_one_probability:
+        Probability of assigning ``labels[0]`` when drawing independently.
+    labels:
+        The two label values; the paper uses ``1`` (female) and ``2``
+        (male).
+    homophily:
+        Probability that a node copies the label of an already-labeled
+        neighbor instead of drawing independently.  Real OSN attributes
+        are assortative, which matters for the estimators: clustering of
+        labels makes ``T(u)/d(u)`` vary across nodes and brings the
+        relative behaviour of NeighborSample vs NeighborExploration on
+        abundant labels in line with the paper's Facebook/Google+
+        tables.  ``0.0`` gives fully independent labels.
+    """
+    check_fraction(label_one_probability, "label_one_probability")
+    if not 0.0 <= homophily < 1.0:
+        raise ConfigurationError(f"homophily must be in [0, 1), got {homophily}")
+    generator = ensure_rng(rng)
+    first, second = labels
+    nodes = list(graph.nodes())
+    generator.shuffle(nodes)
+    assigned: Dict[Node, int] = {}
+    for node in nodes:
+        chosen: Optional[int] = None
+        if homophily and generator.random() < homophily:
+            labeled_neighbors = [n for n in graph.neighbors(node) if n in assigned]
+            if labeled_neighbors:
+                chosen = assigned[generator.choice(labeled_neighbors)]
+        if chosen is None:
+            chosen = first if generator.random() < label_one_probability else second
+        assigned[node] = chosen
+        graph.set_labels(node, (chosen,))
+
+
+def zipf_weights(num_labels: int, exponent: float) -> List[float]:
+    """Unnormalised Zipf weights ``1/r^exponent`` for ranks ``1..num_labels``."""
+    check_positive_int(num_labels, "num_labels")
+    check_positive(exponent, "exponent")
+    return [1.0 / (rank**exponent) for rank in range(1, num_labels + 1)]
+
+
+def assign_zipf_labels(
+    graph: LabeledGraph,
+    num_labels: int = 200,
+    exponent: float = 1.2,
+    rng: RandomSource = None,
+    label_offset: int = 1,
+) -> None:
+    """Assign each node one of *num_labels* integer labels with Zipf popularity.
+
+    This is the location model (Pokec): a few labels dominate while the
+    tail contains many rare locations, so pairs of tail labels give the
+    tiny target-edge fractions the paper evaluates (Tables 6–9).
+    Labels are ``label_offset .. label_offset + num_labels − 1``, ordered
+    by decreasing popularity.
+    """
+    generator = ensure_rng(rng)
+    weights = zipf_weights(num_labels, exponent)
+    total = sum(weights)
+    cumulative: List[float] = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def draw() -> int:
+        threshold = generator.random()
+        # Binary search over the cumulative distribution.
+        low, high = 0, len(cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if cumulative[mid] < threshold:
+                low = mid + 1
+            else:
+                high = mid
+        return label_offset + low
+
+    for node in graph.nodes():
+        graph.set_labels(node, (draw(),))
+
+
+def default_degree_thresholds(max_degree: int) -> List[int]:
+    """Power-of-two bucket boundaries ``1, 2, 4, ...`` up to *max_degree*."""
+    thresholds: List[int] = []
+    boundary = 1
+    while boundary <= max_degree:
+        thresholds.append(boundary)
+        boundary *= 2
+    return thresholds
+
+
+def assign_degree_bucket_labels(
+    graph: LabeledGraph,
+    thresholds: Optional[Sequence[int]] = None,
+) -> None:
+    """Label each node with its degree bucket (Orkut / LiveJournal model).
+
+    The paper uses the node degree itself as the label; bucketing by
+    powers of two keeps the number of distinct labels manageable on the
+    scaled synthetic graphs while preserving the property that label
+    frequency varies over orders of magnitude.  Bucket ``b`` contains
+    degrees in ``[thresholds[b], thresholds[b+1])``.
+    """
+    if thresholds is None:
+        thresholds = default_degree_thresholds(max(1, graph.max_degree()))
+    thresholds = sorted(set(int(t) for t in thresholds))
+    if not thresholds or thresholds[0] < 1:
+        raise ConfigurationError("degree thresholds must start at 1 or above")
+
+    def bucket(degree: int) -> int:
+        label = 0
+        for index, boundary in enumerate(thresholds):
+            if degree >= boundary:
+                label = index
+            else:
+                break
+        return label
+
+    for node in graph.nodes():
+        graph.set_labels(node, (bucket(graph.degree(node)),))
+
+
+def location_name(label: int) -> str:
+    """Human-readable name for a location label (synthetic Table 3)."""
+    return POKEC_LOCATIONS.get(label, f"synthetic kraj, okres {label}")
+
+
+__all__ = [
+    "POKEC_LOCATIONS",
+    "binary_fraction_for_cross_edge_share",
+    "assign_binary_labels",
+    "zipf_weights",
+    "assign_zipf_labels",
+    "default_degree_thresholds",
+    "assign_degree_bucket_labels",
+    "location_name",
+]

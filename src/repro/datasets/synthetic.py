@@ -1,0 +1,121 @@
+"""Synthetic OSN topology generators.
+
+The paper's datasets are real crawls (Facebook, Google+, Pokec, Orkut,
+LiveJournal).  Without network access we substitute synthetic graphs
+whose *relevant* properties match what drives the estimators' accuracy:
+
+* heavy-tailed degree distributions (power-law-ish),
+* a single connected component,
+* non-trivial clustering (so the line-graph baselines face realistic
+  local structure),
+* fast-mixing simple random walks.
+
+:func:`powerlaw_cluster_osn` (Holme–Kim) is the default; BA, small-world
+and Erdős–Rényi variants exist for tests and sensitivity studies.  All
+generators return cleaned :class:`LabeledGraph` instances (largest
+connected component, no self-loops or multi-edges) with empty label
+sets — labels are layered on by :mod:`repro.datasets.labeling`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import ConfigurationError, DatasetError
+from repro.graph.cleaning import largest_connected_component
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+def _from_networkx_cleaned(graph: nx.Graph) -> LabeledGraph:
+    """Convert an nx graph and keep the largest connected component."""
+    labeled = LabeledGraph()
+    for node in graph.nodes():
+        labeled.add_node(node)
+    for u, v in graph.edges():
+        if u != v and not labeled.has_edge(u, v):
+            labeled.add_edge(u, v)
+    if labeled.num_nodes == 0:
+        raise DatasetError("generator produced an empty graph")
+    return largest_connected_component(labeled)
+
+
+def powerlaw_cluster_osn(
+    num_nodes: int,
+    edges_per_node: int,
+    triangle_probability: float = 0.3,
+    rng: RandomSource = None,
+) -> LabeledGraph:
+    """Holme–Kim power-law graph with tunable clustering (the default OSN model)."""
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive_int(edges_per_node, "edges_per_node")
+    check_probability(triangle_probability, "triangle_probability")
+    if edges_per_node >= num_nodes:
+        raise ConfigurationError("edges_per_node must be smaller than num_nodes")
+    seed = ensure_rng(rng).getrandbits(32)
+    graph = nx.powerlaw_cluster_graph(
+        num_nodes, edges_per_node, triangle_probability, seed=seed
+    )
+    return _from_networkx_cleaned(graph)
+
+
+def barabasi_albert_osn(
+    num_nodes: int, edges_per_node: int, rng: RandomSource = None
+) -> LabeledGraph:
+    """Barabási–Albert preferential-attachment graph."""
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive_int(edges_per_node, "edges_per_node")
+    if edges_per_node >= num_nodes:
+        raise ConfigurationError("edges_per_node must be smaller than num_nodes")
+    seed = ensure_rng(rng).getrandbits(32)
+    graph = nx.barabasi_albert_graph(num_nodes, edges_per_node, seed=seed)
+    return _from_networkx_cleaned(graph)
+
+
+def erdos_renyi_osn(
+    num_nodes: int, edge_probability: float, rng: RandomSource = None
+) -> LabeledGraph:
+    """Erdős–Rényi graph (used in tests; not OSN-like but fast and simple)."""
+    check_positive_int(num_nodes, "num_nodes")
+    check_probability(edge_probability, "edge_probability")
+    seed = ensure_rng(rng).getrandbits(32)
+    graph = nx.gnp_random_graph(num_nodes, edge_probability, seed=seed)
+    return _from_networkx_cleaned(graph)
+
+
+def small_world_osn(
+    num_nodes: int,
+    nearest_neighbors: int,
+    rewiring_probability: float = 0.1,
+    rng: RandomSource = None,
+) -> LabeledGraph:
+    """Newman–Watts small-world graph (slow-mixing; for burn-in ablations)."""
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive_int(nearest_neighbors, "nearest_neighbors")
+    check_probability(rewiring_probability, "rewiring_probability")
+    seed = ensure_rng(rng).getrandbits(32)
+    graph = nx.newman_watts_strogatz_graph(
+        num_nodes, nearest_neighbors, rewiring_probability, seed=seed
+    )
+    return _from_networkx_cleaned(graph)
+
+
+def chung_lu_osn(
+    degree_sequence, rng: RandomSource = None
+) -> LabeledGraph:
+    """Chung–Lu expected-degree graph for matching an observed degree sequence."""
+    if not degree_sequence:
+        raise ConfigurationError("degree_sequence must be non-empty")
+    seed = ensure_rng(rng).getrandbits(32)
+    graph = nx.expected_degree_graph(list(degree_sequence), seed=seed, selfloops=False)
+    return _from_networkx_cleaned(graph)
+
+
+__all__ = [
+    "powerlaw_cluster_osn",
+    "barabasi_albert_osn",
+    "erdos_renyi_osn",
+    "small_world_osn",
+    "chung_lu_osn",
+]

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch a single base class.  The
+sub-classes map onto the major subsystems (graph substrate, restricted
+API access, random-walk machinery, estimation, experiment harness).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Errors related to building or querying a labeled graph."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id was requested that does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} is not present in the graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge was requested that does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not present in the graph")
+        self.u = u
+        self.v = v
+
+
+class LabelError(GraphError):
+    """Errors related to node labels or target-edge labels."""
+
+
+class EmptyGraphError(GraphError):
+    """An operation that needs a non-empty graph was called on an empty one."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation requires a connected graph but the input is not connected."""
+
+
+class APIError(ReproError):
+    """Errors raised by the restricted OSN API wrapper."""
+
+
+class APIBudgetExceededError(APIError):
+    """The caller used more API calls than the configured budget allows."""
+
+    def __init__(self, budget: int, used: int) -> None:
+        super().__init__(
+            f"API budget exceeded: budget={budget} calls, attempted call #{used}"
+        )
+        self.budget = budget
+        self.used = used
+
+
+class WalkError(ReproError):
+    """Errors raised by the random-walk engines."""
+
+
+class MixingTimeError(WalkError):
+    """The mixing-time computation could not complete (e.g. no convergence)."""
+
+
+class EstimationError(ReproError):
+    """Errors raised while constructing estimators or estimates."""
+
+
+class InsufficientSamplesError(EstimationError):
+    """An estimator was asked to produce an estimate from an empty sample."""
+
+
+class ExperimentError(ReproError):
+    """Errors raised by the experiment harness."""
+
+
+class DatasetError(ReproError):
+    """Errors raised by dataset generation or loading."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""

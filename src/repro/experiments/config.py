@@ -1,0 +1,117 @@
+"""Experiment configuration shared by the tables, figures and the CLI.
+
+The defaults mirror the paper's set-up: sample sizes from 0.5% to 5% of
+``|V|`` in steps of 0.5%, NRMSE averaged over 200 independent
+simulations.  200 repetitions over 10 budgets and 10 algorithms is a lot
+of walking, so the benchmark harness and the CLI expose lighter presets;
+``ExperimentConfig.paper_faithful()`` restores the full setting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_fraction, check_positive_int
+
+#: 0.5% .. 5.0% of |V|, the x-axis of every NRMSE table in the paper.
+DEFAULT_SAMPLE_FRACTIONS: Tuple[float, ...] = tuple(
+    round(0.005 * step, 4) for step in range(1, 11)
+)
+
+#: Environment variables that let CI / benches shrink the workload
+#: without editing code.
+ENV_REPETITIONS = "REPRO_REPETITIONS"
+ENV_SCALE = "REPRO_DATASET_SCALE"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one table/figure reproduction run.
+
+    Attributes
+    ----------
+    dataset:
+        Registry name of the dataset stand-in (``repro.datasets``).
+    target_pair_index:
+        Which of the dataset's selected target pairs to use (the paper
+        evaluates up to four per dataset).
+    sample_fractions:
+        Budgets as fractions of ``|V|``.
+    repetitions:
+        Independent simulations per (algorithm, budget) cell.
+    seed:
+        Master seed; each repetition derives its own stream.
+    scale:
+        Dataset scale multiplier (1.0 = the registry default).
+    algorithms:
+        Optional subset of algorithm names; ``None`` means all ten.
+    include_baselines:
+        Whether the EX-* baselines are part of the run.
+    burn_in:
+        Explicit walk burn-in; ``None`` derives it from the graph's
+        mixing time.
+    """
+
+    dataset: str
+    target_pair_index: int = 0
+    sample_fractions: Sequence[float] = DEFAULT_SAMPLE_FRACTIONS
+    repetitions: int = 200
+    seed: int = 2018
+    scale: float = 1.0
+    algorithms: Optional[Tuple[str, ...]] = None
+    include_baselines: bool = True
+    burn_in: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.repetitions, "repetitions")
+        if not self.sample_fractions:
+            raise ConfigurationError("sample_fractions must not be empty")
+        for fraction in self.sample_fractions:
+            check_fraction(fraction, "sample_fractions entry")
+        if self.target_pair_index < 0:
+            raise ConfigurationError("target_pair_index must be non-negative")
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_faithful(cls, dataset: str, target_pair_index: int = 0) -> "ExperimentConfig":
+        """The paper's full setting: 10 budgets × 200 repetitions."""
+        return cls(dataset=dataset, target_pair_index=target_pair_index)
+
+    @classmethod
+    def quick(cls, dataset: str, target_pair_index: int = 0) -> "ExperimentConfig":
+        """A CI-friendly setting: 3 budgets × 10 repetitions, 25% scale."""
+        return cls(
+            dataset=dataset,
+            target_pair_index=target_pair_index,
+            sample_fractions=(0.01, 0.03, 0.05),
+            repetitions=10,
+            scale=0.25,
+        )
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def apply_environment(self) -> "ExperimentConfig":
+        """Apply ``REPRO_REPETITIONS`` / ``REPRO_DATASET_SCALE`` overrides."""
+        updates = {}
+        repetitions = os.environ.get(ENV_REPETITIONS)
+        if repetitions:
+            updates["repetitions"] = int(repetitions)
+        scale = os.environ.get(ENV_SCALE)
+        if scale:
+            updates["scale"] = float(scale)
+        return self.with_overrides(**updates) if updates else self
+
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_SAMPLE_FRACTIONS",
+    "ENV_REPETITIONS",
+    "ENV_SCALE",
+]

@@ -1,0 +1,111 @@
+"""Exporting experiment results to CSV / JSON.
+
+The reporting module renders human-readable tables; this module writes
+machine-readable artifacts so results can be re-plotted or diffed across
+runs (the benchmark harness stores text tables, downstream notebooks
+usually want CSV).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.experiments.runner import NRMSETable
+from repro.experiments.sweeps import FrequencyPoint
+
+PathLike = Union[str, Path]
+
+
+def nrmse_table_to_rows(table: NRMSETable) -> list:
+    """Flatten an :class:`NRMSETable` into one dict per (algorithm, budget) cell."""
+    rows = []
+    for algorithm, outcomes in table.cells.items():
+        for fraction, sample_size, outcome in zip(
+            table.sample_fractions, table.sample_sizes, outcomes
+        ):
+            rows.append(
+                {
+                    "dataset": table.dataset,
+                    "target_pair": str(table.target_pair),
+                    "true_count": table.true_count,
+                    "algorithm": algorithm,
+                    "sample_fraction": fraction,
+                    "sample_size": sample_size,
+                    "repetitions": outcome.repetitions,
+                    "nrmse": outcome.nrmse,
+                    "mean_estimate": outcome.mean_estimate,
+                    "mean_api_calls": outcome.mean_api_calls,
+                }
+            )
+    return rows
+
+
+def write_nrmse_table_csv(table: NRMSETable, path: PathLike) -> Path:
+    """Write one CSV row per (algorithm, budget) cell of *table*."""
+    rows = nrmse_table_to_rows(table)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_nrmse_table_json(table: NRMSETable, path: PathLike) -> Path:
+    """Write the table (cells plus metadata) as a JSON document."""
+    payload = {
+        "dataset": table.dataset,
+        "target_pair": list(table.target_pair),
+        "true_count": table.true_count,
+        "sample_fractions": list(table.sample_fractions),
+        "sample_sizes": list(table.sample_sizes),
+        "cells": nrmse_table_to_rows(table),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return path
+
+
+def frequency_points_to_rows(points: Iterable[FrequencyPoint]) -> list:
+    """Flatten Figure 1/2-style points into one dict per (pair, algorithm)."""
+    rows = []
+    for point in points:
+        for algorithm, value in point.nrmse_by_algorithm.items():
+            rows.append(
+                {
+                    "target_pair": str(point.target_pair),
+                    "true_count": point.true_count,
+                    "relative_count": point.relative_count,
+                    "algorithm": algorithm,
+                    "nrmse": value,
+                }
+            )
+    return rows
+
+
+def write_frequency_series_csv(points: Iterable[FrequencyPoint], path: PathLike) -> Path:
+    """Write a Figure 1/2 data series as CSV."""
+    rows = frequency_points_to_rows(points)
+    if not rows:
+        raise ValueError("cannot export an empty frequency series")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+__all__ = [
+    "nrmse_table_to_rows",
+    "write_nrmse_table_csv",
+    "write_nrmse_table_json",
+    "frequency_points_to_rows",
+    "write_frequency_series_csv",
+]

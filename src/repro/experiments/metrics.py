@@ -1,0 +1,115 @@
+"""Accuracy metrics used in the evaluation (paper §5.1, "Measurements").
+
+The paper's headline metric is the normalised root mean square error
+
+.. math::
+
+   NRMSE(F̂) = \\frac{\\sqrt{E[(F̂ − F)^2]}}{F}
+            = \\frac{\\sqrt{Var[F̂] + (F − E[F̂])^2}}{F}
+
+estimated over repeated independent simulations.  NRMSE captures both
+the variance and the bias of an estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.exceptions import ExperimentError
+
+
+def _validate(estimates: Sequence[float], true_value: float) -> Sequence[float]:
+    if not estimates:
+        raise ExperimentError("cannot compute a metric from zero estimates")
+    if true_value <= 0:
+        raise ExperimentError(
+            f"the normalised metrics require a positive true value, got {true_value}"
+        )
+    return estimates
+
+
+def nrmse(estimates: Sequence[float], true_value: float) -> float:
+    """Normalised root mean square error over repeated estimates."""
+    estimates = _validate(estimates, true_value)
+    mean_square_error = sum((value - true_value) ** 2 for value in estimates) / len(estimates)
+    return math.sqrt(mean_square_error) / true_value
+
+
+#: Alias emphasising that the input is a collection of simulation outputs.
+nrmse_from_estimates = nrmse
+
+
+def bias(estimates: Sequence[float], true_value: float) -> float:
+    """``E[F̂] − F`` over repeated estimates."""
+    estimates = _validate(estimates, true_value)
+    return sum(estimates) / len(estimates) - true_value
+
+
+def relative_bias(estimates: Sequence[float], true_value: float) -> float:
+    """``(E[F̂] − F) / F`` over repeated estimates."""
+    return bias(estimates, true_value) / true_value
+
+
+def empirical_variance(estimates: Sequence[float]) -> float:
+    """Population variance of the estimates (the ``Var[F̂]`` term of NRMSE)."""
+    if not estimates:
+        raise ExperimentError("cannot compute a variance from zero estimates")
+    mean = sum(estimates) / len(estimates)
+    return sum((value - mean) ** 2 for value in estimates) / len(estimates)
+
+
+def bootstrap_confidence_interval(
+    estimates: Sequence[float],
+    level: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple:
+    """Percentile-bootstrap confidence interval for the mean estimate.
+
+    Repeated simulations give a sample of estimates; this resamples them
+    with replacement to bracket the mean.  Useful for reporting "F̂ ±
+    interval" instead of a bare point estimate when several independent
+    walks are affordable.
+    """
+    import random
+
+    if not estimates:
+        raise ExperimentError("cannot bootstrap from zero estimates")
+    if not 0.0 < level < 1.0:
+        raise ExperimentError(f"confidence level must be in (0, 1), got {level}")
+    if resamples <= 0:
+        raise ExperimentError(f"resamples must be positive, got {resamples}")
+    rng = random.Random(seed)
+    size = len(estimates)
+    means = []
+    for _ in range(resamples):
+        resample = [estimates[rng.randrange(size)] for _ in range(size)]
+        means.append(sum(resample) / size)
+    means.sort()
+    lower_index = int((1.0 - level) / 2.0 * (resamples - 1))
+    upper_index = int((1.0 + level) / 2.0 * (resamples - 1))
+    return (means[lower_index], means[upper_index])
+
+
+def nrmse_decomposition(estimates: Sequence[float], true_value: float) -> dict:
+    """Split NRMSE² into its variance and squared-bias components."""
+    estimates = _validate(estimates, true_value)
+    variance = empirical_variance(estimates)
+    squared_bias = bias(estimates, true_value) ** 2
+    return {
+        "nrmse": math.sqrt(variance + squared_bias) / true_value,
+        "variance_share": variance / (variance + squared_bias) if variance + squared_bias else 0.0,
+        "bias_share": squared_bias / (variance + squared_bias) if variance + squared_bias else 0.0,
+    }
+
+
+__all__ = [
+    "nrmse",
+    "nrmse_from_estimates",
+    "bias",
+    "relative_bias",
+    "empirical_variance",
+    "bootstrap_confidence_interval",
+    "nrmse_decomposition",
+]

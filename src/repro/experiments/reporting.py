@@ -1,0 +1,151 @@
+"""Rendering NRMSE tables and summaries as plain text / Markdown.
+
+These helpers print the reproduced tables in the same layout as the
+paper: one row per algorithm, one column per budget, the best value per
+column marked.  They are used by the benchmark harness, the CLI and the
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import NRMSETable
+from repro.experiments.sweeps import FrequencyPoint
+
+
+def _format_fraction(fraction: float) -> str:
+    return f"{fraction * 100:.1f}%|V|"
+
+
+def format_nrmse_table(
+    table: NRMSETable,
+    caption: Optional[str] = None,
+    mark_best: bool = True,
+    precision: int = 3,
+) -> str:
+    """Render an :class:`NRMSETable` as a fixed-width text table."""
+    header = ["Algorithm"] + [_format_fraction(f) for f in table.sample_fractions]
+    rows: List[List[str]] = []
+    best_per_column = _best_per_column(table)
+    for name in table.algorithms():
+        row = [name]
+        for column, outcome in enumerate(table.cells[name]):
+            value = f"{outcome.nrmse:.{precision}f}"
+            if mark_best and best_per_column[column] == name:
+                value = f"*{value}*"
+            row.append(value)
+        rows.append(row)
+
+    lines = []
+    if caption is None:
+        caption = (
+            f"{table.dataset}, target label={table.target_pair}, "
+            f"number of target edges={table.true_count}"
+        )
+    lines.append(caption)
+    lines.extend(_render_fixed_width([header] + rows))
+    return "\n".join(lines)
+
+
+def format_markdown_table(table: NRMSETable, caption: Optional[str] = None) -> str:
+    """Render an :class:`NRMSETable` as GitHub-flavoured Markdown."""
+    header = ["Algorithm"] + [_format_fraction(f) for f in table.sample_fractions]
+    lines = []
+    if caption:
+        lines.append(f"**{caption}**")
+        lines.append("")
+    lines.append("| " + " | ".join(header) + " |")
+    lines.append("|" + "---|" * len(header))
+    best_per_column = _best_per_column(table)
+    for name in table.algorithms():
+        cells = [name]
+        for column, outcome in enumerate(table.cells[name]):
+            value = f"{outcome.nrmse:.3f}"
+            if best_per_column[column] == name:
+                value = f"**{value}**"
+            cells.append(value)
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def best_algorithms(table: NRMSETable, column: int = -1) -> Tuple[str, float]:
+    """The best algorithm and its NRMSE at one budget (default: the largest)."""
+    return table.best_algorithm(column)
+
+
+def format_summary_table(
+    entries: Sequence[Tuple[str, Tuple, str, float]],
+    caption: str = "Best algorithm per label using 5%|V| API calls",
+) -> str:
+    """Render a Tables 23–26 style summary.
+
+    *entries* are ``(dataset, target_pair, best_algorithm, nrmse)`` rows.
+    """
+    header = ["Dataset", "Label", "Best algorithm", "NRMSE"]
+    rows = [
+        [dataset, str(pair), algorithm, f"{value:.3f}"]
+        for dataset, pair, algorithm, value in entries
+    ]
+    lines = [caption]
+    lines.extend(_render_fixed_width([header] + rows))
+    return "\n".join(lines)
+
+
+def format_frequency_series(
+    points: Iterable[FrequencyPoint],
+    caption: str = "NRMSE vs. relative count of target edges",
+) -> str:
+    """Render a Figure 1/2 data series as a text table (one row per pair)."""
+    points = list(points)
+    algorithms: List[str] = []
+    for point in points:
+        for name in point.nrmse_by_algorithm:
+            if name not in algorithms:
+                algorithms.append(name)
+    header = ["Label pair", "F", "F/|E|"] + algorithms
+    rows: List[List[str]] = []
+    for point in points:
+        row = [
+            str(point.target_pair),
+            str(point.true_count),
+            f"{point.relative_count:.6f}",
+        ]
+        for name in algorithms:
+            value = point.nrmse_by_algorithm.get(name)
+            row.append("-" if value is None else f"{value:.3f}")
+        rows.append(row)
+    lines = [caption]
+    lines.extend(_render_fixed_width([header] + rows))
+    return "\n".join(lines)
+
+
+def _best_per_column(table: NRMSETable) -> Dict[int, str]:
+    best: Dict[int, str] = {}
+    for column in range(len(table.sample_fractions)):
+        name, _ = table.best_algorithm(column)
+        best[column] = name
+    return best
+
+
+def _render_fixed_width(rows: Sequence[Sequence[str]]) -> List[str]:
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    for row_number, row in enumerate(rows):
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(row)]
+        lines.append("  ".join(padded).rstrip())
+        if row_number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines
+
+
+__all__ = [
+    "format_nrmse_table",
+    "format_markdown_table",
+    "best_algorithms",
+    "format_summary_table",
+    "format_frequency_series",
+]

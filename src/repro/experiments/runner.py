@@ -1,0 +1,219 @@
+"""Running repeated estimation trials and collecting NRMSE tables.
+
+Two entry points:
+
+* :func:`run_trials` — one (algorithm, budget) cell: repeat the
+  estimation over fresh API wrappers / random streams and summarise.
+* :func:`compare_algorithms` — a whole table: every algorithm × every
+  budget, returning an :class:`NRMSETable` whose rows mirror Tables 4–17
+  of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.statistics import count_target_edges
+from repro.utils.rng import RandomSource, spawn_rngs
+from repro.utils.validation import check_positive_int
+from repro.walks.mixing import recommended_burn_in
+
+from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite
+from repro.experiments.metrics import nrmse
+
+
+@dataclass
+class TrialOutcome:
+    """Summary of repeated estimation runs for one algorithm at one budget."""
+
+    algorithm: str
+    sample_size: int
+    true_count: int
+    estimates: List[float] = field(default_factory=list)
+    api_calls: List[int] = field(default_factory=list)
+
+    @property
+    def repetitions(self) -> int:
+        """Number of independent simulations aggregated."""
+        return len(self.estimates)
+
+    @property
+    def nrmse(self) -> float:
+        """NRMSE of the estimates against the true count."""
+        return nrmse(self.estimates, self.true_count)
+
+    @property
+    def mean_estimate(self) -> float:
+        """Average estimate across repetitions."""
+        if not self.estimates:
+            raise ExperimentError("no estimates recorded")
+        return sum(self.estimates) / len(self.estimates)
+
+    @property
+    def mean_api_calls(self) -> float:
+        """Average charged API calls per repetition (0 when not recorded)."""
+        if not self.api_calls:
+            return 0.0
+        return sum(self.api_calls) / len(self.api_calls)
+
+
+@dataclass
+class NRMSETable:
+    """A reproduced NRMSE table: algorithms × sample sizes.
+
+    ``cells[algorithm][i]`` is the :class:`TrialOutcome` at
+    ``sample_sizes[i]``.
+    """
+
+    dataset: str
+    target_pair: Tuple[Label, Label]
+    true_count: int
+    sample_sizes: List[int]
+    sample_fractions: List[float]
+    cells: Dict[str, List[TrialOutcome]] = field(default_factory=dict)
+
+    def nrmse_row(self, algorithm: str) -> List[float]:
+        """The NRMSE values of one algorithm across all budgets."""
+        return [outcome.nrmse for outcome in self.cells[algorithm]]
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names in insertion (paper table) order."""
+        return list(self.cells)
+
+    def best_algorithm(self, column: int = -1) -> Tuple[str, float]:
+        """The winner (lowest NRMSE) at one budget column; default: the largest."""
+        best_name: Optional[str] = None
+        best_value = math.inf
+        for name, outcomes in self.cells.items():
+            value = outcomes[column].nrmse
+            if value < best_value:
+                best_name, best_value = name, value
+        if best_name is None:
+            raise ExperimentError("the table has no cells")
+        return best_name, best_value
+
+
+def run_trials(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    runner: AlgorithmRunner,
+    algorithm_name: str,
+    sample_size: int,
+    repetitions: int,
+    burn_in: int,
+    seed: RandomSource = None,
+    true_count: Optional[int] = None,
+) -> TrialOutcome:
+    """Repeat one estimation *repetitions* times and summarise.
+
+    Every repetition gets a fresh :class:`RestrictedGraphAPI` (so API
+    calls and caches do not leak across repetitions) and an independent
+    random stream derived from *seed*.
+    """
+    check_positive_int(sample_size, "sample_size")
+    check_positive_int(repetitions, "repetitions")
+    if true_count is None:
+        true_count = count_target_edges(graph, t1, t2)
+    if true_count <= 0:
+        raise ExperimentError(
+            f"the target pair ({t1!r}, {t2!r}) has no target edges; NRMSE is undefined"
+        )
+    outcome = TrialOutcome(
+        algorithm=algorithm_name, sample_size=sample_size, true_count=true_count
+    )
+    for rng in spawn_rngs(seed, repetitions):
+        api = RestrictedGraphAPI(graph)
+        result = runner(api, t1, t2, sample_size, burn_in, rng)
+        outcome.estimates.append(result.estimate)
+        outcome.api_calls.append(api.api_calls)
+    return outcome
+
+
+def compare_algorithms(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    sample_fractions: Sequence[float],
+    repetitions: int,
+    algorithms: Optional[Mapping[str, AlgorithmRunner]] = None,
+    burn_in: Optional[int] = None,
+    seed: RandomSource = 2018,
+    dataset_name: str = "dataset",
+    progress: Optional[Callable[[str, int, float], None]] = None,
+) -> NRMSETable:
+    """Reproduce one NRMSE table: every algorithm at every budget.
+
+    Parameters
+    ----------
+    graph:
+        The labeled graph (full access is needed for the ground truth
+        and, if *burn_in* is omitted, the mixing-time-based burn-in).
+    t1, t2:
+        The target-label pair of the table.
+    sample_fractions:
+        Budgets as fractions of ``|V|`` (the paper: 0.5%–5%).
+    repetitions:
+        Independent simulations per cell (the paper: 200).
+    algorithms:
+        Mapping name -> runner; defaults to the full ten-algorithm suite.
+    burn_in:
+        Walk burn-in; derived from the graph's mixing time when omitted.
+    seed:
+        Master seed; cells get deterministic derived streams.
+    progress:
+        Optional callback ``(algorithm, sample_size, fraction_done)``.
+    """
+    if algorithms is None:
+        algorithms = build_algorithm_suite(graph)
+    if burn_in is None:
+        burn_in = recommended_burn_in(graph, rng=seed)
+    true_count = count_target_edges(graph, t1, t2)
+
+    sample_sizes = [max(1, math.ceil(fraction * graph.num_nodes)) for fraction in sample_fractions]
+    table = NRMSETable(
+        dataset=dataset_name,
+        target_pair=(t1, t2),
+        true_count=true_count,
+        sample_sizes=sample_sizes,
+        sample_fractions=list(sample_fractions),
+    )
+    total_cells = len(algorithms) * len(sample_sizes)
+    done = 0
+    for name, runner in algorithms.items():
+        outcomes: List[TrialOutcome] = []
+        for column, sample_size in enumerate(sample_sizes):
+            cell_seed = _derive_cell_seed(seed, name, column)
+            outcomes.append(
+                run_trials(
+                    graph,
+                    t1,
+                    t2,
+                    runner,
+                    name,
+                    sample_size,
+                    repetitions,
+                    burn_in,
+                    seed=cell_seed,
+                    true_count=true_count,
+                )
+            )
+            done += 1
+            if progress is not None:
+                progress(name, sample_size, done / total_cells)
+        table.cells[name] = outcomes
+    return table
+
+
+def _derive_cell_seed(seed: RandomSource, algorithm: str, column: int) -> int:
+    """Deterministic per-cell seed so tables are reproducible cell-by-cell."""
+    base = seed if isinstance(seed, int) else 0
+    return abs(hash((base, algorithm, column))) % (2**31)
+
+
+__all__ = ["TrialOutcome", "NRMSETable", "run_trials", "compare_algorithms"]

@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's conclusion names the estimation of *other* label-refined
+graph properties — numbers of wedges and triangles restricted by user
+labels — as future work.  :mod:`repro.extensions.labeled_motifs`
+implements that extension with the same machinery (random walks over the
+restricted API plus Hansen–Hurwitz-style reweighting).
+"""
+
+from repro.extensions.labeled_motifs import (
+    count_target_wedges,
+    count_target_triangles,
+    LabeledWedgeEstimator,
+    LabeledTriangleEstimator,
+)
+
+__all__ = [
+    "count_target_wedges",
+    "count_target_triangles",
+    "LabeledWedgeEstimator",
+    "LabeledTriangleEstimator",
+]

@@ -1,0 +1,32 @@
+"""Graph substrate: labeled graphs, restricted OSN access, cleaning and statistics."""
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.api import RestrictedGraphAPI, APICallCounter
+from repro.graph.cleaning import simplify_osn_graph, largest_connected_component
+from repro.graph.line_graph import build_line_graph, LineGraphNode
+from repro.graph.statistics import (
+    GraphSummary,
+    count_target_edges,
+    degree_histogram,
+    label_histogram,
+    target_edge_fraction,
+    target_incident_count,
+    summarize_graph,
+)
+
+__all__ = [
+    "LabeledGraph",
+    "RestrictedGraphAPI",
+    "APICallCounter",
+    "simplify_osn_graph",
+    "largest_connected_component",
+    "build_line_graph",
+    "LineGraphNode",
+    "GraphSummary",
+    "count_target_edges",
+    "degree_histogram",
+    "label_histogram",
+    "target_edge_fraction",
+    "target_incident_count",
+    "summarize_graph",
+]

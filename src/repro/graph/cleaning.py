@@ -1,0 +1,130 @@
+"""Graph cleaning used in the paper's experimental setup (§5.1).
+
+The paper prepares every dataset the same way:
+
+1. drop edge directions (treat the graph as undirected),
+2. drop self-loops and multi-edges,
+3. keep only the largest connected component.
+
+:func:`simplify_osn_graph` performs all three on raw edge lists, and
+:func:`largest_connected_component` extracts the component from an
+existing :class:`LabeledGraph`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import EmptyGraphError
+from repro.graph.labeled_graph import Edge, Label, LabeledGraph, Node
+
+
+def deduplicate_edges(edges: Iterable[Edge]) -> List[Edge]:
+    """Drop self-loops and parallel edges from an edge list.
+
+    Direction is ignored: ``(u, v)`` and ``(v, u)`` count as the same
+    edge and only the first occurrence is kept.
+    """
+    seen: Set[frozenset] = set()
+    result: List[Edge] = []
+    for u, v in edges:
+        if u == v:
+            continue
+        key = frozenset((u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append((u, v))
+    return result
+
+
+def connected_components(graph: LabeledGraph) -> List[Set[Node]]:
+    """Return the connected components of *graph* as sets of nodes.
+
+    Components are returned in descending order of size.  Uses an
+    iterative BFS so very deep components do not hit the recursion limit.
+    """
+    visited: Set[Node] = set()
+    components: List[Set[Node]] = []
+    for start in graph.nodes():
+        if start in visited:
+            continue
+        component: Set[Node] = {start}
+        visited.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in graph.neighbors(node):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_connected_component(graph: LabeledGraph) -> LabeledGraph:
+    """Return a new graph restricted to the largest connected component."""
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("cannot take the largest component of an empty graph")
+    components = connected_components(graph)
+    keep = components[0]
+    if len(keep) == graph.num_nodes:
+        return graph.copy()
+    return induced_subgraph(graph, keep)
+
+
+def induced_subgraph(graph: LabeledGraph, nodes: Iterable[Node]) -> LabeledGraph:
+    """Return the subgraph induced by *nodes*, preserving labels."""
+    keep = set(nodes)
+    result = LabeledGraph()
+    for node in keep:
+        result.add_node(node, graph.labels_of(node))
+    for node in keep:
+        for neighbor in graph.neighbors(node):
+            if neighbor in keep and not result.has_edge(node, neighbor):
+                result.add_edge(node, neighbor)
+    return result
+
+
+def is_connected(graph: LabeledGraph) -> bool:
+    """Return whether *graph* is connected (empty graphs are not)."""
+    if graph.num_nodes == 0:
+        return False
+    components = connected_components(graph)
+    return len(components[0]) == graph.num_nodes
+
+
+def simplify_osn_graph(
+    edges: Iterable[Edge],
+    labels: Optional[Dict[Node, Iterable[Label]]] = None,
+    keep_largest_component: bool = True,
+) -> LabeledGraph:
+    """Build a cleaned :class:`LabeledGraph` from a raw OSN edge list.
+
+    Mirrors the paper's preprocessing: symmetrise, drop self-loops and
+    multi-edges, and optionally keep only the largest connected
+    component.  Nodes that appear only in *labels* but not in any edge
+    are dropped (isolated nodes can never be reached by a random walk).
+    """
+    cleaned = deduplicate_edges(edges)
+    graph = LabeledGraph.from_edges(cleaned, labels=None)
+    if labels:
+        for node, node_labels in labels.items():
+            if graph.has_node(node):
+                graph.set_labels(node, node_labels)
+    if keep_largest_component and graph.num_nodes > 0:
+        graph = largest_connected_component(graph)
+    return graph
+
+
+__all__ = [
+    "deduplicate_edges",
+    "connected_components",
+    "largest_connected_component",
+    "induced_subgraph",
+    "is_connected",
+    "simplify_osn_graph",
+]

@@ -1,0 +1,182 @@
+"""Loaders and writers for on-disk graph formats.
+
+The paper uses SNAP and KONECT datasets (edge lists) together with label
+information scraped from user profiles.  This module parses
+
+* SNAP-style edge lists (whitespace separated ``u v`` pairs, ``#``
+  comments) via :func:`load_edge_list`,
+* node-label files (``node label1 label2 ...`` per line) via
+  :func:`load_node_labels`,
+* a simple combined TSV format written by :func:`save_labeled_graph` /
+  read by :func:`load_labeled_graph`, used by the dataset cache.
+
+All loaders funnel through
+:func:`repro.graph.cleaning.simplify_osn_graph`, so anything loaded from
+disk arrives as the paper prepares it: undirected, simple, largest
+connected component.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.exceptions import DatasetError
+from repro.graph.cleaning import simplify_osn_graph
+from repro.graph.labeled_graph import Edge, Label, LabeledGraph, Node
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike) -> io.TextIOBase:
+    """Open a possibly gzip-compressed text file for reading."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"file not found: {path}")
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_edge_list(path: PathLike, comment: str = "#") -> Iterator[Edge]:
+    """Yield ``(u, v)`` integer pairs from a SNAP-style edge-list file."""
+    with _open_text(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected at least two columns, got {stripped!r}"
+                )
+            try:
+                yield (int(parts[0]), int(parts[1]))
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: node ids must be integers, got {stripped!r}"
+                ) from exc
+
+
+def load_edge_list(
+    path: PathLike,
+    labels: Optional[Dict[Node, Iterable[Label]]] = None,
+    keep_largest_component: bool = True,
+) -> LabeledGraph:
+    """Load a SNAP-style edge list into a cleaned :class:`LabeledGraph`."""
+    return simplify_osn_graph(
+        iter_edge_list(path), labels=labels, keep_largest_component=keep_largest_component
+    )
+
+
+def load_node_labels(path: PathLike, comment: str = "#") -> Dict[Node, List[Label]]:
+    """Load node labels from a ``node label [label ...]`` text file.
+
+    Labels are parsed as integers when possible (the paper encodes all
+    labels as integers), otherwise kept as strings.
+    """
+    result: Dict[Node, List[Label]] = {}
+    with _open_text(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise DatasetError(
+                    f"{path}:{line_number}: expected 'node label...', got {stripped!r}"
+                )
+            try:
+                node: Node = int(parts[0])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{line_number}: node id must be an integer"
+                ) from exc
+            labels: List[Label] = []
+            for token in parts[1:]:
+                try:
+                    labels.append(int(token))
+                except ValueError:
+                    labels.append(token)
+            result[node] = labels
+    return result
+
+
+def load_snap_dataset(
+    edge_path: PathLike,
+    label_path: Optional[PathLike] = None,
+    keep_largest_component: bool = True,
+) -> LabeledGraph:
+    """Load a SNAP dataset: an edge list plus an optional label file."""
+    labels = load_node_labels(label_path) if label_path is not None else None
+    return load_edge_list(
+        edge_path, labels=labels, keep_largest_component=keep_largest_component
+    )
+
+
+def save_labeled_graph(graph: LabeledGraph, path: PathLike) -> None:
+    """Write *graph* to a single TSV file (edges then labels).
+
+    Format::
+
+        # repro labeled graph v1
+        E <u> <v>
+        L <node> <label> [<label> ...]
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro labeled graph v1\n")
+        for u, v in graph.edges():
+            handle.write(f"E\t{u}\t{v}\n")
+        for node in graph.nodes():
+            labels = sorted(graph.labels_of(node), key=repr)
+            if labels:
+                rendered = "\t".join(str(label) for label in labels)
+                handle.write(f"L\t{node}\t{rendered}\n")
+
+
+def load_labeled_graph(path: PathLike) -> LabeledGraph:
+    """Read a graph written by :func:`save_labeled_graph`."""
+    edges: List[Edge] = []
+    labels: Dict[Node, List[Label]] = {}
+    with _open_text(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split("\t")
+            kind = parts[0]
+            if kind == "E":
+                if len(parts) != 3:
+                    raise DatasetError(f"{path}:{line_number}: malformed edge line")
+                edges.append((int(parts[1]), int(parts[2])))
+            elif kind == "L":
+                if len(parts) < 3:
+                    raise DatasetError(f"{path}:{line_number}: malformed label line")
+                node = int(parts[1])
+                parsed: List[Label] = []
+                for token in parts[2:]:
+                    try:
+                        parsed.append(int(token))
+                    except ValueError:
+                        parsed.append(token)
+                labels[node] = parsed
+            else:
+                raise DatasetError(
+                    f"{path}:{line_number}: unknown record type {kind!r}"
+                )
+    graph = LabeledGraph.from_edges(edges, labels)
+    return graph
+
+
+__all__ = [
+    "iter_edge_list",
+    "load_edge_list",
+    "load_node_labels",
+    "load_snap_dataset",
+    "save_labeled_graph",
+    "load_labeled_graph",
+]

@@ -1,0 +1,335 @@
+"""The labeled, undirected graph that models an online social network.
+
+:class:`LabeledGraph` is the in-memory substrate that every other piece
+of the library is built on.  It is intentionally simple:
+
+* undirected, no self-loops, no parallel edges (the paper removes all of
+  these before running anything, see §5.1 of the paper),
+* integer-or-hashable node identifiers,
+* a *set of labels per node* (a user's gender, location, degree bucket,
+  ... anything hashable),
+* O(1) neighbor lookup, O(1) degree lookup, O(1) membership tests.
+
+The restricted-access model used in the paper (neighbor lists behind an
+API) is layered on top by :class:`repro.graph.api.RestrictedGraphAPI`;
+algorithms in :mod:`repro.core` only ever talk to that wrapper, never to
+this class directly, which keeps the "no full access" assumption honest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.exceptions import EmptyGraphError, GraphError, LabelError, NodeNotFoundError
+
+Node = Hashable
+Label = Hashable
+Edge = Tuple[Node, Node]
+
+
+class LabeledGraph:
+    """An undirected simple graph whose nodes carry sets of labels.
+
+    Parameters
+    ----------
+    directed_input:
+        Kept for documentation purposes only; the graph itself is always
+        undirected.  Directed edge lists should be symmetrised by the
+        loaders / cleaners before reaching this class.
+    """
+
+    def __init__(self) -> None:
+        self._adj: Dict[Node, Set[Node]] = {}
+        self._labels: Dict[Node, Set[Label]] = {}
+        self._num_edges: int = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, labels: Optional[Iterable[Label]] = None) -> None:
+        """Add *node* (idempotent) and attach any *labels* to it."""
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._labels[node] = set()
+        if labels is not None:
+            self._labels[node].update(labels)
+
+    def add_edge(self, u: Node, v: Node) -> bool:
+        """Add the undirected edge ``(u, v)``.
+
+        Self-loops are rejected with :class:`GraphError`; duplicate edges
+        are ignored.  Returns ``True`` if a new edge was inserted.
+        """
+        if u == v:
+            raise GraphError(f"self-loops are not allowed (node {u!r})")
+        self.add_node(u)
+        self.add_node(v)
+        if v in self._adj[u]:
+            return False
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        return True
+
+    def add_edges_from(self, edges: Iterable[Edge]) -> int:
+        """Add many edges; returns how many were actually new."""
+        added = 0
+        for u, v in edges:
+            if self.add_edge(u, v):
+                added += 1
+        return added
+
+    def set_labels(self, node: Node, labels: Iterable[Label]) -> None:
+        """Replace the label set of *node*."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        self._labels[node] = set(labels)
+
+    def add_label(self, node: Node, label: Label) -> None:
+        """Attach a single *label* to *node*."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        self._labels[node].add(label)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove *node* and all its incident edges."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+            self._num_edges -= 1
+        del self._adj[node]
+        del self._labels[node]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return self._num_edges
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._adj)
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over node identifiers."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[Node] = set()
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def has_node(self, node: Node) -> bool:
+        """Return whether *node* is present."""
+        return node in self._adj
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Return whether the undirected edge ``(u, v)`` is present."""
+        return u in self._adj and v in self._adj[u]
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Return the list of neighbors of *node* (a fresh list)."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return list(self._adj[node])
+
+    def neighbor_set(self, node: Node) -> FrozenSet[Node]:
+        """Return the neighbors of *node* as a frozen set (no copy of members)."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return frozenset(self._adj[node])
+
+    def degree(self, node: Node) -> int:
+        """Return the degree of *node*."""
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        return len(self._adj[node])
+
+    def labels_of(self, node: Node) -> FrozenSet[Label]:
+        """Return the label set of *node*."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return frozenset(self._labels[node])
+
+    def has_label(self, node: Node, label: Label) -> bool:
+        """Return whether *node* carries *label*."""
+        if node not in self._labels:
+            raise NodeNotFoundError(node)
+        return label in self._labels[node]
+
+    def nodes_with_label(self, label: Label) -> List[Node]:
+        """Return all nodes carrying *label* (linear scan)."""
+        return [node for node, labels in self._labels.items() if label in labels]
+
+    def all_labels(self) -> Set[Label]:
+        """Return the union of every node's label set."""
+        result: Set[Label] = set()
+        for labels in self._labels.values():
+            result.update(labels)
+        return result
+
+    def is_target_edge(self, u: Node, v: Node, t1: Label, t2: Label) -> bool:
+        """Paper §3: edge ``(u, v)`` is a *target edge* for ``(t1, t2)``.
+
+        True when one endpoint has ``t1`` and the other has ``t2``
+        (either orientation).  Raises if the edge does not exist.
+        """
+        if not self.has_edge(u, v):
+            from repro.exceptions import EdgeNotFoundError
+
+            raise EdgeNotFoundError(u, v)
+        lu = self._labels[u]
+        lv = self._labels[v]
+        return (t1 in lu and t2 in lv) or (t2 in lu and t1 in lv)
+
+    def target_edges_incident_to(self, node: Node, t1: Label, t2: Label) -> int:
+        """Paper §4.2: ``T(u)``, the number of target edges incident to *node*.
+
+        This is what NeighborExploration records after exploring all the
+        neighbors of a sampled node that carries a target label.
+        """
+        if node not in self._adj:
+            raise NodeNotFoundError(node)
+        node_labels = self._labels[node]
+        has_t1 = t1 in node_labels
+        has_t2 = t2 in node_labels
+        if not (has_t1 or has_t2):
+            return 0
+        count = 0
+        for neighbor in self._adj[node]:
+            neighbor_labels = self._labels[neighbor]
+            if has_t1 and t2 in neighbor_labels:
+                count += 1
+            elif has_t2 and t1 in neighbor_labels:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # degree aggregates
+    # ------------------------------------------------------------------
+    def total_degree(self) -> int:
+        """Return ``sum(d(u)) = 2 |E|``."""
+        return 2 * self._num_edges
+
+    def max_degree(self) -> int:
+        """Return the maximum degree, 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(neighbors) for neighbors in self._adj.values())
+
+    def min_degree(self) -> int:
+        """Return the minimum degree, 0 for an empty graph."""
+        if not self._adj:
+            return 0
+        return min(len(neighbors) for neighbors in self._adj.values())
+
+    def average_degree(self) -> float:
+        """Return the average degree ``2|E| / |V|``."""
+        if not self._adj:
+            raise EmptyGraphError("average degree of an empty graph is undefined")
+        return self.total_degree() / self.num_nodes
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_networkx(self) -> nx.Graph:
+        """Export to a :class:`networkx.Graph` with a ``labels`` node attribute."""
+        graph = nx.Graph()
+        for node in self._adj:
+            graph.add_node(node, labels=frozenset(self._labels[node]))
+        graph.add_edges_from(self.edges())
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, label_attr: str = "labels") -> "LabeledGraph":
+        """Build from a :class:`networkx.Graph`.
+
+        Node labels are read from the *label_attr* node attribute, which
+        may hold a single label or an iterable of labels.  Directed
+        graphs are symmetrised; self-loops are dropped.
+        """
+        result = cls()
+        undirected = graph.to_undirected() if graph.is_directed() else graph
+        for node, data in undirected.nodes(data=True):
+            raw = data.get(label_attr)
+            if raw is None:
+                labels: Iterable[Label] = ()
+            elif isinstance(raw, (str, bytes)) or not isinstance(raw, Iterable):
+                labels = (raw,)
+            else:
+                labels = raw
+            result.add_node(node, labels)
+        for u, v in undirected.edges():
+            if u != v:
+                result.add_edge(u, v)
+        return result
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Edge],
+        labels: Optional[Dict[Node, Iterable[Label]]] = None,
+    ) -> "LabeledGraph":
+        """Build from an edge list plus an optional ``node -> labels`` mapping."""
+        result = cls()
+        for u, v in edges:
+            if u == v:
+                continue
+            result.add_edge(u, v)
+        if labels:
+            for node, node_labels in labels.items():
+                if node not in result:
+                    result.add_node(node)
+                result.set_labels(node, node_labels)
+        return result
+
+    def copy(self) -> "LabeledGraph":
+        """Return a deep-enough copy (adjacency and label sets are copied)."""
+        clone = LabeledGraph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._labels = {node: set(labels) for node, labels in self._labels.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return (
+            f"LabeledGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges}, "
+            f"num_distinct_labels={len(self.all_labels())})"
+        )
+
+
+def validate_target_labels(graph: LabeledGraph, t1: Label, t2: Label) -> None:
+    """Raise :class:`LabelError` when neither target label appears in *graph*.
+
+    The estimators work fine when a label is absent (the true count is
+    zero), but asking for labels that appear nowhere is almost always a
+    caller mistake, so the high-level pipeline validates eagerly.
+    """
+    all_labels = graph.all_labels()
+    missing = [label for label in (t1, t2) if label not in all_labels]
+    if len(missing) == 2:
+        raise LabelError(
+            f"neither target label {t1!r} nor {t2!r} appears on any node in the graph"
+        )
+
+
+__all__ = ["LabeledGraph", "Node", "Label", "Edge", "validate_target_labels"]

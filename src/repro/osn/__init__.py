@@ -1,0 +1,15 @@
+"""OSN-specific helpers that back the paper's prior-knowledge assumption."""
+
+from repro.osn.size_estimation import (
+    SizeEstimate,
+    estimate_graph_size,
+    estimate_num_edges,
+    estimate_num_nodes,
+)
+
+__all__ = [
+    "SizeEstimate",
+    "estimate_graph_size",
+    "estimate_num_edges",
+    "estimate_num_nodes",
+]

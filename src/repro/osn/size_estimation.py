@@ -1,0 +1,127 @@
+"""Random-walk estimation of ``|V|`` and ``|E|`` (the paper's prior knowledge).
+
+The problem definition (paper §3, assumption 2) takes ``|V|`` and
+``|E|`` as known, pointing to Katzir, Liberty & Somekh (WWW 2011) and
+the paper's own earlier work for how to estimate them when they are not
+published.  This module implements those estimators so the library is
+self-contained end-to-end:
+
+* ``|V|`` — Katzir's collision estimator.  With degree-biased
+  random-walk samples ``u_1 … u_k``,
+
+  .. math::
+
+     \\hat{|V|} = \\frac{(Σ_i d_{u_i}) · (Σ_i 1/d_{u_i})}{2 C}
+
+  where ``C`` counts sample pairs ``i < j`` that hit the same node.
+* ``|E|`` — Hardiman–Katzir style: the walk's harmonic-mean identity
+  ``E[1/d] = |V| / 2|E|`` gives
+  ``\\hat{|E|} = k · \\hat{|V|} / (2 Σ_i 1/d_{u_i})``.
+
+Both estimators consume the same walk, so one crawl yields both priors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import EstimationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.walks.engine import RandomWalk, WalkResult
+from repro.walks.kernels import SimpleRandomWalkKernel
+
+
+@dataclass(frozen=True)
+class SizeEstimate:
+    """Joint estimate of ``|V|`` and ``|E|`` from one random-walk crawl."""
+
+    num_nodes: float
+    num_edges: float
+    collisions: int
+    sample_size: int
+    api_calls: int
+
+
+def _collision_count(result: WalkResult) -> int:
+    """Number of unordered sample pairs that landed on the same node."""
+    counts = Counter(result.nodes)
+    return sum(c * (c - 1) // 2 for c in counts.values())
+
+
+def estimate_num_nodes(result: WalkResult) -> float:
+    """Katzir's collision estimator of ``|V|`` from walk samples."""
+    if len(result) < 2:
+        raise EstimationError("node-count estimation needs at least two samples")
+    collisions = _collision_count(result)
+    if collisions == 0:
+        raise EstimationError(
+            "no collisions observed; increase the walk length to estimate |V|"
+        )
+    sum_degree = float(sum(result.degrees))
+    sum_inverse = float(sum(1.0 / d for d in result.degrees))
+    return sum_degree * sum_inverse / (2.0 * collisions)
+
+
+def estimate_num_edges(result: WalkResult, num_nodes: Optional[float] = None) -> float:
+    """Estimate ``|E|`` from walk samples (and an ``|V|`` estimate).
+
+    When *num_nodes* is omitted it is estimated from the same walk via
+    :func:`estimate_num_nodes`.
+    """
+    if len(result) == 0:
+        raise EstimationError("edge-count estimation needs at least one sample")
+    if num_nodes is None:
+        num_nodes = estimate_num_nodes(result)
+    sum_inverse = float(sum(1.0 / d for d in result.degrees))
+    if sum_inverse == 0:
+        raise EstimationError("degenerate walk: every sampled degree was infinite")
+    return len(result) * num_nodes / (2.0 * sum_inverse)
+
+
+def estimate_graph_size(
+    api: RestrictedGraphAPI,
+    sample_size: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+) -> SizeEstimate:
+    """Crawl the OSN once and estimate both ``|V|`` and ``|E|``.
+
+    Parameters
+    ----------
+    api:
+        Restricted neighbor-list access.
+    sample_size:
+        Number of post-burn-in walk steps.  Collisions are rare on large
+        graphs, so this needs to be on the order of ``sqrt(|V|)`` or more
+        for a stable ``|V|`` estimate (birthday bound).
+    burn_in:
+        Walk burn-in before collecting.
+    rng:
+        Seed or generator.
+    """
+    check_positive_int(sample_size, "sample_size")
+    check_non_negative_int(burn_in, "burn_in")
+    generator = ensure_rng(rng)
+    walk = RandomWalk(api, SimpleRandomWalkKernel(), burn_in=burn_in, rng=generator)
+    result = walk.run(sample_size)
+    num_nodes = estimate_num_nodes(result)
+    num_edges = estimate_num_edges(result, num_nodes)
+    return SizeEstimate(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        collisions=_collision_count(result),
+        sample_size=sample_size,
+        api_calls=api.api_calls,
+    )
+
+
+__all__ = [
+    "SizeEstimate",
+    "estimate_num_nodes",
+    "estimate_num_edges",
+    "estimate_graph_size",
+]

@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, validation helpers and logging."""
+
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,46 @@
+"""Logging helpers.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger.  :func:`configure_logging` is a convenience for scripts,
+examples and the CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_LIBRARY_LOGGER = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger below the library's ``repro`` namespace."""
+    if name is None or name == _LIBRARY_LOGGER:
+        return logging.getLogger(_LIBRARY_LOGGER)
+    if name.startswith(_LIBRARY_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_LIBRARY_LOGGER}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a simple stream handler to the library logger.
+
+    Safe to call repeatedly: existing handlers installed by this function
+    are replaced rather than duplicated.
+    """
+    logger = logging.getLogger(_LIBRARY_LOGGER)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+    )
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger
+
+
+__all__ = ["get_logger", "configure_logging"]

@@ -1,0 +1,111 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts either ``None`` (fresh
+entropy), an integer seed, or an existing :class:`random.Random` /
+:class:`numpy.random.Generator` instance.  :func:`ensure_rng` normalises
+all of these into a :class:`random.Random`, which is what the samplers
+and walk engines use internally (the per-step work is dominated by
+Python-level adjacency lookups, so the stdlib generator is the right
+tool; numpy generators are converted by drawing a seed from them).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+RandomSource = Union[None, int, random.Random, np.random.Generator]
+
+_MAX_SEED = 2**63 - 1
+
+
+def ensure_rng(rng: RandomSource = None) -> random.Random:
+    """Return a :class:`random.Random` built from *rng*.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for fresh OS entropy, an ``int`` seed, an existing
+        :class:`random.Random` (returned unchanged), or a
+        :class:`numpy.random.Generator` (a child seed is drawn from it).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return random.Random(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return random.Random(int(rng.integers(0, _MAX_SEED)))
+    raise TypeError(
+        "rng must be None, an int seed, random.Random or numpy Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_rngs(rng: RandomSource, count: int) -> list[random.Random]:
+    """Derive *count* independent generators from a single source.
+
+    The children are seeded from draws of the parent, so a fixed parent
+    seed yields a reproducible family of streams (one per repetition of
+    an experiment, for example).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return [random.Random(parent.getrandbits(63)) for _ in range(count)]
+
+
+def ensure_numpy_rng(rng: RandomSource = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` built from *rng*."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, random.Random):
+        return np.random.default_rng(rng.getrandbits(63))
+    raise TypeError(
+        "rng must be None, an int seed, random.Random or numpy Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def choice_weighted(rng: random.Random, items: Iterable, weights: Iterable[float]):
+    """Pick one item proportionally to *weights* using *rng*.
+
+    A small, allocation-free alternative to ``random.choices`` for the
+    hot loops of the walk engines (``random.choices`` always builds a
+    list of length *k*).
+    """
+    items = list(items)
+    weights = list(weights)
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("sum of weights must be positive")
+    threshold = rng.random() * total
+    acc = 0.0
+    last = items[-1]
+    for item, weight in zip(items, weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        acc += weight
+        if acc >= threshold:
+            return item
+    return last
+
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "ensure_numpy_rng",
+    "spawn_rngs",
+    "choice_weighted",
+]

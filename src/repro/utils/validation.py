@@ -1,0 +1,95 @@
+"""Small argument-validation helpers used across the package.
+
+Each helper raises :class:`repro.exceptions.ConfigurationError` with a
+message that names the offending parameter, so call sites stay compact
+while error messages stay actionable.
+"""
+
+from __future__ import annotations
+
+from numbers import Integral, Real
+
+from repro.exceptions import ConfigurationError
+
+
+def check_positive_int(value, name: str) -> int:
+    """Validate that *value* is an integer strictly greater than zero."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_non_negative_int(value, name: str) -> int:
+    """Validate that *value* is an integer greater than or equal to zero."""
+    if not isinstance(value, Integral) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return int(value)
+
+
+def check_positive(value, name: str) -> float:
+    """Validate that *value* is a real number strictly greater than zero."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def check_non_negative(value, name: str) -> float:
+    """Validate that *value* is a real number greater than or equal to zero."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return float(value)
+
+
+def check_probability(value, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+    return float(value)
+
+
+def check_fraction(value, name: str) -> float:
+    """Validate that *value* lies in the half-open interval (0, 1]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value}")
+    return float(value)
+
+
+def check_in_range(value, name: str, low: float, high: float) -> float:
+    """Validate that *value* lies in the closed interval [*low*, *high*]."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}")
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be in [{low}, {high}], got {value}")
+    return float(value)
+
+
+def check_choice(value, name: str, choices) -> object:
+    """Validate that *value* is one of *choices*."""
+    if value not in choices:
+        allowed = ", ".join(repr(c) for c in choices)
+        raise ConfigurationError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+__all__ = [
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+    "check_in_range",
+    "check_choice",
+]

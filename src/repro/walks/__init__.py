@@ -1,0 +1,40 @@
+"""Random-walk engines, transition kernels, mixing-time and thinning utilities."""
+
+from repro.walks.engine import RandomWalk, WalkResult, NeighborProvider
+from repro.walks.kernels import (
+    TransitionKernel,
+    SimpleRandomWalkKernel,
+    NonBacktrackingKernel,
+    MetropolisHastingsKernel,
+    MaximumDegreeKernel,
+    RejectionControlledMHKernel,
+    GeneralMaximumDegreeKernel,
+)
+from repro.walks.mixing import (
+    exact_mixing_time,
+    spectral_mixing_bound,
+    total_variation_distance,
+    transition_matrix,
+    stationary_distribution,
+)
+from repro.walks.thinning import thin_indices, thinning_interval
+
+__all__ = [
+    "RandomWalk",
+    "WalkResult",
+    "NeighborProvider",
+    "TransitionKernel",
+    "SimpleRandomWalkKernel",
+    "NonBacktrackingKernel",
+    "MetropolisHastingsKernel",
+    "MaximumDegreeKernel",
+    "RejectionControlledMHKernel",
+    "GeneralMaximumDegreeKernel",
+    "exact_mixing_time",
+    "spectral_mixing_bound",
+    "total_variation_distance",
+    "transition_matrix",
+    "stationary_distribution",
+    "thin_indices",
+    "thinning_interval",
+]

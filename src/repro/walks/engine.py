@@ -1,0 +1,188 @@
+"""The random-walk engine.
+
+A walk is the combination of
+
+* a *neighbor provider* — anything with ``neighbors(node)``,
+  ``degree(node)`` and ``random_node(rng)``; in practice either
+  :class:`repro.graph.api.RestrictedGraphAPI` (walks on ``G``) or
+  :class:`repro.graph.line_graph.LineGraphAPI` (walks on ``G'``),
+* a *transition kernel* — how the next node is chosen from the current
+  one (:mod:`repro.walks.kernels`),
+* burn-in and sample-collection schedules.
+
+The engine is deliberately agnostic of what the samples are used for;
+the samplers in :mod:`repro.core.samplers` and the baselines in
+:mod:`repro.baselines` layer their estimator-specific bookkeeping on
+top of :class:`WalkResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, Hashable, List, Optional, Protocol, Sequence, Tuple, TypeVar
+
+from repro.exceptions import WalkError
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+NodeT = TypeVar("NodeT", bound=Hashable)
+
+
+class NeighborProvider(Protocol):
+    """Minimal neighbor-list access required by the walk engine."""
+
+    def neighbors(self, node):  # pragma: no cover - protocol definition
+        ...
+
+    def degree(self, node):  # pragma: no cover - protocol definition
+        ...
+
+    def random_node(self, rng=None):  # pragma: no cover - protocol definition
+        ...
+
+
+@dataclass
+class WalkResult(Generic[NodeT]):
+    """Everything a sampler might need from one random-walk run.
+
+    Attributes
+    ----------
+    nodes:
+        The node visited at each *collected* step, in order (burn-in
+        steps are excluded).
+    degrees:
+        Degree of each collected node (cached so estimators do not pay
+        another API call).
+    edges:
+        The edge traversed to *arrive* at each collected step, i.e.
+        ``edges[i] == (nodes[i-1 or burn-in tail], nodes[i])``.  Entry
+        ``i`` is ``None`` when the kernel self-looped at that step.
+    burn_in:
+        Number of steps discarded before collection started.
+    start_node:
+        Where the walk started.
+    """
+
+    nodes: List[NodeT] = field(default_factory=list)
+    degrees: List[int] = field(default_factory=list)
+    edges: List[Optional[Tuple[NodeT, NodeT]]] = field(default_factory=list)
+    burn_in: int = 0
+    start_node: Optional[NodeT] = None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.degrees) or len(self.nodes) != len(self.edges):
+            raise WalkError("nodes, degrees and edges must have equal lengths")
+
+    def distinct_nodes(self) -> set:
+        """Distinct nodes among the collected steps."""
+        return set(self.nodes)
+
+    def traversed_edges(self) -> List[Tuple[NodeT, NodeT]]:
+        """Collected edges, skipping self-loop steps."""
+        return [edge for edge in self.edges if edge is not None]
+
+
+class RandomWalk:
+    """Run a transition kernel over a neighbor provider.
+
+    Parameters
+    ----------
+    provider:
+        Graph access (restricted API or line-graph view).
+    kernel:
+        A :class:`repro.walks.kernels.TransitionKernel`.
+    burn_in:
+        Number of steps to discard before collecting samples.  The paper
+        sets this to (an upper bound on) the mixing time of each dataset;
+        see :mod:`repro.walks.mixing`.
+    rng:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        provider: NeighborProvider,
+        kernel,
+        burn_in: int = 0,
+        rng: RandomSource = None,
+    ) -> None:
+        self.provider = provider
+        self.kernel = kernel
+        self.burn_in = check_non_negative_int(burn_in, "burn_in")
+        self._rng = ensure_rng(rng)
+
+    def run(
+        self,
+        num_samples: int,
+        start_node=None,
+        collect_every: int = 1,
+    ) -> WalkResult:
+        """Walk until *num_samples* post-burn-in samples are collected.
+
+        Parameters
+        ----------
+        num_samples:
+            Number of collected steps (``k`` in the paper).
+        start_node:
+            Optional explicit starting node; a random one is drawn from
+            the provider otherwise.
+        collect_every:
+            Collect one sample every this many steps after burn-in.  The
+            default of 1 matches the paper's single-walk implementation
+            (consecutive, dependent samples); Horvitz–Thompson estimators
+            thin afterwards via :mod:`repro.walks.thinning` instead.
+        """
+        check_non_negative_int(num_samples, "num_samples")
+        check_positive_int(collect_every, "collect_every")
+        if start_node is None:
+            start_node = self.provider.random_node(self._rng)
+
+        current = start_node
+        kernel_state = self.kernel.initial_state(self.provider, current, self._rng)
+
+        # Burn-in: advance without recording.
+        for _ in range(self.burn_in):
+            current, kernel_state = self.kernel.step(
+                self.provider, current, kernel_state, self._rng
+            )
+
+        result = WalkResult(burn_in=self.burn_in, start_node=start_node)
+        collected = 0
+        step_in_cycle = 0
+        previous = current
+        while collected < num_samples:
+            nxt, kernel_state = self.kernel.step(
+                self.provider, current, kernel_state, self._rng
+            )
+            step_in_cycle += 1
+            previous, current = current, nxt
+            if step_in_cycle >= collect_every:
+                step_in_cycle = 0
+                edge = None if current == previous else (previous, current)
+                result.nodes.append(current)
+                result.degrees.append(self.provider.degree(current))
+                result.edges.append(edge)
+                collected += 1
+        return result
+
+    def run_independent(
+        self,
+        num_walks: int,
+        samples_per_walk: int = 1,
+    ) -> List[WalkResult]:
+        """Run *num_walks* independent walks (each with its own burn-in).
+
+        This is the naive implementation sketched in Algorithm 1 of the
+        paper: every sample costs a full burn-in.  It exists for the
+        single-walk-vs-independent-walks ablation; the production path is
+        :meth:`run`.
+        """
+        check_positive_int(num_walks, "num_walks")
+        check_positive_int(samples_per_walk, "samples_per_walk")
+        return [self.run(samples_per_walk) for _ in range(num_walks)]
+
+
+__all__ = ["RandomWalk", "WalkResult", "NeighborProvider"]

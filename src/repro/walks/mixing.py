@@ -1,0 +1,260 @@
+"""Mixing-time machinery (paper §5.1, "Mixing Time").
+
+The paper defines the mixing time parameterised by a total-variation
+threshold ``ε`` as
+
+.. math::
+
+   T(ε) = \\max_i \\min\\{ t : \\tfrac12 \\sum_u |π(u) − [π^{(i)} P^t](u)| < ε \\}
+
+where ``P`` is the transition matrix of the simple random walk and
+``π`` its stationary distribution (``π(u) = d(u)/2|E|``).  This module
+computes
+
+* :func:`exact_mixing_time` — the definition above, by power-iterating
+  indicator distributions (optionally over a subset of start nodes for
+  large graphs),
+* :func:`spectral_mixing_bound` — the classical bound
+  ``T(ε) ≤ log(1/(ε·π_min)) / (1−λ₂)`` from the spectral gap, cheap
+  enough for the bigger datasets,
+* helpers for transition matrices, stationary distributions and
+  total-variation distance that the tests and benches reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EmptyGraphError, MixingTimeError
+from repro.graph.labeled_graph import LabeledGraph, Node
+from repro.utils.validation import check_positive, check_positive_int
+
+
+def node_index(graph: LabeledGraph) -> Dict[Node, int]:
+    """Deterministic node -> dense index mapping (sorted by repr)."""
+    return {node: index for index, node in enumerate(sorted(graph.nodes(), key=repr))}
+
+
+def transition_matrix(
+    graph: LabeledGraph, index: Optional[Dict[Node, int]] = None
+) -> np.ndarray:
+    """Dense row-stochastic transition matrix of the simple random walk."""
+    if graph.num_nodes == 0:
+        raise EmptyGraphError("transition matrix of an empty graph is undefined")
+    if index is None:
+        index = node_index(graph)
+    size = len(index)
+    matrix = np.zeros((size, size), dtype=float)
+    for node, i in index.items():
+        neighbors = graph.neighbors(node)
+        if not neighbors:
+            # Isolated nodes would make the chain non-ergodic; the cleaning
+            # step removes them, but be explicit for raw graphs.
+            matrix[i, i] = 1.0
+            continue
+        weight = 1.0 / len(neighbors)
+        for neighbor in neighbors:
+            matrix[i, index[neighbor]] = weight
+    return matrix
+
+
+def stationary_distribution(
+    graph: LabeledGraph, index: Optional[Dict[Node, int]] = None
+) -> np.ndarray:
+    """Stationary distribution of the simple walk: ``π(u) = d(u) / 2|E|``."""
+    if graph.num_edges == 0:
+        raise EmptyGraphError("stationary distribution needs at least one edge")
+    if index is None:
+        index = node_index(graph)
+    pi = np.zeros(len(index), dtype=float)
+    total = 2.0 * graph.num_edges
+    for node, i in index.items():
+        pi[i] = graph.degree(node) / total
+    return pi
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``½ Σ |p − q|`` between two distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"distributions have different shapes: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def mixing_time_from_node(
+    matrix: np.ndarray,
+    pi: np.ndarray,
+    start_index: int,
+    epsilon: float,
+    max_steps: int,
+) -> int:
+    """Steps needed for the walk started at *start_index* to come ε-close to π."""
+    size = matrix.shape[0]
+    distribution = np.zeros(size, dtype=float)
+    distribution[start_index] = 1.0
+    for step in range(1, max_steps + 1):
+        distribution = distribution @ matrix
+        if total_variation_distance(distribution, pi) < epsilon:
+            return step
+    raise MixingTimeError(
+        f"walk from node index {start_index} did not mix within {max_steps} steps "
+        f"(epsilon={epsilon})"
+    )
+
+
+def exact_mixing_time(
+    graph: LabeledGraph,
+    epsilon: float = 1e-3,
+    max_steps: int = 10_000,
+    start_nodes: Optional[Iterable[Node]] = None,
+) -> int:
+    """Mixing time ``T(ε)`` by the paper's definition.
+
+    Parameters
+    ----------
+    graph:
+        Must be connected and non-bipartite for the chain to converge;
+        the synthetic OSN datasets are (triangles abound).
+    epsilon:
+        Total-variation threshold; the paper uses ``1e-3``.
+    max_steps:
+        Safety cap; exceeded raises :class:`MixingTimeError`.
+    start_nodes:
+        Restrict the maximisation to these start nodes.  The paper's
+        definition maximises over *all* nodes, which is O(|V|²) memory /
+        O(|V|² · T) time; for graphs beyond a few thousand nodes pass a
+        sample of start nodes (the maximum over a sample is a lower bound
+        but tracks the true value closely on OSN-like graphs) or use
+        :func:`spectral_mixing_bound`.
+    """
+    check_positive(epsilon, "epsilon")
+    check_positive_int(max_steps, "max_steps")
+    index = node_index(graph)
+    matrix = transition_matrix(graph, index)
+    pi = stationary_distribution(graph, index)
+    if start_nodes is None:
+        start_indices: Sequence[int] = range(len(index))
+    else:
+        start_indices = [index[node] for node in start_nodes]
+    worst = 0
+    for start_index in start_indices:
+        steps = mixing_time_from_node(matrix, pi, start_index, epsilon, max_steps)
+        worst = max(worst, steps)
+    return worst
+
+
+#: Above this many nodes the spectral gap switches from a dense eigensolver
+#: to scipy's sparse Lanczos solver (the dense matrix would not fit in RAM).
+_DENSE_EIGEN_LIMIT = 1_500
+
+
+def spectral_gap(graph: LabeledGraph) -> float:
+    """Spectral gap ``1 − λ₂`` of the simple random walk.
+
+    Uses the symmetric normalised form ``D^{-1/2} A D^{-1/2}`` so the
+    eigenvalues are real; ``λ₂`` is the second-largest eigenvalue
+    *modulus* of the walk matrix.  Small graphs use a dense eigensolver;
+    larger ones use scipy's sparse Lanczos iteration.
+    """
+    index = node_index(graph)
+    size = len(index)
+    if size < 2:
+        raise EmptyGraphError("spectral gap needs at least two nodes")
+    degrees = np.zeros(size, dtype=float)
+    for node, i in index.items():
+        degrees[i] = graph.degree(node)
+    if np.any(degrees == 0):
+        raise MixingTimeError("graph has isolated nodes; spectral gap undefined")
+    inv_sqrt = 1.0 / np.sqrt(degrees)
+
+    if size <= _DENSE_EIGEN_LIMIT:
+        adjacency = np.zeros((size, size), dtype=float)
+        for node, i in index.items():
+            for neighbor in graph.neighbors(node):
+                adjacency[i, index[neighbor]] = 1.0
+        normalized = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        moduli = np.sort(np.abs(eigenvalues))[::-1]
+    else:
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.linalg import eigsh
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for node, i in index.items():
+            for neighbor in graph.neighbors(node):
+                j = index[neighbor]
+                rows.append(i)
+                cols.append(j)
+                vals.append(inv_sqrt[i] * inv_sqrt[j])
+        normalized = coo_matrix((vals, (rows, cols)), shape=(size, size)).tocsr()
+        # Largest-magnitude eigenvalues: the Perron value 1 and λ₂.
+        eigenvalues = eigsh(normalized, k=2, which="LM", return_eigenvectors=False)
+        moduli = np.sort(np.abs(eigenvalues))[::-1]
+    # moduli[0] is 1 (the Perron eigenvalue); the gap uses the next one.
+    lambda_2 = float(moduli[1])
+    return 1.0 - lambda_2
+
+
+def spectral_mixing_bound(graph: LabeledGraph, epsilon: float = 1e-3) -> int:
+    """Upper bound on ``T(ε)`` from the spectral gap.
+
+    ``T(ε) ≤ (1/gap) · log(1 / (ε · π_min))`` — standard for reversible
+    chains (Levin, Peres & Wilmer, Theorem 12.3).  Returns the ceiling as
+    an integer number of steps.
+    """
+    check_positive(epsilon, "epsilon")
+    gap = spectral_gap(graph)
+    if gap <= 0:
+        raise MixingTimeError(
+            "spectral gap is zero (bipartite or disconnected graph); "
+            "the simple walk does not mix"
+        )
+    pi = stationary_distribution(graph)
+    pi_min = float(pi.min())
+    bound = np.log(1.0 / (epsilon * pi_min)) / gap
+    return int(np.ceil(bound))
+
+
+def recommended_burn_in(
+    graph: LabeledGraph,
+    epsilon: float = 1e-3,
+    exact_threshold: int = 2_000,
+    sample_starts: int = 32,
+    rng=None,
+) -> int:
+    """Burn-in length used by the experiment harness.
+
+    Small graphs (``|V| ≤ exact_threshold``) get the exact mixing time
+    maximised over a random subset of start nodes; larger graphs fall
+    back to the spectral bound, capped at ``4 · |V|`` steps to keep the
+    harness practical (the cap is generous: the paper's measured mixing
+    times are far below ``|V|``).
+    """
+    from repro.utils.rng import ensure_rng
+
+    generator = ensure_rng(rng)
+    if graph.num_nodes <= exact_threshold:
+        nodes = list(graph.nodes())
+        if len(nodes) > sample_starts:
+            nodes = generator.sample(nodes, sample_starts)
+        return exact_mixing_time(graph, epsilon=epsilon, start_nodes=nodes)
+    bound = spectral_mixing_bound(graph, epsilon=epsilon)
+    return min(bound, 4 * graph.num_nodes)
+
+
+__all__ = [
+    "node_index",
+    "transition_matrix",
+    "stationary_distribution",
+    "total_variation_distance",
+    "mixing_time_from_node",
+    "exact_mixing_time",
+    "spectral_gap",
+    "spectral_mixing_bound",
+    "recommended_burn_in",
+]

@@ -1,0 +1,60 @@
+"""Thinning: approximately-independent samples from one long walk.
+
+The Horvitz–Thompson estimators (paper §4.1.3 and §4.2.3) need samples
+that are (approximately) independent, but the single-walk implementation
+produces consecutive, highly dependent samples.  Following Hardiman &
+Katzir (the strategy the paper adopts), samples that are at least
+``r = 2.5% · k`` steps apart are treated as independent.
+
+:func:`thinning_interval` computes ``r`` and :func:`thin_indices`
+selects which positions of a length-``k`` walk to keep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, TypeVar
+
+from repro.utils.validation import check_fraction, check_non_negative_int
+
+T = TypeVar("T")
+
+#: The fraction of the walk length used as the thinning gap in the paper.
+DEFAULT_THINNING_FRACTION = 0.025
+
+
+def thinning_interval(num_samples: int, fraction: float = DEFAULT_THINNING_FRACTION) -> int:
+    """The gap ``r = ceil(fraction · k)``, never smaller than 1."""
+    check_non_negative_int(num_samples, "num_samples")
+    check_fraction(fraction, "fraction")
+    if num_samples == 0:
+        return 1
+    return max(1, math.ceil(fraction * num_samples))
+
+
+def thin_indices(
+    num_samples: int, fraction: float = DEFAULT_THINNING_FRACTION
+) -> List[int]:
+    """Indices (into a length-``num_samples`` walk) spaced ``r`` apart.
+
+    Always includes index 0 when the walk is non-empty.
+    """
+    check_non_negative_int(num_samples, "num_samples")
+    if num_samples == 0:
+        return []
+    interval = thinning_interval(num_samples, fraction)
+    return list(range(0, num_samples, interval))
+
+
+def thin_sequence(items: Sequence[T], fraction: float = DEFAULT_THINNING_FRACTION) -> List[T]:
+    """Return the subsequence of *items* at thinned positions."""
+    indices = thin_indices(len(items), fraction)
+    return [items[i] for i in indices]
+
+
+__all__ = [
+    "DEFAULT_THINNING_FRACTION",
+    "thinning_interval",
+    "thin_indices",
+    "thin_sequence",
+]

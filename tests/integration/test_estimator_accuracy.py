@@ -1,0 +1,117 @@
+"""Statistical integration tests: the estimators converge to the truth.
+
+These tests run full sampling + estimation pipelines on mid-sized
+synthetic OSNs and check that repeated estimates land near the ground
+truth.  Tolerances are wide enough to make random failures vanishingly
+unlikely (seeds are fixed anyway) but tight enough to catch a wrong
+inclusion probability, a missing factor of 2, or a broken walk.
+"""
+
+import statistics
+
+import pytest
+
+from repro.core.estimators import (
+    EdgeHansenHurwitzEstimator,
+    EdgeHorvitzThompsonEstimator,
+    NodeHansenHurwitzEstimator,
+    NodeHorvitzThompsonEstimator,
+    NodeReweightedEstimator,
+)
+from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.statistics import count_target_edges
+from repro.utils.rng import spawn_rngs
+
+REPETITIONS = 30
+SAMPLE_SIZE = 150
+BURN_IN = 60
+
+
+@pytest.fixture(scope="module")
+def truth(gender_osn):
+    return count_target_edges(gender_osn, 1, 2)
+
+
+def repeated_edge_estimates(graph, estimator, repetitions=REPETITIONS, k=SAMPLE_SIZE):
+    estimates = []
+    for rng in spawn_rngs(101, repetitions):
+        api = RestrictedGraphAPI(graph)
+        sampler = NeighborSampleSampler(api, 1, 2, burn_in=BURN_IN, rng=rng)
+        estimates.append(estimator.estimate(sampler.sample(k)).estimate)
+    return estimates
+
+
+def repeated_node_estimates(graph, estimator, repetitions=REPETITIONS, k=SAMPLE_SIZE):
+    estimates = []
+    for rng in spawn_rngs(202, repetitions):
+        api = RestrictedGraphAPI(graph)
+        sampler = NeighborExplorationSampler(api, 1, 2, burn_in=BURN_IN, rng=rng)
+        estimates.append(estimator.estimate(sampler.sample(k)).estimate)
+    return estimates
+
+
+class TestMeanConvergence:
+    def test_neighbor_sample_hh_is_unbiased(self, gender_osn, truth):
+        estimates = repeated_edge_estimates(gender_osn, EdgeHansenHurwitzEstimator())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_neighbor_sample_ht_close_to_truth(self, gender_osn, truth):
+        estimates = repeated_edge_estimates(gender_osn, EdgeHorvitzThompsonEstimator())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.35)
+
+    def test_neighbor_exploration_hh_is_unbiased(self, gender_osn, truth):
+        estimates = repeated_node_estimates(gender_osn, NodeHansenHurwitzEstimator())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+    def test_neighbor_exploration_ht_close_to_truth(self, gender_osn, truth):
+        estimates = repeated_node_estimates(gender_osn, NodeHorvitzThompsonEstimator())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.35)
+
+    def test_neighbor_exploration_rw_consistent(self, gender_osn, truth):
+        estimates = repeated_node_estimates(gender_osn, NodeReweightedEstimator())
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.15)
+
+
+class TestErrorShrinksWithBudget:
+    def test_neighbor_sample_hh(self, gender_osn, truth):
+        small = repeated_edge_estimates(gender_osn, EdgeHansenHurwitzEstimator(), k=40)
+        large = repeated_edge_estimates(gender_osn, EdgeHansenHurwitzEstimator(), k=400)
+        error_small = statistics.mean(abs(e - truth) for e in small)
+        error_large = statistics.mean(abs(e - truth) for e in large)
+        assert error_large < error_small
+
+    def test_neighbor_exploration_hh(self, gender_osn, truth):
+        small = repeated_node_estimates(gender_osn, NodeHansenHurwitzEstimator(), k=40)
+        large = repeated_node_estimates(gender_osn, NodeHansenHurwitzEstimator(), k=400)
+        error_small = statistics.mean(abs(e - truth) for e in small)
+        error_large = statistics.mean(abs(e - truth) for e in large)
+        assert error_large < error_small
+
+
+class TestEstimatesScaleWithTruth:
+    def test_rarer_pair_gets_smaller_estimate(self, rare_label_osn):
+        """Estimates must track the ordering of the true counts."""
+        from repro.graph.statistics import edge_label_histogram
+
+        histogram = sorted(
+            (item for item in edge_label_histogram(rare_label_osn).items() if item[0][0] != item[0][1]),
+            key=lambda item: item[1],
+        )
+        rare_pair, rare_count = histogram[len(histogram) // 4]
+        frequent_pair, frequent_count = histogram[-1]
+        assert rare_count < frequent_count
+
+        def mean_estimate(pair):
+            estimates = []
+            for rng in spawn_rngs(77, 20):
+                api = RestrictedGraphAPI(rare_label_osn)
+                sampler = NeighborExplorationSampler(
+                    api, pair[0], pair[1], burn_in=BURN_IN, rng=rng
+                )
+                estimates.append(
+                    NodeHansenHurwitzEstimator().estimate(sampler.sample(200)).estimate
+                )
+            return statistics.mean(estimates)
+
+        assert mean_estimate(rare_pair) < mean_estimate(frequent_pair)

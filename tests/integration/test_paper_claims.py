@@ -1,0 +1,136 @@
+"""Integration tests for the paper's qualitative claims.
+
+Each test encodes one of the findings listed in §5.2 / §5.3 of the paper
+and checks that the reproduction exhibits it (at reduced scale and
+repetition count, with tolerances that allow for the extra noise).
+"""
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import compare_algorithms
+from repro.experiments.sweeps import frequency_sweep
+from repro.graph.statistics import count_target_edges
+
+
+@pytest.fixture(scope="module")
+def rare_dataset():
+    return load_dataset("pokec", seed=5, scale=0.15)
+
+
+@pytest.fixture(scope="module")
+def abundant_dataset():
+    return load_dataset("facebook", seed=5, scale=0.15)
+
+
+class TestProposedBeatBaselines:
+    """Finding (1) of §5.2: the best algorithm is always a proposed one."""
+
+    def test_on_abundant_labels(self, abundant_dataset):
+        graph = abundant_dataset.graph
+        table = compare_algorithms(
+            graph,
+            1,
+            2,
+            sample_fractions=[0.05],
+            repetitions=8,
+            algorithms=build_algorithm_suite(graph),
+            burn_in=50,
+            seed=31,
+        )
+        best, _ = table.best_algorithm()
+        assert not best.startswith("EX-")
+
+    def test_on_rare_labels(self, rare_dataset):
+        graph = rare_dataset.graph
+        t1, t2 = rare_dataset.target_pairs[0]
+        table = compare_algorithms(
+            graph,
+            t1,
+            t2,
+            sample_fractions=[0.05],
+            repetitions=8,
+            algorithms=build_algorithm_suite(graph),
+            burn_in=50,
+            seed=32,
+        )
+        best, _ = table.best_algorithm()
+        assert not best.startswith("EX-")
+
+
+class TestNRMSEDecreasesWithBudget:
+    """Finding (3) of §5.2: more API calls -> lower error."""
+
+    def test_proposed_algorithms(self, abundant_dataset):
+        graph = abundant_dataset.graph
+        suite = build_algorithm_suite(graph, include_baselines=False)
+        table = compare_algorithms(
+            graph,
+            1,
+            2,
+            sample_fractions=[0.01, 0.08],
+            repetitions=10,
+            algorithms=suite,
+            burn_in=50,
+            seed=33,
+        )
+        for name in suite:
+            row = table.nrmse_row(name)
+            assert row[-1] < row[0] * 1.5  # allow noise, but no blow-up
+        # And on average across algorithms the improvement must be clear.
+        first = sum(table.nrmse_row(name)[0] for name in suite)
+        last = sum(table.nrmse_row(name)[-1] for name in suite)
+        assert last < first
+
+
+class TestExplorationWinsOnRareLabels:
+    """Finding (4) of §5.2 / §5.3: NeighborExploration dominates for rare labels."""
+
+    def test_rarest_pair(self, rare_dataset):
+        graph = rare_dataset.graph
+        t1, t2 = rare_dataset.target_pairs[0]
+        assert count_target_edges(graph, t1, t2) / graph.num_edges < 0.05
+        suite = build_algorithm_suite(graph, include_baselines=False)
+        table = compare_algorithms(
+            graph,
+            t1,
+            t2,
+            sample_fractions=[0.05],
+            repetitions=10,
+            algorithms=suite,
+            burn_in=50,
+            seed=34,
+        )
+        exploration_best = min(
+            table.nrmse_row(name)[0]
+            for name in suite
+            if name.startswith("NeighborExploration")
+        )
+        sample_best = min(
+            table.nrmse_row(name)[0] for name in suite if name.startswith("NeighborSample")
+        )
+        assert exploration_best < sample_best
+
+
+class TestErrorDecreasesWithFrequency:
+    """Figures 1-2: NRMSE shrinks as the relative target-edge count grows."""
+
+    def test_frequency_trend(self, rare_dataset):
+        graph = rare_dataset.graph
+        pairs = rare_dataset.target_pairs
+        points = frequency_sweep(
+            graph,
+            pairs,
+            budget_fraction=0.05,
+            repetitions=8,
+            burn_in=50,
+            seed=35,
+        )
+        assert len(points) >= 3
+        # Compare the rarest and the most frequent pair for the NE-HH algorithm.
+        series = [
+            (point.relative_count, point.nrmse_by_algorithm["NeighborExploration-HH"])
+            for point in points
+        ]
+        assert series[-1][1] < series[0][1]

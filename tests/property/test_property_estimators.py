@@ -1,0 +1,143 @@
+"""Property-based tests for the estimators' algebraic invariants.
+
+These run the estimator formulas over randomly generated sample sets
+(not over random graphs — the statistical behaviour is covered by the
+integration tests) and check invariants that must hold for *any* input:
+non-negativity, zero-on-no-targets, scale equivariance in |E|, and the
+exact Hansen–Hurwitz extremes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import (
+    EdgeHansenHurwitzEstimator,
+    EdgeHorvitzThompsonEstimator,
+    NodeHansenHurwitzEstimator,
+    NodeHorvitzThompsonEstimator,
+    NodeReweightedEstimator,
+)
+from repro.core.samplers.base import EdgeSample, EdgeSampleSet, NodeSample, NodeSampleSet
+
+edge_flags = st.lists(st.booleans(), min_size=1, max_size=200)
+
+node_entries = st.lists(
+    st.tuples(st.integers(1, 50), st.integers(0, 50)).map(
+        lambda pair: (pair[0], min(pair[1], pair[0]))  # T(u) can never exceed d(u)
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+def make_edge_set(flags, num_edges):
+    samples = [
+        EdgeSample(u=i, v=i + 1, is_target=flag, step_index=i) for i, flag in enumerate(flags)
+    ]
+    return EdgeSampleSet(samples=samples, num_edges=num_edges, num_nodes=max(2, num_edges // 2))
+
+
+def make_node_set(entries, num_edges, num_nodes):
+    samples = [
+        NodeSample(
+            node=i, degree=d, has_target_label=t > 0, incident_target_edges=t, step_index=i
+        )
+        for i, (d, t) in enumerate(entries)
+    ]
+    return NodeSampleSet(samples=samples, num_edges=num_edges, num_nodes=num_nodes)
+
+
+EDGE_ESTIMATORS = [EdgeHansenHurwitzEstimator(), EdgeHorvitzThompsonEstimator(None)]
+NODE_ESTIMATORS = [
+    NodeHansenHurwitzEstimator(),
+    NodeHorvitzThompsonEstimator(None),
+    NodeReweightedEstimator(),
+]
+
+
+@given(flags=edge_flags, num_edges=st.integers(2, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_edge_estimators_are_non_negative_and_bounded(flags, num_edges):
+    sample_set = make_edge_set(flags, num_edges)
+    for estimator in EDGE_ESTIMATORS:
+        value = estimator.estimate(sample_set).estimate
+        assert value >= 0
+        # No estimator can report more target edges than |E| scaled by the
+        # worst-case inclusion correction; for HH the hard cap is exactly |E|.
+    hh = EdgeHansenHurwitzEstimator().estimate(sample_set).estimate
+    assert hh <= num_edges + 1e-9
+
+
+@given(flags=edge_flags, num_edges=st.integers(2, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_edge_estimators_zero_iff_no_target_samples(flags, num_edges):
+    sample_set = make_edge_set(flags, num_edges)
+    has_targets = any(flags)
+    for estimator in EDGE_ESTIMATORS:
+        value = estimator.estimate(sample_set).estimate
+        if has_targets:
+            assert value > 0
+        else:
+            assert value == 0
+
+
+@given(flags=edge_flags, num_edges=st.integers(2, 5_000))
+@settings(max_examples=80, deadline=None)
+def test_edge_hh_scales_linearly_in_num_edges(flags, num_edges):
+    base = EdgeHansenHurwitzEstimator().estimate(make_edge_set(flags, num_edges)).estimate
+    doubled = EdgeHansenHurwitzEstimator().estimate(make_edge_set(flags, 2 * num_edges)).estimate
+    assert doubled == base * 2 or (base == 0 and doubled == 0)
+
+
+@given(entries=node_entries, num_edges=st.integers(100, 10_000), num_nodes=st.integers(2, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_node_estimators_are_non_negative(entries, num_edges, num_nodes):
+    sample_set = make_node_set(entries, num_edges, num_nodes)
+    for estimator in NODE_ESTIMATORS:
+        assert estimator.estimate(sample_set).estimate >= 0
+
+
+@given(entries=node_entries, num_edges=st.integers(100, 10_000), num_nodes=st.integers(2, 10_000))
+@settings(max_examples=80, deadline=None)
+def test_node_estimators_zero_iff_no_incident_targets(entries, num_edges, num_nodes):
+    sample_set = make_node_set(entries, num_edges, num_nodes)
+    has_targets = any(t > 0 for _, t in entries)
+    for estimator in NODE_ESTIMATORS:
+        value = estimator.estimate(sample_set).estimate
+        if has_targets:
+            assert value > 0
+        else:
+            assert value == 0
+
+
+@given(entries=node_entries, num_edges=st.integers(2, 5_000))
+@settings(max_examples=80, deadline=None)
+def test_node_hh_scales_linearly_in_num_edges(entries, num_edges):
+    small = NodeHansenHurwitzEstimator().estimate(make_node_set(entries, num_edges, 100)).estimate
+    large = NodeHansenHurwitzEstimator().estimate(
+        make_node_set(entries, 3 * num_edges, 100)
+    ).estimate
+    if small == 0:
+        assert large == 0
+    else:
+        assert large == pytest.approx(small * 3)
+
+
+@given(entries=node_entries, num_nodes=st.integers(2, 5_000))
+@settings(max_examples=80, deadline=None)
+def test_reweighted_scales_linearly_in_num_nodes(entries, num_nodes):
+    small = NodeReweightedEstimator().estimate(make_node_set(entries, 100, num_nodes)).estimate
+    large = NodeReweightedEstimator().estimate(make_node_set(entries, 100, 2 * num_nodes)).estimate
+    assert large == small * 2 or (small == 0 and large == 0)
+
+
+@given(entries=node_entries)
+@settings(max_examples=80, deadline=None)
+def test_reweighted_bounded_by_half_num_nodes_times_max_t(entries):
+    """F̂_RW = |V|/2 · weighted-mean(T) ≤ |V|/2 · max(T) for any sample."""
+    num_nodes = 1000
+    sample_set = make_node_set(entries, 100, num_nodes)
+    value = NodeReweightedEstimator().estimate(sample_set).estimate
+    max_t = max(t for _, t in entries)
+    assert value <= num_nodes / 2 * max_t + 1e-9

@@ -1,0 +1,116 @@
+"""Property-based tests for the labeled-graph substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.cleaning import connected_components, deduplicate_edges, largest_connected_component
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.statistics import count_target_edges, target_incident_counts
+
+# Edge lists over a small node universe so duplicates and self-loops appear often.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)), min_size=1, max_size=60
+)
+label_values = st.sampled_from(["a", "b", "c"])
+
+
+def build_graph(edges, labels_by_node):
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    for node in graph.nodes():
+        graph.set_labels(node, [labels_by_node(node)])
+    return graph
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(edges):
+    """Sum of degrees equals twice the number of edges, whatever we insert."""
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    assert sum(graph.degree(node) for node in graph.nodes()) == 2 * graph.num_edges
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_edges_iterator_matches_edge_count(edges):
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    listed = list(graph.edges())
+    assert len(listed) == graph.num_edges
+    assert len({frozenset(edge) for edge in listed}) == graph.num_edges
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_target_incident_counts_sum_to_twice_f(edges, seed):
+    """Σ_u T(u) = 2F for any graph and any labeling."""
+    import random
+
+    rng = random.Random(seed)
+    graph = build_graph(edges, lambda node: rng.choice(["a", "b", "c"]))
+    if graph.num_nodes == 0:
+        return
+    count = count_target_edges(graph, "a", "b")
+    incident = target_incident_counts(graph, "a", "b")
+    assert sum(incident.values()) == 2 * count
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_target_count_symmetry(edges, seed):
+    """F(t1, t2) = F(t2, t1)."""
+    import random
+
+    rng = random.Random(seed)
+    graph = build_graph(edges, lambda node: rng.choice(["a", "b", "c"]))
+    if graph.num_nodes == 0:
+        return
+    assert count_target_edges(graph, "a", "b") == count_target_edges(graph, "b", "a")
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_deduplicate_is_idempotent(edges):
+    once = deduplicate_edges(edges)
+    twice = deduplicate_edges(once)
+    assert once == twice
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_components_partition_the_nodes(edges):
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    if graph.num_nodes == 0:
+        return
+    components = connected_components(graph)
+    all_nodes = [node for component in components for node in component]
+    assert len(all_nodes) == graph.num_nodes
+    assert set(all_nodes) == set(graph.nodes())
+    # sizes are non-increasing
+    sizes = [len(component) for component in components]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_largest_component_is_connected_subgraph(edges):
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    if graph.num_nodes == 0:
+        return
+    lcc = largest_connected_component(graph)
+    assert lcc.num_nodes <= graph.num_nodes
+    assert lcc.num_edges <= graph.num_edges
+    assert len(connected_components(lcc)) <= 1 or lcc.num_nodes == 0

@@ -1,0 +1,70 @@
+"""Property-based tests for the line-graph transform."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.line_graph import LineGraphAPI, LineGraphNode, build_line_graph
+from repro.graph.statistics import count_target_edges
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 10)), min_size=1, max_size=30
+)
+
+
+def labeled_graph_from(edges, seed):
+    rng = random.Random(seed)
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    for node in graph.nodes():
+        graph.set_labels(node, [rng.choice(["a", "b"])])
+    return graph
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_line_graph_node_and_edge_counts(edges, seed):
+    """|H| = |E| and |R| = Σ_v C(d(v), 2) for any input graph."""
+    graph = labeled_graph_from(edges, seed)
+    if graph.num_edges == 0:
+        return
+    line = build_line_graph(graph, "a", "b")
+    assert line.num_nodes == graph.num_edges
+    expected_edges = sum(
+        graph.degree(node) * (graph.degree(node) - 1) // 2 for node in graph.nodes()
+    )
+    assert line.num_edges == expected_edges
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_target_nodes_of_line_graph_equal_target_edges(edges, seed):
+    """Counting target nodes in G' is exactly counting target edges in G."""
+    graph = labeled_graph_from(edges, seed)
+    if graph.num_edges == 0:
+        return
+    line = build_line_graph(graph, "a", "b")
+    target_nodes = sum(1 for node in line.nodes() if line.has_label(node, "target"))
+    assert target_nodes == count_target_edges(graph, "a", "b")
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_lazy_api_agrees_with_materialised_line_graph(edges, seed):
+    """The lazy LineGraphAPI and the materialised G' give identical views."""
+    graph = labeled_graph_from(edges, seed)
+    if graph.num_edges == 0:
+        return
+    line = build_line_graph(graph, "a", "b")
+    api = LineGraphAPI(RestrictedGraphAPI(graph), "a", "b")
+    assert api.num_nodes == line.num_nodes
+    for u, v in list(graph.edges())[:10]:
+        node = LineGraphNode.from_edge(u, v)
+        assert set(api.neighbors(node)) == set(line.neighbors(node))
+        assert api.degree(node) == line.degree(node)
+        assert api.is_target(node) == line.has_label(node, "target")

@@ -1,0 +1,71 @@
+"""Property-based tests for the labeled-motif extension's exact counters."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extensions.labeled_motifs import count_target_triangles, count_target_wedges
+from repro.graph.labeled_graph import LabeledGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), min_size=1, max_size=40
+)
+
+
+def random_labeled_graph(edges, seed):
+    rng = random.Random(seed)
+    graph = LabeledGraph()
+    for u, v in edges:
+        if u != v:
+            graph.add_edge(u, v)
+    for node in graph.nodes():
+        graph.set_labels(node, [rng.choice(["a", "b", "c"])])
+    return graph
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_wedge_count_symmetric_in_end_labels(edges, seed):
+    graph = random_labeled_graph(edges, seed)
+    if graph.num_nodes == 0:
+        return
+    assert count_target_wedges(graph, "a", "b", "c") == count_target_wedges(graph, "c", "b", "a")
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_wedge_count_bounded_by_total_wedges(edges, seed):
+    graph = random_labeled_graph(edges, seed)
+    if graph.num_nodes == 0:
+        return
+    total_wedges = sum(
+        graph.degree(node) * (graph.degree(node) - 1) // 2 for node in graph.nodes()
+    )
+    labeled = count_target_wedges(graph, "a", "b", "c")
+    assert 0 <= labeled <= total_wedges
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_triangle_count_invariant_under_label_permutation(edges, seed):
+    graph = random_labeled_graph(edges, seed)
+    if graph.num_nodes == 0:
+        return
+    reference = count_target_triangles(graph, "a", "b", "c")
+    assert count_target_triangles(graph, "b", "a", "c") == reference
+    assert count_target_triangles(graph, "c", "b", "a") == reference
+
+
+@given(edges=edge_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=50, deadline=None)
+def test_triangle_count_bounded_by_unlabeled_triangles(edges, seed):
+    graph = random_labeled_graph(edges, seed)
+    if graph.num_nodes == 0:
+        return
+    nx_graph = graph.to_networkx()
+    import networkx as nx
+
+    total_triangles = sum(nx.triangles(nx_graph).values()) // 3
+    labeled = count_target_triangles(graph, "a", "b", "c")
+    assert 0 <= labeled <= total_triangles

@@ -1,0 +1,88 @@
+"""Property-based tests for thinning, mixing helpers and walk bookkeeping."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.mixing import (
+    node_index,
+    stationary_distribution,
+    total_variation_distance,
+    transition_matrix,
+)
+from repro.walks.thinning import thin_indices, thinning_interval
+
+
+class TestThinningProperties:
+    @given(k=st.integers(0, 5000), fraction=st.floats(0.001, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_indices_are_sorted_unique_and_in_range(self, k, fraction):
+        indices = thin_indices(k, fraction)
+        assert indices == sorted(set(indices))
+        assert all(0 <= i < k for i in indices)
+
+    @given(k=st.integers(1, 5000), fraction=st.floats(0.001, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_first_index_is_zero_and_gap_constant(self, k, fraction):
+        indices = thin_indices(k, fraction)
+        assert indices[0] == 0
+        interval = thinning_interval(k, fraction)
+        gaps = {b - a for a, b in zip(indices, indices[1:])}
+        assert gaps <= {interval}
+
+    @given(k=st.integers(1, 5000))
+    @settings(max_examples=100, deadline=None)
+    def test_larger_fraction_keeps_fewer_samples(self, k):
+        fine = thin_indices(k, 0.01)
+        coarse = thin_indices(k, 0.2)
+        assert len(coarse) <= len(fine)
+
+
+def random_connected_graph(rng, size):
+    """A random connected graph built from a random tree plus extra edges."""
+    graph = LabeledGraph()
+    nodes = list(range(size))
+    for index in range(1, size):
+        graph.add_edge(nodes[index], nodes[rng.randrange(index)])
+    extra = rng.randrange(0, size)
+    for _ in range(extra):
+        u, v = rng.sample(nodes, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return graph
+
+
+class TestMixingProperties:
+    @given(seed=st.integers(0, 2**16), size=st.integers(3, 25))
+    @settings(max_examples=60, deadline=None)
+    def test_transition_matrix_row_stochastic_and_pi_fixed_point(self, seed, size):
+        import random
+
+        rng = random.Random(seed)
+        graph = random_connected_graph(rng, size)
+        index = node_index(graph)
+        matrix = transition_matrix(graph, index)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+        pi = stationary_distribution(graph, index)
+        assert abs(pi.sum() - 1.0) < 1e-9
+        assert np.allclose(pi @ matrix, pi, atol=1e-12)
+
+    @given(
+        p=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=20),
+        q=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=20),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_total_variation_bounds(self, p, q):
+        size = min(len(p), len(q))
+        p_arr = np.array(p[:size])
+        q_arr = np.array(q[:size])
+        if p_arr.sum() == 0 or q_arr.sum() == 0:
+            return
+        p_arr = p_arr / p_arr.sum()
+        q_arr = q_arr / q_arr.sum()
+        distance = total_variation_distance(p_arr, q_arr)
+        assert -1e-12 <= distance <= 1.0 + 1e-12
+        assert total_variation_distance(p_arr, p_arr) == 0.0
+        # symmetry
+        assert distance == total_variation_distance(q_arr, p_arr)

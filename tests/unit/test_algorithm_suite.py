@@ -1,0 +1,53 @@
+"""Unit tests for the experiment-level algorithm registry."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.algorithms import (
+    ALL_ALGORITHM_ORDER,
+    PAPER_ALGORITHM_ORDER,
+    build_algorithm_suite,
+)
+from repro.graph.api import RestrictedGraphAPI
+
+
+class TestOrder:
+    def test_paper_order(self):
+        assert PAPER_ALGORITHM_ORDER[0] == "NeighborSample-HH"
+        assert len(PAPER_ALGORITHM_ORDER) == 5
+
+    def test_all_order_has_ten(self):
+        assert len(ALL_ALGORITHM_ORDER) == 10
+        assert ALL_ALGORITHM_ORDER[5:] == ["EX-MDRW", "EX-MHRW", "EX-RW", "EX-RCMH", "EX-GMD"]
+
+
+class TestBuildSuite:
+    def test_full_suite(self, gender_osn):
+        suite = build_algorithm_suite(gender_osn)
+        assert list(suite) == ALL_ALGORITHM_ORDER[:5] + ["EX-MDRW", "EX-MHRW", "EX-RW", "EX-RCMH", "EX-GMD"]
+
+    def test_without_baselines_graph_optional(self):
+        suite = build_algorithm_suite(None, include_baselines=False)
+        assert list(suite) == PAPER_ALGORITHM_ORDER
+
+    def test_baselines_require_graph(self):
+        with pytest.raises(ConfigurationError):
+            build_algorithm_suite(None, include_baselines=True)
+
+    def test_subset_preserves_canonical_order(self, gender_osn):
+        suite = build_algorithm_suite(
+            gender_osn, algorithms=["EX-RW", "NeighborSample-HH"]
+        )
+        assert list(suite) == ["NeighborSample-HH", "EX-RW"]
+
+    def test_unknown_subset_entry(self, gender_osn):
+        with pytest.raises(ConfigurationError):
+            build_algorithm_suite(gender_osn, algorithms=["Nope"])
+
+    def test_runners_share_signature(self, gender_osn):
+        suite = build_algorithm_suite(gender_osn)
+        for name in ("NeighborExploration-HH", "EX-MHRW"):
+            api = RestrictedGraphAPI(gender_osn)
+            result = suite[name](api, 1, 2, 30, 10, 3)
+            assert result.estimate >= 0
+            assert result.estimator == name

@@ -1,0 +1,106 @@
+"""Unit tests for the EX-* baseline adaptations on the line graph."""
+
+import pytest
+
+from repro.baselines import (
+    BASELINE_NAMES,
+    ExGeneralMaximumDegreeBaseline,
+    ExMaximumDegreeBaseline,
+    ExMetropolisHastingsBaseline,
+    ExReweightedBaseline,
+    ExRejectionControlledMHBaseline,
+    line_graph_max_degree,
+    make_baseline,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.statistics import count_target_edges
+
+
+class TestLineGraphMaxDegree:
+    def test_triangle(self, triangle_graph):
+        # every edge joins two degree-2 nodes: degree in G' is 2 + 2 - 2 = 2
+        assert line_graph_max_degree(triangle_graph) == 2
+
+    def test_star(self, star_graph):
+        # edges join the hub (degree 5) with a leaf (degree 1): 5 + 1 - 2 = 4
+        assert line_graph_max_degree(star_graph) == 4
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(BASELINE_NAMES) == {"EX-RW", "EX-MHRW", "EX-MDRW", "EX-RCMH", "EX-GMD"}
+
+    def test_make_each(self):
+        assert isinstance(make_baseline("EX-RW"), ExReweightedBaseline)
+        assert isinstance(make_baseline("EX-MHRW"), ExMetropolisHastingsBaseline)
+        assert isinstance(make_baseline("EX-MDRW", line_max_degree=10), ExMaximumDegreeBaseline)
+        assert isinstance(make_baseline("EX-RCMH", rcmh_alpha=0.1), ExRejectionControlledMHBaseline)
+        assert isinstance(
+            make_baseline("EX-GMD", line_max_degree=10, gmd_delta=0.4),
+            ExGeneralMaximumDegreeBaseline,
+        )
+
+    def test_md_requires_max_degree(self):
+        with pytest.raises(ConfigurationError):
+            make_baseline("EX-MDRW")
+        with pytest.raises(ConfigurationError):
+            make_baseline("EX-GMD")
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_baseline("EX-WHAT")
+
+    def test_invalid_max_degree(self):
+        with pytest.raises(ConfigurationError):
+            ExMaximumDegreeBaseline(0)
+
+
+class TestEstimation:
+    @pytest.fixture(scope="class")
+    def setup(self, gender_osn):
+        max_degree = line_graph_max_degree(gender_osn)
+        truth = count_target_edges(gender_osn, 1, 2)
+        return gender_osn, max_degree, truth
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_each_baseline_produces_sane_estimate(self, setup, name):
+        graph, max_degree, truth = setup
+        baseline = make_baseline(name, line_max_degree=max_degree)
+        api = RestrictedGraphAPI(graph)
+        result = baseline.estimate(api, 1, 2, k=600, burn_in=50, rng=17)
+        assert result.estimator == name
+        assert result.estimate >= 0
+        # Abundant labels + a decent walk length: within a factor of 2.5.
+        assert truth / 2.5 < result.estimate < truth * 2.5
+
+    def test_api_calls_are_charged(self, setup):
+        graph, max_degree, _ = setup
+        api = RestrictedGraphAPI(graph)
+        make_baseline("EX-RW").estimate(api, 1, 2, k=50, burn_in=10, rng=3)
+        assert api.api_calls > 0
+
+    def test_estimate_reproducible(self, setup):
+        graph, max_degree, _ = setup
+        baseline = make_baseline("EX-MHRW")
+        first = baseline.estimate(RestrictedGraphAPI(graph), 1, 2, k=80, burn_in=10, rng=5)
+        second = baseline.estimate(RestrictedGraphAPI(graph), 1, 2, k=80, burn_in=10, rng=5)
+        assert first.estimate == second.estimate
+
+    def test_invalid_k(self, setup):
+        graph, _, _ = setup
+        with pytest.raises(ConfigurationError):
+            make_baseline("EX-RW").estimate(RestrictedGraphAPI(graph), 1, 2, k=0)
+
+    def test_zero_target_labels_give_zero_estimate(self, setup):
+        graph, _, _ = setup
+        baseline = make_baseline("EX-RW")
+        result = baseline.estimate(RestrictedGraphAPI(graph), 404, 405, k=50, burn_in=10, rng=2)
+        assert result.estimate == 0.0
+
+    def test_details_record_hits(self, setup):
+        graph, _, _ = setup
+        result = make_baseline("EX-MHRW").estimate(
+            RestrictedGraphAPI(graph), 1, 2, k=100, burn_in=10, rng=4
+        )
+        assert result.details["target_hits"] >= 0

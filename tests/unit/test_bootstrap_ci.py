@@ -1,0 +1,43 @@
+"""Unit tests for the bootstrap confidence interval helper."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.metrics import bootstrap_confidence_interval
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_the_mean(self):
+        estimates = [90.0, 100.0, 110.0, 95.0, 105.0]
+        lower, upper = bootstrap_confidence_interval(estimates, seed=1)
+        mean = sum(estimates) / len(estimates)
+        assert lower <= mean <= upper
+
+    def test_degenerate_sample_gives_point_interval(self):
+        lower, upper = bootstrap_confidence_interval([42.0, 42.0, 42.0], seed=2)
+        assert lower == upper == 42.0
+
+    def test_wider_level_gives_wider_interval(self):
+        estimates = [80.0, 90.0, 100.0, 110.0, 120.0, 95.0, 105.0]
+        narrow = bootstrap_confidence_interval(estimates, level=0.5, seed=3)
+        wide = bootstrap_confidence_interval(estimates, level=0.99, seed=3)
+        assert (wide[1] - wide[0]) >= (narrow[1] - narrow[0])
+
+    def test_deterministic_given_seed(self):
+        estimates = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_confidence_interval(estimates, seed=4) == bootstrap_confidence_interval(
+            estimates, seed=4
+        )
+
+    def test_interval_within_sample_range(self):
+        estimates = [10.0, 20.0, 30.0]
+        lower, upper = bootstrap_confidence_interval(estimates, seed=5)
+        assert 10.0 <= lower <= upper <= 30.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(ExperimentError):
+            bootstrap_confidence_interval([1.0], level=1.5)
+        with pytest.raises(ExperimentError):
+            bootstrap_confidence_interval([1.0], resamples=0)

@@ -1,0 +1,110 @@
+"""Unit tests for the Theorem 4.1-4.5 sample-size bounds."""
+
+import pytest
+
+from repro.core.bounds import (
+    bound_neighbor_exploration_hh,
+    bound_neighbor_exploration_ht,
+    bound_neighbor_exploration_rw,
+    bound_neighbor_sample_hh,
+    bound_neighbor_sample_ht,
+    compute_all_bounds,
+)
+from repro.exceptions import ConfigurationError, EstimationError
+from repro.graph.statistics import count_target_edges
+
+
+class TestTheorem41:
+    def test_closed_form(self, triangle_graph):
+        # |E| = 3, F = 2: (3·2 − 4) / (ε² · 4 · δ)
+        bound = bound_neighbor_sample_hh(triangle_graph, "a", "b", epsilon=0.5, delta=0.5)
+        assert bound == pytest.approx((6 - 4) / (0.25 * 4 * 0.5))
+
+    def test_tighter_epsilon_needs_more_samples(self, gender_osn):
+        loose = bound_neighbor_sample_hh(gender_osn, 1, 2, epsilon=0.2, delta=0.1)
+        tight = bound_neighbor_sample_hh(gender_osn, 1, 2, epsilon=0.05, delta=0.1)
+        assert tight > loose
+
+    def test_zero_target_count_raises(self, triangle_graph):
+        with pytest.raises(EstimationError):
+            bound_neighbor_sample_hh(triangle_graph, "zz", "qq")
+
+    def test_invalid_epsilon(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            bound_neighbor_sample_hh(triangle_graph, "a", "b", epsilon=0.0)
+
+
+class TestTheorem42:
+    def test_positive(self, triangle_graph):
+        assert bound_neighbor_sample_ht(triangle_graph, "a", "b") > 0
+
+    def test_rarer_labels_need_more_samples(self, rare_label_osn):
+        from repro.graph.statistics import edge_label_histogram
+
+        histogram = sorted(edge_label_histogram(rare_label_osn).items(), key=lambda i: i[1])
+        cross_pairs = [(p, c) for p, c in histogram if p[0] != p[1] and c >= 3]
+        rare_pair, _ = cross_pairs[0]
+        frequent_pair, _ = cross_pairs[-1]
+        rare = bound_neighbor_sample_ht(rare_label_osn, *rare_pair)
+        frequent = bound_neighbor_sample_ht(rare_label_osn, *frequent_pair)
+        assert rare > frequent
+
+
+class TestTheorem43:
+    def test_non_negative(self, gender_osn):
+        assert bound_neighbor_exploration_hh(gender_osn, 1, 2) >= 0
+
+    def test_star_graph_single_sample_suffices(self, star_graph):
+        # Sampling the hub alone determines F exactly, so the variance-based
+        # bound collapses to (almost) nothing compared to the edge bound.
+        ne_bound = bound_neighbor_exploration_hh(star_graph, "hub", "leaf", 0.5, 0.5)
+        ns_bound = bound_neighbor_sample_hh(star_graph, "hub", "leaf", 0.5, 0.5)
+        assert ne_bound <= ns_bound
+
+
+class TestTheorem44:
+    def test_positive(self, gender_osn):
+        assert bound_neighbor_exploration_ht(gender_osn, 1, 2) > 0
+
+    def test_zero_target_count_raises(self, gender_osn):
+        with pytest.raises(EstimationError):
+            bound_neighbor_exploration_ht(gender_osn, 404, 405)
+
+
+class TestTheorem45:
+    def test_non_negative(self, gender_osn):
+        assert bound_neighbor_exploration_rw(gender_osn, 1, 2) >= 0
+
+    def test_second_term_dominates_on_regular_like_graphs(self, gender_osn):
+        # The |V|-term of Theorem 4.5 does not depend on the labels, so the
+        # bound can never be smaller than that label-independent part.
+        from repro.graph.statistics import target_incident_counts
+
+        bound = bound_neighbor_exploration_rw(gender_osn, 1, 2, epsilon=0.1, delta=0.1)
+        num_nodes = gender_osn.num_nodes
+        sum_inverse_pi = sum(
+            2 * gender_osn.num_edges / gender_osn.degree(node) for node in gender_osn.nodes()
+        )
+        second = 18 * (sum_inverse_pi - num_nodes**2) / (0.01 * num_nodes**2 * 0.1)
+        assert bound >= second - 1e-6
+
+
+class TestAllBounds:
+    def test_compute_all_bounds_fields(self, gender_osn):
+        bounds = compute_all_bounds(gender_osn, 1, 2, epsilon=0.1, delta=0.1)
+        as_dict = bounds.as_dict()
+        assert set(as_dict) == {
+            "NeighborSample-HH",
+            "NeighborSample-HT",
+            "NeighborExploration-HH",
+            "NeighborExploration-HT",
+            "NeighborExploration-RW",
+        }
+        assert all(value >= 0 for value in as_dict.values())
+        assert bounds.true_count == count_target_edges(gender_osn, 1, 2)
+
+    def test_paper_ordering_hh_below_ht(self, gender_osn):
+        """In every paper table the HH bound is far below the HT bound."""
+        bounds = compute_all_bounds(gender_osn, 1, 2)
+        assert bounds.neighbor_sample_hh < bounds.neighbor_sample_ht
+        assert bounds.neighbor_exploration_hh < bounds.neighbor_exploration_ht

@@ -1,0 +1,82 @@
+"""Unit tests for graph cleaning (the paper's §5.1 preprocessing)."""
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graph.cleaning import (
+    connected_components,
+    deduplicate_edges,
+    induced_subgraph,
+    is_connected,
+    largest_connected_component,
+    simplify_osn_graph,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestDeduplicateEdges:
+    def test_removes_self_loops(self):
+        assert deduplicate_edges([(1, 1), (1, 2)]) == [(1, 2)]
+
+    def test_removes_parallel_and_reversed_duplicates(self):
+        assert deduplicate_edges([(1, 2), (2, 1), (1, 2)]) == [(1, 2)]
+
+    def test_keeps_distinct_edges_in_order(self):
+        assert deduplicate_edges([(3, 4), (1, 2)]) == [(3, 4), (1, 2)]
+
+    def test_empty_input(self):
+        assert deduplicate_edges([]) == []
+
+
+class TestComponents:
+    def test_connected_components_sizes(self):
+        graph = LabeledGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+        components = connected_components(graph)
+        assert [len(c) for c in components] == [3, 2]
+
+    def test_largest_connected_component(self):
+        graph = LabeledGraph.from_edges([(1, 2), (2, 3), (10, 11)], {1: ["a"], 10: ["b"]})
+        lcc = largest_connected_component(graph)
+        assert set(lcc.nodes()) == {1, 2, 3}
+        assert lcc.labels_of(1) == frozenset({"a"})
+
+    def test_largest_component_of_connected_graph_is_copy(self, triangle_graph):
+        lcc = largest_connected_component(triangle_graph)
+        assert lcc.num_nodes == triangle_graph.num_nodes
+        lcc.add_edge(1, 99)
+        assert not triangle_graph.has_node(99)
+
+    def test_largest_component_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            largest_connected_component(LabeledGraph())
+
+    def test_is_connected(self, triangle_graph):
+        assert is_connected(triangle_graph)
+        disconnected = LabeledGraph.from_edges([(1, 2), (3, 4)])
+        assert not is_connected(disconnected)
+        assert not is_connected(LabeledGraph())
+
+    def test_induced_subgraph(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, [1, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.labels_of(1) == frozenset({"a"})
+
+
+class TestSimplify:
+    def test_full_pipeline(self):
+        edges = [(1, 2), (2, 1), (2, 2), (2, 3), (7, 8)]
+        labels = {1: ["a"], 3: ["b"], 7: ["c"], 99: ["isolated"]}
+        graph = simplify_osn_graph(edges, labels)
+        # largest component is {1, 2, 3}; node 99 never appears in an edge
+        assert set(graph.nodes()) == {1, 2, 3}
+        assert graph.num_edges == 2
+        assert graph.labels_of(3) == frozenset({"b"})
+
+    def test_keep_all_components(self):
+        graph = simplify_osn_graph([(1, 2), (7, 8)], keep_largest_component=False)
+        assert graph.num_nodes == 4
+
+    def test_empty_edge_list(self):
+        graph = simplify_osn_graph([], keep_largest_component=False)
+        assert graph.num_nodes == 0

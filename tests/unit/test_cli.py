@@ -1,0 +1,120 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["datasets"]).command == "datasets"
+        assert parser.parse_args(["estimate", "--dataset", "pokec"]).dataset == "pokec"
+        assert parser.parse_args(["table", "4"]).number == 4
+        assert parser.parse_args(["figure", "1"]).number == 1
+        assert parser.parse_args(["bounds", "--epsilon", "0.2"]).epsilon == 0.2
+        assert parser.parse_args(["mixing", "--dataset", "orkut"]).dataset == "orkut"
+        assert parser.parse_args(["select", "--threshold", "0.1"]).threshold == 0.1
+        assert parser.parse_args(["cost", "--budget", "0.03"]).budget == 0.03
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "--dataset", "friendster"])
+
+    def test_invalid_table_number_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "99"])
+
+
+class TestCommands:
+    def test_estimate_command(self, capsys):
+        exit_code = main(
+            [
+                "estimate",
+                "--dataset",
+                "facebook",
+                "--algorithm",
+                "NeighborSample-HH",
+                "--scale",
+                "0.1",
+                "--budget",
+                "0.05",
+                "--seed",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "estimated F" in captured
+        assert "relative error" in captured
+
+    def test_bounds_command(self, capsys):
+        exit_code = main(["bounds", "--dataset", "facebook", "--scale", "0.1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "NeighborExploration-RW" in captured
+
+    def test_mixing_command(self, capsys):
+        exit_code = main(["mixing", "--dataset", "facebook", "--scale", "0.1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "measured burn-in" in captured
+
+    def test_table_command(self, capsys):
+        exit_code = main(
+            [
+                "table",
+                "4",
+                "--repetitions",
+                "2",
+                "--scale",
+                "0.1",
+                "--budgets",
+                "0.02",
+                "0.05",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Reproduction of paper Table 4" in captured
+        assert "proposed beats baselines" in captured
+
+    def test_figure_command(self, capsys):
+        exit_code = main(
+            ["figure", "1", "--repetitions", "2", "--scale", "0.05", "--seed", "5"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 1" in captured
+
+    def test_datasets_command(self, capsys):
+        exit_code = main(["datasets"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "facebook" in captured
+        assert "livejournal" in captured
+
+    def test_select_command(self, capsys):
+        exit_code = main(
+            ["select", "--dataset", "facebook", "--scale", "0.1", "--budget", "0.05"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "selected algorithm" in captured
+        assert "NeighborSample-HH" in captured or "NeighborExploration-HH" in captured
+
+    def test_cost_command(self, capsys):
+        exit_code = main(
+            ["cost", "--dataset", "facebook", "--scale", "0.1", "--repetitions", "2"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "calls per sample" in captured
+
+    def test_verbose_flag(self, capsys):
+        exit_code = main(["--verbose", "bounds", "--dataset", "facebook", "--scale", "0.1"])
+        assert exit_code == 0

@@ -1,0 +1,58 @@
+"""Unit tests for the API-cost profiling helper."""
+
+import pytest
+
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.cost import CostProfile, format_cost_table, profile_api_costs
+
+
+@pytest.fixture(scope="module")
+def profiles(gender_osn):
+    suite = build_algorithm_suite(gender_osn, include_baselines=False)
+    return profile_api_costs(
+        gender_osn,
+        1,
+        2,
+        sample_size=50,
+        repetitions=2,
+        algorithms=suite,
+        burn_in=20,
+        seed=3,
+    )
+
+
+class TestProfileAPICosts:
+    def test_one_profile_per_algorithm(self, profiles):
+        assert set(profiles) == {
+            "NeighborSample-HH",
+            "NeighborSample-HT",
+            "NeighborExploration-HH",
+            "NeighborExploration-HT",
+            "NeighborExploration-RW",
+        }
+
+    def test_fields(self, profiles):
+        for profile in profiles.values():
+            assert isinstance(profile, CostProfile)
+            assert profile.sample_size == 50
+            assert profile.mean_api_calls > 0
+            assert profile.calls_per_sample == pytest.approx(
+                profile.mean_api_calls / 50
+            )
+
+    def test_exploration_costs_more_than_sampling(self, profiles):
+        """With abundant labels every sampled node is explored, so
+        NeighborExploration must download far more pages per sample."""
+        exploration = profiles["NeighborExploration-HH"].mean_api_calls
+        sampling = profiles["NeighborSample-HH"].mean_api_calls
+        assert exploration > sampling
+
+    def test_invalid_arguments(self, gender_osn):
+        with pytest.raises(Exception):
+            profile_api_costs(gender_osn, 1, 2, sample_size=0, burn_in=5)
+
+    def test_format_cost_table(self, profiles):
+        text = format_cost_table(profiles)
+        assert "calls per sample" in text
+        assert "NeighborExploration-RW" in text
+        assert len(text.splitlines()) == 1 + len(profiles)

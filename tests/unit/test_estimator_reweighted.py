@@ -1,0 +1,62 @@
+"""Unit tests for the re-weighted (importance sampling) estimator (Equation 19)."""
+
+import pytest
+
+from repro.core.estimators import NodeReweightedEstimator
+from repro.core.samplers.base import NodeSample, NodeSampleSet
+from repro.exceptions import EstimationError, InsufficientSamplesError
+
+
+def node_set(entries, num_nodes, num_edges=100):
+    samples = [
+        NodeSample(
+            node=i, degree=d, has_target_label=t > 0, incident_target_edges=t, step_index=i
+        )
+        for i, (d, t) in enumerate(entries)
+    ]
+    return NodeSampleSet(samples=samples, num_edges=num_edges, num_nodes=num_nodes)
+
+
+class TestReweighted:
+    def test_formula(self):
+        # samples (deg, T): (2, 1), (4, 2) and |V| = 20
+        # F̂ = |V| * (1/2 + 2/4) / (2 * (1/2 + 1/4)) = 20 * 1 / 1.5 = 13.33
+        result = NodeReweightedEstimator().estimate(node_set([(2, 1), (4, 2)], num_nodes=20))
+        assert result.estimate == pytest.approx(20 * 1.0 / 1.5)
+        assert result.estimator == "NeighborExploration-RW"
+
+    def test_zero_when_no_targets(self):
+        result = NodeReweightedEstimator().estimate(node_set([(2, 0), (4, 0)], num_nodes=20))
+        assert result.estimate == 0.0
+
+    def test_does_not_need_num_edges(self):
+        result = NodeReweightedEstimator().estimate(
+            node_set([(2, 1)], num_nodes=20, num_edges=0)
+        )
+        assert result.estimate > 0
+
+    def test_regular_degree_sample_reduces_to_mean(self):
+        # When every sampled degree is equal the ratio collapses to the plain
+        # mean of T(u), so the estimate is |V| * mean(T) / 2.
+        result = NodeReweightedEstimator().estimate(
+            node_set([(4, 2), (4, 0), (4, 2)], num_nodes=30)
+        )
+        mean_t = (2 + 0 + 2) / 3
+        assert result.estimate == pytest.approx(30 * mean_t / 2)
+
+    def test_missing_num_nodes_raises(self):
+        with pytest.raises(EstimationError):
+            NodeReweightedEstimator().estimate(node_set([(2, 1)], num_nodes=0))
+
+    def test_zero_degree_raises(self):
+        with pytest.raises(EstimationError):
+            NodeReweightedEstimator().estimate(node_set([(0, 0)], num_nodes=10))
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            NodeReweightedEstimator().estimate(NodeSampleSet(num_edges=1, num_nodes=1))
+
+    def test_details_expose_weights(self):
+        result = NodeReweightedEstimator().estimate(node_set([(2, 1), (4, 2)], num_nodes=20))
+        assert result.details["weighted_numerator"] == pytest.approx(1.0)
+        assert result.details["weighted_denominator"] == pytest.approx(0.75)

@@ -1,0 +1,90 @@
+"""Unit tests for the Hansen–Hurwitz estimators (Equations 2 and 11)."""
+
+import pytest
+
+from repro.core.estimators import EdgeHansenHurwitzEstimator, NodeHansenHurwitzEstimator
+from repro.core.samplers.base import EdgeSample, EdgeSampleSet, NodeSample, NodeSampleSet
+from repro.exceptions import EstimationError, InsufficientSamplesError
+
+
+def edge_set(flags, num_edges):
+    samples = [EdgeSample(u=i, v=i + 1, is_target=f, step_index=i) for i, f in enumerate(flags)]
+    return EdgeSampleSet(samples=samples, num_edges=num_edges, num_nodes=10)
+
+
+def node_set(entries, num_edges, num_nodes=10):
+    samples = [
+        NodeSample(
+            node=i, degree=d, has_target_label=t > 0, incident_target_edges=t, step_index=i
+        )
+        for i, (d, t) in enumerate(entries)
+    ]
+    return NodeSampleSet(samples=samples, num_edges=num_edges, num_nodes=num_nodes)
+
+
+class TestEdgeHH:
+    def test_formula(self):
+        # |E| = 50, 2 of 4 samples are targets -> 50 * 2/4 = 25
+        result = EdgeHansenHurwitzEstimator().estimate(edge_set([True, False, True, False], 50))
+        assert result.estimate == pytest.approx(25.0)
+        assert result.estimator == "NeighborSample-HH"
+        assert result.sample_size == 4
+
+    def test_zero_hits_gives_zero(self):
+        result = EdgeHansenHurwitzEstimator().estimate(edge_set([False] * 5, 50))
+        assert result.estimate == 0.0
+
+    def test_all_hits_gives_num_edges(self):
+        result = EdgeHansenHurwitzEstimator().estimate(edge_set([True] * 5, 77))
+        assert result.estimate == pytest.approx(77.0)
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            EdgeHansenHurwitzEstimator().estimate(EdgeSampleSet(num_edges=10))
+
+    def test_missing_prior_knowledge_raises(self):
+        with pytest.raises(EstimationError):
+            EdgeHansenHurwitzEstimator().estimate(edge_set([True], 0))
+
+    def test_details_record_hits(self):
+        result = EdgeHansenHurwitzEstimator().estimate(edge_set([True, True, False], 30))
+        assert result.details["target_hits"] == 2.0
+
+    def test_relative_error_helper(self):
+        result = EdgeHansenHurwitzEstimator().estimate(edge_set([True, False], 100))
+        assert result.relative_error(100) == pytest.approx(0.5)
+        with pytest.raises(ZeroDivisionError):
+            result.relative_error(0)
+
+
+class TestNodeHH:
+    def test_formula(self):
+        # |E| = 30, samples: (deg 3, T 1), (deg 5, T 0) -> 30 * (1/3 + 0) / 2 = 5
+        result = NodeHansenHurwitzEstimator().estimate(node_set([(3, 1), (5, 0)], 30))
+        assert result.estimate == pytest.approx(5.0)
+        assert result.estimator == "NeighborExploration-HH"
+
+    def test_zero_when_no_incident_targets(self):
+        result = NodeHansenHurwitzEstimator().estimate(node_set([(3, 0), (5, 0)], 30))
+        assert result.estimate == 0.0
+
+    def test_exact_on_single_node_covering_everything(self):
+        # A node of degree d with T = d among k = 1 samples: estimate = |E| * d/d = |E|
+        result = NodeHansenHurwitzEstimator().estimate(node_set([(4, 4)], 12))
+        assert result.estimate == pytest.approx(12.0)
+
+    def test_zero_degree_sample_raises(self):
+        with pytest.raises(EstimationError):
+            NodeHansenHurwitzEstimator().estimate(node_set([(0, 0)], 30))
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            NodeHansenHurwitzEstimator().estimate(NodeSampleSet(num_edges=10, num_nodes=5))
+
+    def test_missing_prior_knowledge_raises(self):
+        with pytest.raises(EstimationError):
+            NodeHansenHurwitzEstimator().estimate(node_set([(3, 1)], 0))
+
+    def test_details_record_explored(self):
+        result = NodeHansenHurwitzEstimator().estimate(node_set([(3, 1), (2, 0), (4, 2)], 30))
+        assert result.details["explored_nodes"] == 2.0

@@ -1,0 +1,126 @@
+"""Unit tests for the Horvitz–Thompson estimators (Equations 3 and 13)."""
+
+import pytest
+
+from repro.core.estimators import EdgeHorvitzThompsonEstimator, NodeHorvitzThompsonEstimator
+from repro.core.samplers.base import EdgeSample, EdgeSampleSet, NodeSample, NodeSampleSet
+from repro.exceptions import ConfigurationError, EstimationError, InsufficientSamplesError
+
+
+def edge_set(samples, num_edges):
+    return EdgeSampleSet(samples=samples, num_edges=num_edges, num_nodes=10)
+
+
+def node_set(samples, num_edges, num_nodes=10):
+    return NodeSampleSet(samples=samples, num_edges=num_edges, num_nodes=num_nodes)
+
+
+class TestEdgeHT:
+    def test_formula_without_thinning(self):
+        samples = [
+            EdgeSample(u=1, v=2, is_target=True, step_index=0),
+            EdgeSample(u=3, v=4, is_target=False, step_index=1),
+            EdgeSample(u=5, v=6, is_target=True, step_index=2),
+        ]
+        estimator = EdgeHorvitzThompsonEstimator(thinning_fraction=None)
+        result = estimator.estimate(edge_set(samples, num_edges=10))
+        inclusion = 1 - (1 - 1 / 10) ** 3
+        assert result.estimate == pytest.approx(2 / inclusion)
+        assert result.details["inclusion_probability"] == pytest.approx(inclusion)
+
+    def test_duplicate_target_edges_counted_once(self):
+        samples = [
+            EdgeSample(u=1, v=2, is_target=True, step_index=0),
+            EdgeSample(u=2, v=1, is_target=True, step_index=1),  # same edge reversed
+        ]
+        estimator = EdgeHorvitzThompsonEstimator(thinning_fraction=None)
+        result = estimator.estimate(edge_set(samples, num_edges=10))
+        assert result.details["distinct_target_edges"] == 1.0
+
+    def test_thinning_reduces_sample_size(self):
+        samples = [
+            EdgeSample(u=i, v=i + 1, is_target=False, step_index=i) for i in range(100)
+        ]
+        estimator = EdgeHorvitzThompsonEstimator(thinning_fraction=0.1)
+        result = estimator.estimate(edge_set(samples, num_edges=1000))
+        assert result.sample_size == 10
+        assert result.details["pre_thinning_k"] == 100.0
+
+    def test_zero_targets_gives_zero(self):
+        samples = [EdgeSample(u=1, v=2, is_target=False, step_index=0)]
+        result = EdgeHorvitzThompsonEstimator(None).estimate(edge_set(samples, 10))
+        assert result.estimate == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            EdgeHorvitzThompsonEstimator(None).estimate(EdgeSampleSet(num_edges=10))
+
+    def test_missing_prior_knowledge_raises(self):
+        samples = [EdgeSample(u=1, v=2, is_target=True, step_index=0)]
+        with pytest.raises(EstimationError):
+            EdgeHorvitzThompsonEstimator(None).estimate(edge_set(samples, 0))
+
+    def test_invalid_thinning_fraction(self):
+        with pytest.raises(ConfigurationError):
+            EdgeHorvitzThompsonEstimator(thinning_fraction=0.0)
+
+    def test_single_sample_all_targets_estimates_num_edges(self):
+        # With k = 1 the inclusion probability is 1/|E|, so one observed
+        # target edge extrapolates to |E| — the HT analogue of the HH case.
+        samples = [EdgeSample(u=1, v=2, is_target=True, step_index=0)]
+        result = EdgeHorvitzThompsonEstimator(None).estimate(edge_set(samples, 25))
+        assert result.estimate == pytest.approx(25.0)
+
+
+class TestNodeHT:
+    def test_formula_without_thinning(self):
+        samples = [
+            NodeSample(node="a", degree=4, has_target_label=True, incident_target_edges=2, step_index=0),
+            NodeSample(node="b", degree=2, has_target_label=False, incident_target_edges=0, step_index=1),
+        ]
+        estimator = NodeHorvitzThompsonEstimator(thinning_fraction=None)
+        result = estimator.estimate(node_set(samples, num_edges=10))
+        inclusion_a = 1 - (1 - 4 / 20) ** 2
+        assert result.estimate == pytest.approx(0.5 * 2 / inclusion_a)
+
+    def test_duplicate_nodes_counted_once(self):
+        sample = NodeSample(
+            node="a", degree=4, has_target_label=True, incident_target_edges=2, step_index=0
+        )
+        duplicate = NodeSample(
+            node="a", degree=4, has_target_label=True, incident_target_edges=2, step_index=1
+        )
+        estimator = NodeHorvitzThompsonEstimator(thinning_fraction=None)
+        single = estimator.estimate(node_set([sample], num_edges=10))
+        double = estimator.estimate(node_set([sample, duplicate], num_edges=10))
+        assert double.details["distinct_nodes"] == 1.0
+        # the duplicate only changes k (the inclusion probability), not the sum
+        assert double.estimate < single.estimate
+
+    def test_zero_targets_gives_zero(self):
+        samples = [
+            NodeSample(node="a", degree=4, has_target_label=True, incident_target_edges=0, step_index=0)
+        ]
+        result = NodeHorvitzThompsonEstimator(None).estimate(node_set(samples, 10))
+        assert result.estimate == 0.0
+
+    def test_zero_degree_contributing_node_raises(self):
+        samples = [
+            NodeSample(node="a", degree=0, has_target_label=True, incident_target_edges=1, step_index=0)
+        ]
+        with pytest.raises(EstimationError):
+            NodeHorvitzThompsonEstimator(None).estimate(node_set(samples, 10))
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientSamplesError):
+            NodeHorvitzThompsonEstimator(None).estimate(NodeSampleSet(num_edges=5, num_nodes=5))
+
+    def test_thinning_applied(self):
+        samples = [
+            NodeSample(node=i, degree=3, has_target_label=False, incident_target_edges=0, step_index=i)
+            for i in range(50)
+        ]
+        result = NodeHorvitzThompsonEstimator(thinning_fraction=0.1).estimate(
+            node_set(samples, num_edges=100)
+        )
+        assert result.sample_size == 10

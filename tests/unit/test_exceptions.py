@@ -1,0 +1,49 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.ReproError), name
+
+    def test_graph_errors(self):
+        assert issubclass(exceptions.NodeNotFoundError, exceptions.GraphError)
+        assert issubclass(exceptions.EdgeNotFoundError, exceptions.GraphError)
+        assert issubclass(exceptions.LabelError, exceptions.GraphError)
+        assert issubclass(exceptions.EmptyGraphError, exceptions.GraphError)
+
+    def test_api_errors(self):
+        assert issubclass(exceptions.APIBudgetExceededError, exceptions.APIError)
+
+    def test_walk_errors(self):
+        assert issubclass(exceptions.MixingTimeError, exceptions.WalkError)
+
+    def test_estimation_errors(self):
+        assert issubclass(exceptions.InsufficientSamplesError, exceptions.EstimationError)
+
+
+class TestMessages:
+    def test_node_not_found_carries_node(self):
+        error = exceptions.NodeNotFoundError("alice")
+        assert error.node == "alice"
+        assert "alice" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = exceptions.EdgeNotFoundError(1, 2)
+        assert (error.u, error.v) == (1, 2)
+
+    def test_budget_error_carries_numbers(self):
+        error = exceptions.APIBudgetExceededError(budget=10, used=11)
+        assert error.budget == 10
+        assert error.used == 11
+        assert "10" in str(error)
+
+    def test_catching_the_base_class(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.DatasetError("boom")

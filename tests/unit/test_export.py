@@ -1,0 +1,83 @@
+"""Unit tests for CSV / JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    frequency_points_to_rows,
+    nrmse_table_to_rows,
+    write_frequency_series_csv,
+    write_nrmse_table_csv,
+    write_nrmse_table_json,
+)
+from repro.experiments.runner import NRMSETable, TrialOutcome
+from repro.experiments.sweeps import FrequencyPoint
+
+
+@pytest.fixture
+def small_table():
+    table = NRMSETable(
+        dataset="Toy",
+        target_pair=(1, 2),
+        true_count=50,
+        sample_sizes=[10, 20],
+        sample_fractions=[0.01, 0.02],
+    )
+    table.cells["AlgA"] = [
+        TrialOutcome("AlgA", 10, 50, estimates=[45.0, 55.0], api_calls=[12, 13]),
+        TrialOutcome("AlgA", 20, 50, estimates=[48.0, 52.0], api_calls=[22, 24]),
+    ]
+    return table
+
+
+class TestTableExport:
+    def test_rows_cover_every_cell(self, small_table):
+        rows = nrmse_table_to_rows(small_table)
+        assert len(rows) == 2
+        assert {row["sample_size"] for row in rows} == {10, 20}
+        assert all(row["algorithm"] == "AlgA" for row in rows)
+        assert all(row["true_count"] == 50 for row in rows)
+
+    def test_csv_round_trip(self, small_table, tmp_path):
+        path = write_nrmse_table_csv(small_table, tmp_path / "table.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert float(rows[0]["nrmse"]) == pytest.approx(0.1)
+        assert float(rows[0]["mean_api_calls"]) == pytest.approx(12.5)
+
+    def test_json_round_trip(self, small_table, tmp_path):
+        path = write_nrmse_table_json(small_table, tmp_path / "table.json")
+        payload = json.loads(path.read_text())
+        assert payload["dataset"] == "Toy"
+        assert payload["sample_sizes"] == [10, 20]
+        assert len(payload["cells"]) == 2
+
+    def test_nested_directories_created(self, small_table, tmp_path):
+        path = write_nrmse_table_csv(small_table, tmp_path / "deep" / "dir" / "t.csv")
+        assert path.exists()
+
+
+class TestFrequencyExport:
+    def test_rows(self):
+        points = [FrequencyPoint((1, 2), 5, 0.01, {"A": 0.5, "B": 0.2})]
+        rows = frequency_points_to_rows(points)
+        assert len(rows) == 2
+        assert {row["algorithm"] for row in rows} == {"A", "B"}
+
+    def test_csv(self, tmp_path):
+        points = [
+            FrequencyPoint((1, 2), 5, 0.01, {"A": 0.5}),
+            FrequencyPoint((3, 4), 50, 0.1, {"A": 0.1}),
+        ]
+        path = write_frequency_series_csv(points, tmp_path / "series.csv")
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert float(rows[1]["relative_count"]) == pytest.approx(0.1)
+
+    def test_empty_series_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_frequency_series_csv([], tmp_path / "series.csv")

@@ -1,0 +1,114 @@
+"""Unit tests for the restricted OSN API wrapper."""
+
+import pytest
+
+from repro.exceptions import APIBudgetExceededError
+from repro.graph.api import APICallCounter, RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def small_graph() -> LabeledGraph:
+    graph = LabeledGraph()
+    graph.add_edge("u", "v")
+    graph.add_edge("v", "w")
+    graph.set_labels("u", [1])
+    graph.set_labels("v", [2])
+    graph.set_labels("w", [1])
+    return graph
+
+
+class TestCounter:
+    def test_charge_increments(self):
+        counter = APICallCounter()
+        counter.charge("u")
+        counter.charge("u")
+        counter.charge("v")
+        assert counter.calls == 3
+        assert counter.per_node == {"u": 2, "v": 1}
+
+    def test_budget_enforced(self):
+        counter = APICallCounter(budget=2)
+        counter.charge("u")
+        counter.charge("v")
+        with pytest.raises(APIBudgetExceededError):
+            counter.charge("w")
+
+    def test_reset_keeps_budget(self):
+        counter = APICallCounter(budget=5)
+        counter.charge("u")
+        counter.record_cache_hit()
+        counter.reset()
+        assert counter.calls == 0
+        assert counter.cache_hits == 0
+        assert counter.budget == 5
+
+    def test_total_requests(self):
+        counter = APICallCounter()
+        counter.charge("u")
+        counter.record_cache_hit()
+        assert counter.total_requests == 2
+
+
+class TestRestrictedAPI:
+    def test_neighbors_charges_once_with_cache(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert set(api.neighbors("v")) == {"u", "w"}
+        assert api.api_calls == 1
+        api.neighbors("v")
+        assert api.api_calls == 1
+        assert api.counter.cache_hits == 1
+
+    def test_neighbors_charges_every_time_without_cache(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, cache=False)
+        api.neighbors("v")
+        api.neighbors("v")
+        assert api.api_calls == 2
+
+    def test_labels_share_page_with_neighbors(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        api.neighbors("u")
+        assert api.labels_of("u") == frozenset({1})
+        # label lookup for an already-downloaded page is free
+        assert api.api_calls == 1
+
+    def test_degree(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert api.degree("v") == 2
+
+    def test_has_label(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert api.has_label("w", 1)
+        assert not api.has_label("w", 2)
+
+    def test_prior_knowledge_defaults_to_truth(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert api.num_nodes == 3
+        assert api.num_edges == 2
+
+    def test_prior_knowledge_override(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, known_num_nodes=100, known_num_edges=500)
+        assert api.num_nodes == 100
+        assert api.num_edges == 500
+
+    def test_budget_exceeded_raises(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, budget=1, cache=False)
+        api.neighbors("u")
+        with pytest.raises(APIBudgetExceededError):
+            api.neighbors("v")
+
+    def test_random_node_is_deterministic_with_seed(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert api.random_node(rng=3) == api.random_node(rng=3)
+
+    def test_random_node_member_of_graph(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        assert api.random_node(rng=1) in {"u", "v", "w"}
+
+    def test_reset_counter_clears_cache(self, small_graph):
+        api = RestrictedGraphAPI(small_graph)
+        api.neighbors("u")
+        api.reset_counter()
+        assert api.api_calls == 0
+        api.neighbors("u")
+        assert api.api_calls == 1

@@ -1,0 +1,125 @@
+"""Unit tests for the SNAP-style loaders and the TSV graph format."""
+
+import gzip
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.io import (
+    iter_edge_list,
+    load_edge_list,
+    load_labeled_graph,
+    load_node_labels,
+    load_snap_dataset,
+    save_labeled_graph,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "edges.txt"
+    path.write_text(
+        "# a SNAP-style comment line\n"
+        "1 2\n"
+        "2 3\n"
+        "3 1\n"
+        "3 3\n"      # self-loop, should be dropped by the loader
+        "2 1\n"      # duplicate (reversed), should be dropped
+        "7 8\n"      # small second component, dropped when keeping the LCC
+        "\n"
+    )
+    return path
+
+
+@pytest.fixture
+def label_file(tmp_path):
+    path = tmp_path / "labels.txt"
+    path.write_text("# node label\n1 10\n2 20 extra\n3 30\n")
+    return path
+
+
+class TestEdgeList:
+    def test_iter_edge_list(self, edge_file):
+        edges = list(iter_edge_list(edge_file))
+        assert (1, 2) in edges
+        assert len(edges) == 6
+
+    def test_load_edge_list_cleans(self, edge_file):
+        graph = load_edge_list(edge_file)
+        assert set(graph.nodes()) == {1, 2, 3}
+        assert graph.num_edges == 3
+
+    def test_load_edge_list_keep_all_components(self, edge_file):
+        graph = load_edge_list(edge_file, keep_largest_component=False)
+        assert set(graph.nodes()) == {1, 2, 3, 7, 8}
+
+    def test_gzip_support(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("1 2\n2 3\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            list(iter_edge_list(tmp_path / "missing.txt"))
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            list(iter_edge_list(path))
+
+    def test_non_integer_ids_raise(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b\n")
+        with pytest.raises(DatasetError):
+            list(iter_edge_list(path))
+
+
+class TestNodeLabels:
+    def test_load_node_labels(self, label_file):
+        labels = load_node_labels(label_file)
+        assert labels[1] == [10]
+        assert labels[2] == [20, "extra"]
+
+    def test_malformed_label_line_raises(self, tmp_path):
+        path = tmp_path / "bad_labels.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError):
+            load_node_labels(path)
+
+    def test_snap_dataset_combined(self, edge_file, label_file):
+        graph = load_snap_dataset(edge_file, label_file)
+        assert graph.labels_of(1) == frozenset({10})
+        assert graph.labels_of(2) == frozenset({20, "extra"})
+
+
+class TestTSVRoundTrip:
+    def test_round_trip(self, tmp_path, triangle_graph):
+        path = tmp_path / "graph.tsv"
+        save_labeled_graph(triangle_graph, path)
+        loaded = load_labeled_graph(path)
+        assert loaded.num_nodes == triangle_graph.num_nodes
+        assert loaded.num_edges == triangle_graph.num_edges
+        assert loaded.labels_of(3) == frozenset({"b"})
+
+    def test_round_trip_integer_labels(self, tmp_path):
+        graph = LabeledGraph.from_edges([(1, 2)], {1: [5], 2: [7]})
+        path = tmp_path / "graph.tsv"
+        save_labeled_graph(graph, path)
+        loaded = load_labeled_graph(path)
+        assert loaded.labels_of(1) == frozenset({5})
+
+    def test_unknown_record_type_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("X\t1\t2\n")
+        with pytest.raises(DatasetError):
+            load_labeled_graph(path)
+
+    def test_malformed_edge_record_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("E\t1\n")
+        with pytest.raises(DatasetError):
+            load_labeled_graph(path)

@@ -1,0 +1,192 @@
+"""Unit tests for the transition kernels, including stationary-law checks.
+
+The stationary-distribution checks run a long walk on a small graph and
+compare empirical visit frequencies with the kernel's claimed stationary
+weights — loose tolerances, but tight enough to catch a wrong acceptance
+rule or a wrong weight formula.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import WalkError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.engine import RandomWalk
+from repro.walks.kernels import (
+    GeneralMaximumDegreeKernel,
+    MaximumDegreeKernel,
+    MetropolisHastingsKernel,
+    NonBacktrackingKernel,
+    RejectionControlledMHKernel,
+    SimpleRandomWalkKernel,
+)
+
+
+@pytest.fixture(scope="module")
+def lollipop_api():
+    """A small irregular graph: a triangle with a pendant path."""
+    graph = LabeledGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4), (4, 5)])
+    return RestrictedGraphAPI(graph)
+
+
+def empirical_distribution(api, kernel, steps=40_000, seed=13):
+    walk = RandomWalk(api, kernel, burn_in=200, rng=seed)
+    result = walk.run(steps)
+    counts = Counter(result.nodes)
+    return {node: counts[node] / steps for node in counts}
+
+
+def expected_distribution(api, kernel, nodes):
+    weights = {node: kernel.stationary_weight(api, node) for node in nodes}
+    total = sum(weights.values())
+    return {node: weight / total for node, weight in weights.items()}
+
+
+STATIONARY_KERNELS = [
+    SimpleRandomWalkKernel(),
+    MetropolisHastingsKernel(),
+    MaximumDegreeKernel(max_degree=3),
+    RejectionControlledMHKernel(alpha=0.3),
+    GeneralMaximumDegreeKernel(max_degree=3, delta=0.5),
+    NonBacktrackingKernel(),
+]
+
+
+@pytest.mark.parametrize("kernel", STATIONARY_KERNELS, ids=lambda k: k.name)
+def test_empirical_stationary_distribution_matches_weights(lollipop_api, kernel):
+    nodes = [1, 2, 3, 4, 5]
+    empirical = empirical_distribution(lollipop_api, kernel)
+    expected = expected_distribution(lollipop_api, kernel, nodes)
+    for node in nodes:
+        assert empirical.get(node, 0.0) == pytest.approx(expected[node], abs=0.03)
+
+
+class TestSimpleKernel:
+    def test_step_moves_to_neighbor(self, lollipop_api):
+        kernel = SimpleRandomWalkKernel()
+        rng = random.Random(0)
+        nxt, _ = kernel.step(lollipop_api, 3, None, rng)
+        assert nxt in lollipop_api.neighbors(3)
+
+    def test_stationary_weight_is_degree(self, lollipop_api):
+        kernel = SimpleRandomWalkKernel()
+        assert kernel.stationary_weight(lollipop_api, 3) == 3.0
+
+    def test_isolated_node_raises(self):
+        graph = LabeledGraph()
+        graph.add_node(1)
+        api = RestrictedGraphAPI(graph)
+        with pytest.raises(WalkError):
+            SimpleRandomWalkKernel().step(api, 1, None, random.Random(0))
+
+
+class TestNonBacktracking:
+    def test_never_backtracks_when_alternatives_exist(self, lollipop_api):
+        kernel = NonBacktrackingKernel()
+        rng = random.Random(3)
+        current = 3
+        state = kernel.initial_state(lollipop_api, current, rng)
+        for _ in range(200):
+            nxt, new_state = kernel.step(lollipop_api, current, state, rng)
+            previous = state
+            if previous is not None and lollipop_api.degree(current) > 1:
+                assert nxt != previous
+            current, state = nxt, new_state
+
+    def test_backtracks_at_dead_end(self):
+        graph = LabeledGraph.from_edges([(1, 2)])
+        api = RestrictedGraphAPI(graph)
+        kernel = NonBacktrackingKernel()
+        rng = random.Random(0)
+        nxt, state = kernel.step(api, 1, None, rng)
+        assert nxt == 2
+        nxt2, _ = kernel.step(api, 2, state, rng)
+        assert nxt2 == 1
+
+
+class TestMetropolisHastings:
+    def test_acceptance_towards_lower_degree(self, lollipop_api):
+        # From a degree-3 node to a degree-1 neighbor the move is always accepted.
+        kernel = MetropolisHastingsKernel()
+        moved = 0
+        rng = random.Random(5)
+        for _ in range(200):
+            nxt, _ = kernel.step(lollipop_api, 4, None, rng)
+            if nxt != 4:
+                moved += 1
+        # node 4 has neighbors of degree 3 and 1; proposals to the degree-1
+        # node are always accepted, so the walk must move reasonably often.
+        assert moved > 100
+
+    def test_uniform_weight(self, lollipop_api):
+        assert MetropolisHastingsKernel().stationary_weight(lollipop_api, 3) == 1.0
+
+
+class TestMaximumDegree:
+    def test_invalid_max_degree(self):
+        with pytest.raises(Exception):
+            MaximumDegreeKernel(0)
+
+    def test_degree_above_max_raises(self, lollipop_api):
+        kernel = MaximumDegreeKernel(max_degree=2)
+        with pytest.raises(WalkError):
+            kernel.step(lollipop_api, 3, None, random.Random(0))
+
+    def test_self_loops_at_low_degree_nodes(self, lollipop_api):
+        kernel = MaximumDegreeKernel(max_degree=50)
+        rng = random.Random(1)
+        stays = sum(
+            1 for _ in range(300) if kernel.step(lollipop_api, 5, None, rng)[0] == 5
+        )
+        # degree(5) = 1 and max 50 -> the walk self-loops ~98% of the time
+        assert stays > 250
+
+
+class TestRejectionControlled:
+    def test_alpha_zero_is_simple_walk(self, lollipop_api):
+        kernel = RejectionControlledMHKernel(alpha=0.0)
+        rng = random.Random(2)
+        for _ in range(50):
+            nxt, _ = kernel.step(lollipop_api, 3, None, rng)
+            assert nxt != 3  # never rejects
+
+    def test_alpha_one_matches_mh_weight(self, lollipop_api):
+        kernel = RejectionControlledMHKernel(alpha=1.0)
+        assert kernel.stationary_weight(lollipop_api, 3) == pytest.approx(1.0)
+
+    def test_weight_interpolates(self, lollipop_api):
+        kernel = RejectionControlledMHKernel(alpha=0.5)
+        assert kernel.stationary_weight(lollipop_api, 3) == pytest.approx(3**0.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(Exception):
+            RejectionControlledMHKernel(alpha=1.5)
+
+
+class TestGeneralMaximumDegree:
+    def test_virtual_degree_cap(self):
+        kernel = GeneralMaximumDegreeKernel(max_degree=10, delta=0.5)
+        assert kernel.virtual_degree(2) == 5.0
+        assert kernel.virtual_degree(8) == 8.0
+
+    def test_delta_one_is_max_degree_walk(self, lollipop_api):
+        kernel = GeneralMaximumDegreeKernel(max_degree=3, delta=1.0)
+        assert kernel.stationary_weight(lollipop_api, 5) == 3.0
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(WalkError):
+            GeneralMaximumDegreeKernel(max_degree=3, delta=0.0)
+
+    def test_moves_more_than_plain_md_at_low_degree_nodes(self, lollipop_api):
+        rng_md = random.Random(3)
+        rng_gmd = random.Random(3)
+        md = MaximumDegreeKernel(max_degree=3)
+        gmd = GeneralMaximumDegreeKernel(max_degree=3, delta=0.4)
+        md_moves = sum(1 for _ in range(300) if md.step(lollipop_api, 5, None, rng_md)[0] != 5)
+        gmd_moves = sum(
+            1 for _ in range(300) if gmd.step(lollipop_api, 5, None, rng_gmd)[0] != 5
+        )
+        assert gmd_moves >= md_moves

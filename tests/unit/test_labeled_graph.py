@@ -1,0 +1,217 @@
+"""Unit tests for :mod:`repro.graph.labeled_graph`."""
+
+import pytest
+
+from repro.exceptions import (
+    EdgeNotFoundError,
+    EmptyGraphError,
+    GraphError,
+    LabelError,
+    NodeNotFoundError,
+)
+from repro.graph.labeled_graph import LabeledGraph, validate_target_labels
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = LabeledGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+        assert len(graph) == 0
+
+    def test_add_node_idempotent(self):
+        graph = LabeledGraph()
+        graph.add_node("u", labels=["a"])
+        graph.add_node("u", labels=["b"])
+        assert graph.num_nodes == 1
+        assert graph.labels_of("u") == frozenset({"a", "b"})
+
+    def test_add_edge_creates_nodes(self):
+        graph = LabeledGraph()
+        assert graph.add_edge(1, 2) is True
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_add_edge_duplicate_ignored(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)
+        assert graph.add_edge(2, 1) is False
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = LabeledGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_add_edges_from_counts_new_only(self):
+        graph = LabeledGraph()
+        added = graph.add_edges_from([(1, 2), (2, 3), (1, 2)])
+        assert added == 2
+        assert graph.num_edges == 2
+
+    def test_remove_node_updates_edges(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.remove_node(2)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 0
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_node_raises(self):
+        graph = LabeledGraph()
+        with pytest.raises(NodeNotFoundError):
+            graph.remove_node(99)
+
+
+class TestQueries:
+    def test_degree_and_neighbors(self, triangle_graph):
+        assert triangle_graph.degree(1) == 2
+        assert set(triangle_graph.neighbors(1)) == {2, 3}
+        assert triangle_graph.neighbor_set(1) == frozenset({2, 3})
+
+    def test_neighbors_returns_copy(self, triangle_graph):
+        neighbors = triangle_graph.neighbors(1)
+        neighbors.append(99)
+        assert 99 not in triangle_graph.neighbors(1)
+
+    def test_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.neighbors(42)
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.degree(42)
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.labels_of(42)
+
+    def test_edges_each_once(self, triangle_graph):
+        edges = list(triangle_graph.edges())
+        assert len(edges) == 3
+        canonical = {frozenset(edge) for edge in edges}
+        assert canonical == {frozenset({1, 2}), frozenset({2, 3}), frozenset({1, 3})}
+
+    def test_contains_and_iter(self, triangle_graph):
+        assert 1 in triangle_graph
+        assert 42 not in triangle_graph
+        assert set(iter(triangle_graph)) == {1, 2, 3}
+
+    def test_total_degree_is_twice_edges(self, triangle_graph):
+        assert triangle_graph.total_degree() == 2 * triangle_graph.num_edges
+
+    def test_degree_extremes(self, star_graph):
+        assert star_graph.max_degree() == 5
+        assert star_graph.min_degree() == 1
+        assert star_graph.average_degree() == pytest.approx(10 / 6)
+
+    def test_average_degree_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            LabeledGraph().average_degree()
+
+
+class TestLabels:
+    def test_set_and_add_label(self, triangle_graph):
+        triangle_graph.add_label(1, "extra")
+        assert triangle_graph.has_label(1, "extra")
+        triangle_graph.set_labels(1, ["only"])
+        assert triangle_graph.labels_of(1) == frozenset({"only"})
+
+    def test_set_label_missing_node(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.set_labels(42, ["a"])
+
+    def test_nodes_with_label(self, triangle_graph):
+        assert set(triangle_graph.nodes_with_label("a")) == {1, 2}
+        assert triangle_graph.nodes_with_label("missing") == []
+
+    def test_all_labels(self, triangle_graph):
+        assert triangle_graph.all_labels() == {"a", "b"}
+
+    def test_validate_target_labels_passes_single_present(self, triangle_graph):
+        # One label present, the other absent: allowed (true count is 0).
+        validate_target_labels(triangle_graph, "a", "zzz")
+
+    def test_validate_target_labels_raises_both_absent(self, triangle_graph):
+        with pytest.raises(LabelError):
+            validate_target_labels(triangle_graph, "qq", "zzz")
+
+
+class TestTargetEdges:
+    def test_is_target_edge_both_orientations(self, triangle_graph):
+        assert triangle_graph.is_target_edge(1, 3, "a", "b")
+        assert triangle_graph.is_target_edge(3, 1, "a", "b")
+        assert triangle_graph.is_target_edge(1, 3, "b", "a")
+
+    def test_is_target_edge_false_for_same_label_pair(self, triangle_graph):
+        assert not triangle_graph.is_target_edge(1, 2, "a", "b")
+
+    def test_is_target_edge_missing_edge(self, star_graph):
+        with pytest.raises(EdgeNotFoundError):
+            star_graph.is_target_edge(1, 2, "hub", "leaf")
+
+    def test_same_label_target(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)
+        graph.set_labels(1, ["a"])
+        graph.set_labels(2, ["a"])
+        assert graph.is_target_edge(1, 2, "a", "a")
+
+    def test_target_edges_incident_to(self, triangle_graph):
+        assert triangle_graph.target_edges_incident_to(3, "a", "b") == 2
+        assert triangle_graph.target_edges_incident_to(1, "a", "b") == 1
+        assert triangle_graph.target_edges_incident_to(2, "a", "b") == 1
+
+    def test_target_edges_incident_to_unlabeled_node(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)
+        graph.set_labels(1, ["a"])
+        # node 2 has no labels at all
+        assert graph.target_edges_incident_to(2, "a", "b") == 0
+
+    def test_target_incident_sums_to_twice_count(self, path_graph):
+        total = sum(
+            path_graph.target_edges_incident_to(node, "x", "y") for node in path_graph.nodes()
+        )
+        assert total == 2 * 3
+
+    def test_node_with_both_labels(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 3)
+        graph.set_labels(1, ["a", "b"])
+        graph.set_labels(2, ["a"])
+        graph.set_labels(3, ["b"])
+        # Edge (1,2): 1 has b, 2 has a -> target.  Edge (1,3): 1 has a, 3 has b -> target.
+        assert graph.target_edges_incident_to(1, "a", "b") == 2
+
+
+class TestConversions:
+    def test_to_from_networkx_roundtrip(self, triangle_graph):
+        nx_graph = triangle_graph.to_networkx()
+        rebuilt = LabeledGraph.from_networkx(nx_graph)
+        assert rebuilt.num_nodes == triangle_graph.num_nodes
+        assert rebuilt.num_edges == triangle_graph.num_edges
+        assert rebuilt.labels_of(3) == frozenset({"b"})
+
+    def test_from_networkx_scalar_label(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph()
+        nx_graph.add_node(1, labels="solo")
+        nx_graph.add_node(2)
+        nx_graph.add_edge(1, 2)
+        graph = LabeledGraph.from_networkx(nx_graph)
+        assert graph.labels_of(1) == frozenset({"solo"})
+        assert graph.labels_of(2) == frozenset()
+
+    def test_from_edges_with_labels(self):
+        graph = LabeledGraph.from_edges([(1, 2), (2, 2), (2, 3)], {1: ["a"], 3: ["b"]})
+        # the self-loop (2, 2) is silently dropped
+        assert graph.num_edges == 2
+        assert graph.labels_of(1) == frozenset({"a"})
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.add_edge(1, 4)
+        clone.add_label(1, "new")
+        assert not triangle_graph.has_node(4)
+        assert not triangle_graph.has_label(1, "new")
+        assert clone.num_edges == triangle_graph.num_edges + 1

@@ -1,0 +1,135 @@
+"""Unit tests for the labeled wedge / triangle extension."""
+
+import statistics
+
+import pytest
+
+from repro.extensions.labeled_motifs import (
+    LabeledTriangleEstimator,
+    LabeledWedgeEstimator,
+    count_target_triangles,
+    count_target_wedges,
+)
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+from repro.utils.rng import spawn_rngs
+
+
+@pytest.fixture
+def labeled_square_with_diagonal():
+    """4-cycle 1-2-3-4 plus the diagonal 1-3; labels a, b, a, c."""
+    graph = LabeledGraph.from_edges(
+        [(1, 2), (2, 3), (3, 4), (4, 1), (1, 3)],
+        {1: ["a"], 2: ["b"], 3: ["a"], 4: ["c"]},
+    )
+    return graph
+
+
+class TestExactWedgeCount:
+    def test_triangle_fixture(self, triangle_graph):
+        # wedges a-b-a: center must be labeled 'b' (only node 3? no - 3 is 'b'?)
+        # triangle fixture: 1:'a', 2:'a', 3:'b'.  Wedge a - b - a: center 3,
+        # endpoints 1 and 2 -> exactly one wedge.
+        assert count_target_wedges(triangle_graph, "a", "b", "a") == 1
+
+    def test_distinct_end_labels(self, labeled_square_with_diagonal):
+        graph = labeled_square_with_diagonal
+        # wedges b - a - c: centers labeled 'a' are 1 and 3; each has
+        # neighbors 2 ('b') and 4 ('c') -> one wedge per center.
+        assert count_target_wedges(graph, "b", "a", "c") == 2
+
+    def test_same_end_labels(self, labeled_square_with_diagonal):
+        graph = labeled_square_with_diagonal
+        # wedges a - b - a: center 2 has neighbors 1 and 3 (both 'a') -> 1.
+        assert count_target_wedges(graph, "a", "b", "a") == 1
+        # wedges a - c - a: center 4 has neighbors 1 and 3 (both 'a') -> 1.
+        assert count_target_wedges(graph, "a", "c", "a") == 1
+
+    def test_missing_center_label(self, labeled_square_with_diagonal):
+        assert count_target_wedges(labeled_square_with_diagonal, "a", "zzz", "a") == 0
+
+    def test_endpoints_with_both_labels_counted_once(self):
+        graph = LabeledGraph.from_edges(
+            [(0, 1), (0, 2)], {0: ["c"], 1: ["x", "y"], 2: ["x", "y"]}
+        )
+        # The single unordered endpoint pair {1, 2} can be assigned (x, y)
+        # in two ways but is one wedge.
+        assert count_target_wedges(graph, "x", "c", "y") == 1
+
+    def test_star_wedges(self, star_graph):
+        # center 'hub' with 5 'leaf' neighbors: C(5, 2) = 10 leaf-hub-leaf wedges.
+        assert count_target_wedges(star_graph, "leaf", "hub", "leaf") == 10
+
+
+class TestExactTriangleCount:
+    def test_single_triangle(self, triangle_graph):
+        assert count_target_triangles(triangle_graph, "a", "a", "b") == 1
+        assert count_target_triangles(triangle_graph, "a", "b", "a") == 1
+
+    def test_label_mismatch(self, triangle_graph):
+        assert count_target_triangles(triangle_graph, "b", "b", "a") == 0
+
+    def test_square_with_diagonal(self, labeled_square_with_diagonal):
+        graph = labeled_square_with_diagonal
+        # triangles: {1,2,3} labels (a,b,a) and {1,3,4} labels (a,a,c)
+        assert count_target_triangles(graph, "a", "b", "a") == 1
+        assert count_target_triangles(graph, "a", "a", "c") == 1
+        assert count_target_triangles(graph, "a", "b", "c") == 0
+
+    def test_all_same_label(self):
+        graph = LabeledGraph.from_edges(
+            [(1, 2), (2, 3), (1, 3), (3, 4)], {1: ["a"], 2: ["a"], 3: ["a"], 4: ["a"]}
+        )
+        assert count_target_triangles(graph, "a", "a", "a") == 1
+
+
+class TestWedgeEstimator:
+    def test_mean_converges_to_truth(self, gender_osn):
+        truth = count_target_wedges(gender_osn, 1, 2, 1)
+        estimates = []
+        for rng in spawn_rngs(303, 15):
+            api = RestrictedGraphAPI(gender_osn)
+            estimator = LabeledWedgeEstimator(api, 1, 2, 1, burn_in=50, rng=rng)
+            estimates.append(estimator.estimate(150).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.25)
+
+    def test_zero_when_center_label_missing(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        estimator = LabeledWedgeEstimator(api, 1, 404, 2, burn_in=20, rng=1)
+        assert estimator.estimate(50).estimate == 0.0
+
+    def test_result_metadata(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        result = LabeledWedgeEstimator(api, 1, 2, 1, burn_in=20, rng=2).estimate(40)
+        assert result.estimator == "LabeledWedge-HH"
+        assert result.sample_size == 40
+        assert result.api_calls > 0
+        assert result.details["explored_centers"] >= 0
+
+    def test_invalid_k(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        with pytest.raises(Exception):
+            LabeledWedgeEstimator(api, 1, 2, 1, rng=1).estimate(0)
+
+
+class TestTriangleEstimator:
+    def test_mean_converges_to_truth(self, gender_osn):
+        truth = count_target_triangles(gender_osn, 1, 1, 2)
+        assert truth > 0
+        estimates = []
+        for rng in spawn_rngs(404, 15):
+            api = RestrictedGraphAPI(gender_osn)
+            estimator = LabeledTriangleEstimator(api, 1, 1, 2, burn_in=50, rng=rng)
+            estimates.append(estimator.estimate(150).estimate)
+        assert statistics.mean(estimates) == pytest.approx(truth, rel=0.3)
+
+    def test_zero_when_labels_missing(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        estimator = LabeledTriangleEstimator(api, 404, 405, 406, burn_in=20, rng=1)
+        assert estimator.estimate(50).estimate == 0.0
+
+    def test_result_metadata(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        result = LabeledTriangleEstimator(api, 1, 2, 2, burn_in=20, rng=3).estimate(30)
+        assert result.estimator == "LabeledTriangle-HH"
+        assert result.details["triangle_incidences"] >= 0

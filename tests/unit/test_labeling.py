@@ -1,0 +1,151 @@
+"""Unit tests for the label-assignment models."""
+
+import math
+
+import pytest
+
+from repro.datasets.labeling import (
+    POKEC_LOCATIONS,
+    assign_binary_labels,
+    assign_degree_bucket_labels,
+    assign_zipf_labels,
+    binary_fraction_for_cross_edge_share,
+    default_degree_thresholds,
+    location_name,
+    zipf_weights,
+)
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.exceptions import ConfigurationError
+from repro.graph.statistics import count_target_edges, label_histogram
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return powerlaw_cluster_osn(800, 6, 0.3, rng=5)
+
+
+class TestBinaryFraction:
+    def test_inverts_cross_share(self):
+        p = binary_fraction_for_cross_edge_share(0.42)
+        assert 2 * p * (1 - p) == pytest.approx(0.42)
+
+    def test_half_gives_half(self):
+        assert binary_fraction_for_cross_edge_share(0.5) == pytest.approx(0.5)
+
+    def test_above_half_impossible(self):
+        with pytest.raises(ConfigurationError):
+            binary_fraction_for_cross_edge_share(0.6)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            binary_fraction_for_cross_edge_share(0.0)
+
+
+class TestBinaryLabels:
+    def test_every_node_gets_exactly_one_label(self, topology):
+        graph = topology.copy()
+        assign_binary_labels(graph, 0.5, rng=1)
+        for node in graph.nodes():
+            labels = graph.labels_of(node)
+            assert len(labels) == 1
+            assert labels <= {1, 2}
+
+    def test_cross_share_matches_probability(self, topology):
+        graph = topology.copy()
+        target = 0.424
+        probability = binary_fraction_for_cross_edge_share(target)
+        assign_binary_labels(graph, probability, rng=3)
+        achieved = count_target_edges(graph, 1, 2) / graph.num_edges
+        assert achieved == pytest.approx(target, abs=0.06)
+
+    def test_custom_label_values(self, topology):
+        graph = topology.copy()
+        assign_binary_labels(graph, 0.3, labels=(7, 9), rng=2)
+        assert graph.all_labels() <= {7, 9}
+
+    def test_homophily_increases_assortativity(self, topology):
+        independent = topology.copy()
+        assortative = topology.copy()
+        assign_binary_labels(independent, 0.5, rng=4, homophily=0.0)
+        assign_binary_labels(assortative, 0.5, rng=4, homophily=0.9)
+        cross_independent = count_target_edges(independent, 1, 2) / independent.num_edges
+        cross_assortative = count_target_edges(assortative, 1, 2) / assortative.num_edges
+        assert cross_assortative <= cross_independent
+
+    def test_invalid_homophily(self, topology):
+        with pytest.raises(ConfigurationError):
+            assign_binary_labels(topology.copy(), 0.5, homophily=1.0)
+
+    def test_reproducible(self, topology):
+        first = topology.copy()
+        second = topology.copy()
+        assign_binary_labels(first, 0.5, rng=6)
+        assign_binary_labels(second, 0.5, rng=6)
+        assert all(first.labels_of(n) == second.labels_of(n) for n in first.nodes())
+
+
+class TestZipfLabels:
+    def test_weights(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3, 0.25])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_weights(5, 0.0)
+
+    def test_every_node_gets_one_label_in_range(self, topology):
+        graph = topology.copy()
+        assign_zipf_labels(graph, num_labels=30, exponent=1.2, rng=7)
+        for node in graph.nodes():
+            labels = list(graph.labels_of(node))
+            assert len(labels) == 1
+            assert 1 <= labels[0] <= 30
+
+    def test_head_labels_more_popular_than_tail(self, topology):
+        graph = topology.copy()
+        assign_zipf_labels(graph, num_labels=30, exponent=1.2, rng=8)
+        histogram = label_histogram(graph)
+        head = histogram.get(1, 0)
+        tail = histogram.get(30, 0)
+        assert head > tail
+
+    def test_label_offset(self, topology):
+        graph = topology.copy()
+        assign_zipf_labels(graph, num_labels=5, exponent=1.0, rng=9, label_offset=100)
+        assert min(graph.all_labels()) >= 100
+
+
+class TestDegreeBucketLabels:
+    def test_default_thresholds_are_powers_of_two(self):
+        assert default_degree_thresholds(20) == [1, 2, 4, 8, 16]
+
+    def test_bucket_assignment(self, topology):
+        graph = topology.copy()
+        assign_degree_bucket_labels(graph)
+        for node in list(graph.nodes())[:200]:
+            label = next(iter(graph.labels_of(node)))
+            degree = graph.degree(node)
+            thresholds = default_degree_thresholds(graph.max_degree())
+            assert thresholds[label] <= degree
+            if label + 1 < len(thresholds):
+                assert degree < thresholds[label + 1]
+
+    def test_custom_thresholds(self, star_graph):
+        assign_degree_bucket_labels(star_graph, thresholds=[1, 3])
+        assert star_graph.labels_of(0) == frozenset({1})   # degree 5 >= 3
+        assert star_graph.labels_of(1) == frozenset({0})   # degree 1 < 3
+
+    def test_invalid_thresholds(self, star_graph):
+        with pytest.raises(ConfigurationError):
+            assign_degree_bucket_labels(star_graph, thresholds=[0, 2])
+
+
+class TestLocationNames:
+    def test_known_location(self):
+        assert POKEC_LOCATIONS[86].startswith("bratislavsky")
+        assert location_name(86) == POKEC_LOCATIONS[86]
+
+    def test_synthetic_location(self):
+        assert "okres 999" in location_name(999)

@@ -1,0 +1,107 @@
+"""Unit tests for the line-graph transform and its lazy API view."""
+
+import pytest
+
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.line_graph import LineGraphAPI, LineGraphNode, build_line_graph, edge_is_target
+from repro.graph.statistics import count_target_edges
+
+
+class TestLineGraphNode:
+    def test_canonical_order(self):
+        assert LineGraphNode.from_edge(2, 1) == LineGraphNode.from_edge(1, 2)
+
+    def test_endpoints(self):
+        node = LineGraphNode.from_edge(5, 3)
+        assert set(node.endpoints()) == {3, 5}
+
+    def test_shares_endpoint(self):
+        a = LineGraphNode.from_edge(1, 2)
+        b = LineGraphNode.from_edge(2, 3)
+        c = LineGraphNode.from_edge(4, 5)
+        assert a.shares_endpoint(b)
+        assert not a.shares_endpoint(c)
+
+    def test_hashable_and_usable_as_graph_node(self):
+        nodes = {LineGraphNode.from_edge(1, 2), LineGraphNode.from_edge(2, 1)}
+        assert len(nodes) == 1
+
+
+class TestEdgeIsTarget:
+    def test_both_orientations(self):
+        assert edge_is_target(frozenset({"a"}), frozenset({"b"}), "a", "b")
+        assert edge_is_target(frozenset({"b"}), frozenset({"a"}), "a", "b")
+
+    def test_negative(self):
+        assert not edge_is_target(frozenset({"a"}), frozenset({"a"}), "a", "b")
+
+    def test_same_label_pair(self):
+        assert edge_is_target(frozenset({"a"}), frozenset({"a"}), "a", "a")
+
+
+class TestBuildLineGraph:
+    def test_triangle_line_graph_is_triangle(self, triangle_graph):
+        line = build_line_graph(triangle_graph, "a", "b")
+        assert line.num_nodes == 3
+        assert line.num_edges == 3
+
+    def test_star_line_graph_is_complete(self, star_graph):
+        line = build_line_graph(star_graph, "hub", "leaf")
+        # 5 edges sharing the hub -> K5 with 10 edges
+        assert line.num_nodes == 5
+        assert line.num_edges == 10
+
+    def test_target_labels_match_target_edges(self, triangle_graph):
+        line = build_line_graph(triangle_graph, "a", "b")
+        target_nodes = [n for n in line.nodes() if line.has_label(n, "target")]
+        assert len(target_nodes) == count_target_edges(triangle_graph, "a", "b")
+
+    def test_path_line_graph(self, path_graph):
+        line = build_line_graph(path_graph, "x", "y")
+        assert line.num_nodes == 3
+        assert line.num_edges == 2
+
+
+class TestLineGraphAPI:
+    @pytest.fixture
+    def line_api(self, triangle_graph):
+        return LineGraphAPI(RestrictedGraphAPI(triangle_graph), "a", "b")
+
+    def test_num_nodes_equals_num_edges_of_g(self, line_api, triangle_graph):
+        assert line_api.num_nodes == triangle_graph.num_edges
+
+    def test_degree_formula(self, line_api):
+        node = LineGraphNode.from_edge(1, 2)
+        assert line_api.degree(node) == 2 + 2 - 2
+
+    def test_neighbors_match_materialised_line_graph(self, triangle_graph, line_api):
+        materialised = build_line_graph(triangle_graph, "a", "b")
+        node = LineGraphNode.from_edge(1, 2)
+        lazy = set(line_api.neighbors(node))
+        exact = set(materialised.neighbors(node))
+        assert lazy == exact
+
+    def test_neighbors_exclude_self(self, line_api):
+        node = LineGraphNode.from_edge(1, 2)
+        assert node not in line_api.neighbors(node)
+
+    def test_is_target(self, line_api):
+        assert line_api.is_target(LineGraphNode.from_edge(1, 3))
+        assert not line_api.is_target(LineGraphNode.from_edge(1, 2))
+
+    def test_random_node_is_valid_edge(self, triangle_graph, line_api):
+        node = line_api.random_node(rng=5)
+        u, v = node.endpoints()
+        assert triangle_graph.has_edge(u, v)
+
+    def test_api_calls_are_charged_on_original_api(self, triangle_graph):
+        api = RestrictedGraphAPI(triangle_graph)
+        line_api = LineGraphAPI(api, "a", "b")
+        line_api.neighbors(LineGraphNode.from_edge(1, 2))
+        assert api.api_calls > 0
+
+    def test_star_lazy_neighbors(self, star_graph):
+        line_api = LineGraphAPI(RestrictedGraphAPI(star_graph), "hub", "leaf")
+        node = LineGraphNode.from_edge(0, 1)
+        assert len(line_api.neighbors(node)) == 4

@@ -1,0 +1,76 @@
+"""Unit tests for the NRMSE / bias / variance metrics."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.metrics import (
+    bias,
+    empirical_variance,
+    nrmse,
+    nrmse_decomposition,
+    relative_bias,
+)
+
+
+class TestNRMSE:
+    def test_perfect_estimates_give_zero(self):
+        assert nrmse([100.0, 100.0, 100.0], 100.0) == 0.0
+
+    def test_known_value(self):
+        # estimates 90 and 110 against truth 100: RMSE = 10, NRMSE = 0.1
+        assert nrmse([90.0, 110.0], 100.0) == pytest.approx(0.1)
+
+    def test_pure_bias(self):
+        assert nrmse([120.0, 120.0], 100.0) == pytest.approx(0.2)
+
+    def test_captures_both_bias_and_variance(self):
+        pure_variance = nrmse([90.0, 110.0], 100.0)
+        biased = nrmse([100.0, 120.0], 100.0)
+        assert biased > pure_variance
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            nrmse([], 10.0)
+
+    def test_zero_truth_raises(self):
+        with pytest.raises(ExperimentError):
+            nrmse([1.0], 0.0)
+
+
+class TestBias:
+    def test_bias(self):
+        assert bias([90.0, 110.0], 100.0) == pytest.approx(0.0)
+        assert bias([110.0, 110.0], 100.0) == pytest.approx(10.0)
+
+    def test_relative_bias(self):
+        assert relative_bias([110.0, 110.0], 100.0) == pytest.approx(0.1)
+
+
+class TestVariance:
+    def test_constant_estimates(self):
+        assert empirical_variance([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_variance(self):
+        assert empirical_variance([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            empirical_variance([])
+
+
+class TestDecomposition:
+    def test_shares_sum_to_one(self):
+        parts = nrmse_decomposition([90.0, 120.0, 95.0], 100.0)
+        assert parts["variance_share"] + parts["bias_share"] == pytest.approx(1.0)
+        assert parts["nrmse"] == pytest.approx(nrmse([90.0, 120.0, 95.0], 100.0))
+
+    def test_unbiased_case_is_all_variance(self):
+        parts = nrmse_decomposition([90.0, 110.0], 100.0)
+        assert parts["variance_share"] == pytest.approx(1.0)
+
+    def test_degenerate_perfect_estimates(self):
+        parts = nrmse_decomposition([50.0, 50.0], 50.0)
+        assert parts["nrmse"] == 0.0
+        assert parts["variance_share"] == 0.0

@@ -1,0 +1,134 @@
+"""Unit tests for the mixing-time machinery."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.exceptions import EmptyGraphError, MixingTimeError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.mixing import (
+    exact_mixing_time,
+    node_index,
+    recommended_burn_in,
+    spectral_gap,
+    spectral_mixing_bound,
+    stationary_distribution,
+    total_variation_distance,
+    transition_matrix,
+)
+
+
+@pytest.fixture
+def small_graph():
+    return LabeledGraph.from_edges([(1, 2), (2, 3), (1, 3), (3, 4)])
+
+
+class TestMatrices:
+    def test_transition_matrix_is_row_stochastic(self, small_graph):
+        matrix = transition_matrix(small_graph)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_transition_matrix_empty_graph(self):
+        with pytest.raises(EmptyGraphError):
+            transition_matrix(LabeledGraph())
+
+    def test_stationary_distribution_is_degree_proportional(self, small_graph):
+        index = node_index(small_graph)
+        pi = stationary_distribution(small_graph, index)
+        assert pi.sum() == pytest.approx(1.0)
+        assert pi[index[3]] == pytest.approx(3 / 8)
+        assert pi[index[4]] == pytest.approx(1 / 8)
+
+    def test_stationary_distribution_is_fixed_point(self, small_graph):
+        index = node_index(small_graph)
+        matrix = transition_matrix(small_graph, index)
+        pi = stationary_distribution(small_graph, index)
+        assert np.allclose(pi @ matrix, pi)
+
+    def test_stationary_needs_edges(self):
+        graph = LabeledGraph()
+        graph.add_node(1)
+        with pytest.raises(EmptyGraphError):
+            stationary_distribution(graph)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestExactMixingTime:
+    def test_positive_and_bounded(self, small_graph):
+        mixing = exact_mixing_time(small_graph, epsilon=1e-2, max_steps=500)
+        assert 1 <= mixing <= 500
+
+    def test_smaller_epsilon_needs_more_steps(self, small_graph):
+        loose = exact_mixing_time(small_graph, epsilon=1e-1, max_steps=1000)
+        tight = exact_mixing_time(small_graph, epsilon=1e-4, max_steps=1000)
+        assert tight >= loose
+
+    def test_subset_of_starts_is_lower_bound(self, small_graph):
+        full = exact_mixing_time(small_graph, epsilon=1e-3, max_steps=1000)
+        partial = exact_mixing_time(small_graph, epsilon=1e-3, max_steps=1000, start_nodes=[3])
+        assert partial <= full
+
+    def test_bipartite_graph_does_not_mix(self):
+        # A single edge is bipartite: the walk oscillates and never converges.
+        graph = LabeledGraph.from_edges([(1, 2)])
+        with pytest.raises(MixingTimeError):
+            exact_mixing_time(graph, epsilon=1e-3, max_steps=50)
+
+
+class TestSpectral:
+    def test_gap_in_unit_interval(self, small_graph):
+        gap = spectral_gap(small_graph)
+        assert 0.0 < gap <= 1.0
+
+    def test_gap_of_bipartite_graph_is_zero(self):
+        graph = LabeledGraph.from_edges([(1, 2)])
+        assert spectral_gap(graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_spectral_bound_dominates_exact(self, small_graph):
+        exact = exact_mixing_time(small_graph, epsilon=1e-3, max_steps=2000)
+        bound = spectral_mixing_bound(small_graph, epsilon=1e-3)
+        assert bound >= exact
+
+    def test_spectral_bound_bipartite_raises(self):
+        graph = LabeledGraph.from_edges([(1, 2)])
+        with pytest.raises(MixingTimeError):
+            spectral_mixing_bound(graph)
+
+    def test_sparse_and_dense_paths_agree(self):
+        graph = powerlaw_cluster_osn(300, 3, 0.2, rng=5)
+        from repro.walks import mixing as mixing_module
+
+        dense_gap = spectral_gap(graph)
+        original_limit = mixing_module._DENSE_EIGEN_LIMIT
+        mixing_module._DENSE_EIGEN_LIMIT = 10  # force the sparse path
+        try:
+            sparse_gap = spectral_gap(graph)
+        finally:
+            mixing_module._DENSE_EIGEN_LIMIT = original_limit
+        assert sparse_gap == pytest.approx(dense_gap, rel=1e-6)
+
+
+class TestRecommendedBurnIn:
+    def test_small_graph_uses_exact(self, small_graph):
+        burn_in = recommended_burn_in(small_graph, epsilon=1e-2, rng=1)
+        assert burn_in >= 1
+
+    def test_large_graph_uses_spectral_bound(self):
+        graph = powerlaw_cluster_osn(2500, 3, 0.2, rng=7)
+        burn_in = recommended_burn_in(graph, rng=1, exact_threshold=1000)
+        assert 1 <= burn_in <= 4 * graph.num_nodes
+
+    def test_deterministic_given_seed(self, small_graph):
+        assert recommended_burn_in(small_graph, rng=3) == recommended_burn_in(small_graph, rng=3)

@@ -1,0 +1,77 @@
+"""Unit tests for the NeighborExploration sampling process (Algorithm 2)."""
+
+import pytest
+
+from repro.core.samplers import NeighborExplorationSampler
+from repro.exceptions import ConfigurationError
+from repro.graph.api import RestrictedGraphAPI
+
+
+class TestNeighborExploration:
+    def test_sample_count(self, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=10, rng=1)
+        assert sampler.sample(40).k == 40
+
+    def test_degrees_match_graph(self, gender_osn, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=10, rng=2)
+        for sample in sampler.sample(60):
+            assert sample.degree == gender_osn.degree(sample.node)
+
+    def test_incident_counts_match_ground_truth(self, gender_osn, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=10, rng=3)
+        for sample in sampler.sample(60):
+            expected = gender_osn.target_edges_incident_to(sample.node, 1, 2)
+            assert sample.incident_target_edges == expected
+
+    def test_has_target_label_flag(self, gender_osn, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=10, rng=4)
+        for sample in sampler.sample(60):
+            labels = gender_osn.labels_of(sample.node)
+            assert sample.has_target_label == (1 in labels or 2 in labels)
+
+    def test_unlabeled_nodes_not_explored(self, rare_label_osn):
+        """Nodes without a target label must report T(u) = 0 and no exploration."""
+        api = RestrictedGraphAPI(rare_label_osn)
+        # Use two labels that exist; most nodes carry neither.
+        sampler = NeighborExplorationSampler(api, 3, 4, burn_in=10, rng=5)
+        samples = sampler.sample(100)
+        for sample in samples:
+            if not sample.has_target_label:
+                assert sample.incident_target_edges == 0
+        # At least some nodes should be unlabeled for this rare pair.
+        assert any(not sample.has_target_label for sample in samples)
+
+    def test_prior_knowledge_and_api_calls(self, gender_osn, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=5, rng=6)
+        samples = sampler.sample(10)
+        assert samples.num_edges == gender_osn.num_edges
+        assert samples.num_nodes == gender_osn.num_nodes
+        assert samples.api_calls_used == gender_api.api_calls
+
+    def test_reproducible_with_seed(self, gender_osn):
+        runs = []
+        for _ in range(2):
+            sampler = NeighborExplorationSampler(
+                RestrictedGraphAPI(gender_osn), 1, 2, burn_in=10, rng=77
+            )
+            runs.append([s.node for s in sampler.sample(25)])
+        assert runs[0] == runs[1]
+
+    def test_invalid_k(self, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, rng=1)
+        with pytest.raises(ConfigurationError):
+            sampler.sample(-3)
+
+    def test_independent_mode(self, gender_api):
+        sampler = NeighborExplorationSampler(gender_api, 1, 2, burn_in=5, rng=9)
+        samples = sampler.sample(5, single_walk=False)
+        assert samples.k == 5
+
+    def test_exploration_cost_reflected_in_api_calls(self, gender_osn):
+        """Exploring labeled nodes costs extra neighbor-page downloads."""
+        api_with_labels = RestrictedGraphAPI(gender_osn, cache=False)
+        api_rare = RestrictedGraphAPI(gender_osn, cache=False)
+        NeighborExplorationSampler(api_with_labels, 1, 2, burn_in=10, rng=10).sample(30)
+        # Labels 98/99 exist on no node: no exploration ever happens.
+        NeighborExplorationSampler(api_rare, 98, 99, burn_in=10, rng=10).sample(30)
+        assert api_with_labels.api_calls > api_rare.api_calls

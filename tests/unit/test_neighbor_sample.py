@@ -1,0 +1,96 @@
+"""Unit tests for the NeighborSample sampling process (Algorithm 1)."""
+
+import pytest
+
+from repro.core.samplers import NeighborSampleSampler
+from repro.exceptions import ConfigurationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.statistics import count_target_edges
+from repro.walks.kernels import NonBacktrackingKernel
+
+
+class TestSingleWalkSampling:
+    def test_sample_count(self, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=20, rng=1)
+        samples = sampler.sample(50)
+        assert samples.k == 50
+
+    def test_samples_are_real_edges(self, gender_osn, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=20, rng=2)
+        samples = sampler.sample(100)
+        for sample in samples:
+            assert gender_osn.has_edge(sample.u, sample.v)
+
+    def test_target_flags_are_correct(self, gender_osn, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=20, rng=3)
+        samples = sampler.sample(100)
+        for sample in samples:
+            assert sample.is_target == gender_osn.is_target_edge(sample.u, sample.v, 1, 2)
+
+    def test_prior_knowledge_recorded(self, gender_osn, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=5, rng=4)
+        samples = sampler.sample(10)
+        assert samples.num_edges == gender_osn.num_edges
+        assert samples.num_nodes == gender_osn.num_nodes
+        assert samples.target_labels == (1, 2)
+
+    def test_api_calls_recorded(self, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=5, rng=5)
+        samples = sampler.sample(10)
+        assert samples.api_calls_used == gender_api.api_calls
+        assert samples.api_calls_used > 0
+
+    def test_step_indices_are_sequential(self, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=5, rng=6)
+        samples = sampler.sample(20)
+        assert [s.step_index for s in samples] == list(range(20))
+
+    def test_reproducible_with_seed(self, gender_osn):
+        first = NeighborSampleSampler(RestrictedGraphAPI(gender_osn), 1, 2, burn_in=10, rng=7)
+        second = NeighborSampleSampler(RestrictedGraphAPI(gender_osn), 1, 2, burn_in=10, rng=7)
+        edges_first = [(s.u, s.v) for s in first.sample(30)]
+        edges_second = [(s.u, s.v) for s in second.sample(30)]
+        assert edges_first == edges_second
+
+    def test_invalid_k(self, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, rng=1)
+        with pytest.raises(ConfigurationError):
+            sampler.sample(0)
+
+    def test_non_backtracking_kernel_supported(self, gender_api):
+        sampler = NeighborSampleSampler(
+            gender_api, 1, 2, burn_in=10, kernel=NonBacktrackingKernel(), rng=8
+        )
+        samples = sampler.sample(30)
+        assert samples.k == 30
+
+    def test_target_hit_rate_tracks_edge_fraction(self, gender_osn):
+        """Uniform edge sampling: the hit rate must be close to F/|E|."""
+        api = RestrictedGraphAPI(gender_osn)
+        sampler = NeighborSampleSampler(api, 1, 2, burn_in=50, rng=9)
+        samples = sampler.sample(4000)
+        hit_rate = len(samples.target_samples()) / samples.k
+        true_fraction = count_target_edges(gender_osn, 1, 2) / gender_osn.num_edges
+        assert hit_rate == pytest.approx(true_fraction, abs=0.06)
+
+
+class TestIndependentSampling:
+    def test_sample_count(self, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=5, rng=11)
+        samples = sampler.sample(5, single_walk=False)
+        assert samples.k == 5
+
+    def test_independent_sampling_uses_more_api_calls(self, gender_osn):
+        single_api = RestrictedGraphAPI(gender_osn, cache=False)
+        multi_api = RestrictedGraphAPI(gender_osn, cache=False)
+        k, burn_in = 10, 30
+        NeighborSampleSampler(single_api, 1, 2, burn_in=burn_in, rng=12).sample(k)
+        NeighborSampleSampler(multi_api, 1, 2, burn_in=burn_in, rng=12).sample(
+            k, single_walk=False
+        )
+        assert multi_api.api_calls > single_api.api_calls
+
+    def test_samples_are_real_edges(self, gender_osn, gender_api):
+        sampler = NeighborSampleSampler(gender_api, 1, 2, burn_in=5, rng=13)
+        for sample in sampler.sample(5, single_walk=False):
+            assert gender_osn.has_edge(sample.u, sample.v)

@@ -1,0 +1,68 @@
+"""Tests for the package's public surface (imports, exports, version)."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_exported(self):
+        assert callable(repro.estimate_target_edge_count)
+        assert callable(repro.load_dataset)
+        assert callable(repro.count_target_edges)
+        assert "NeighborSample-HH" in repro.ALGORITHMS
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.core.samplers",
+            "repro.core.estimators",
+            "repro.core.selector",
+            "repro.graph",
+            "repro.walks",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.extensions",
+            "repro.osn",
+            "repro.utils",
+            "repro.cli",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_lists_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.graph",
+            "repro.walks",
+            "repro.baselines",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.extensions",
+            "repro.osn",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestDunderMain:
+    def test_python_dash_m_entrypoint(self, capsys):
+        # ``python -m repro`` routes through repro.__main__ / repro.cli.main;
+        # exercise the module the same way runpy would, with --help.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        assert "repro-osn" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Unit tests for the high-level estimation pipeline."""
+
+import pytest
+
+from repro.core.pipeline import (
+    ALGORITHMS,
+    available_algorithms,
+    estimate_target_edge_count,
+    resolve_sample_size,
+)
+from repro.exceptions import ConfigurationError, LabelError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.statistics import count_target_edges
+
+
+class TestRegistry:
+    def test_five_algorithms(self):
+        assert available_algorithms() == [
+            "NeighborSample-HH",
+            "NeighborSample-HT",
+            "NeighborExploration-HH",
+            "NeighborExploration-HT",
+            "NeighborExploration-RW",
+        ]
+
+    def test_specs_know_their_sampler(self):
+        assert ALGORITHMS["NeighborSample-HH"].sampler == "edge"
+        assert ALGORITHMS["NeighborExploration-RW"].sampler == "node"
+
+
+class TestResolveSampleSize:
+    def test_explicit_sample_size(self):
+        assert resolve_sample_size(1000, sample_size=42) == 42
+
+    def test_budget_fraction(self):
+        assert resolve_sample_size(1000, budget_fraction=0.05) == 50
+
+    def test_default_is_five_percent(self):
+        assert resolve_sample_size(1000) == 50
+
+    def test_minimum_of_one(self):
+        assert resolve_sample_size(10, budget_fraction=0.001) == 1
+
+    def test_both_given_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_sample_size(1000, sample_size=10, budget_fraction=0.1)
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            resolve_sample_size(1000, sample_size=0)
+        with pytest.raises(ConfigurationError):
+            resolve_sample_size(1000, budget_fraction=1.5)
+
+
+class TestEstimateTargetEdgeCount:
+    @pytest.mark.parametrize("algorithm", available_algorithms())
+    def test_every_algorithm_runs(self, gender_osn, algorithm):
+        result = estimate_target_edge_count(
+            gender_osn, 1, 2, algorithm=algorithm, sample_size=80, burn_in=30, seed=5
+        )
+        assert result.estimate >= 0
+        assert result.estimator == algorithm
+
+    def test_accepts_restricted_api_with_explicit_burn_in(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        result = estimate_target_edge_count(
+            api, 1, 2, algorithm="NeighborSample-HH", sample_size=50, burn_in=20, seed=3
+        )
+        assert result.estimate >= 0
+
+    def test_api_without_burn_in_raises(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        with pytest.raises(ConfigurationError):
+            estimate_target_edge_count(api, 1, 2, sample_size=10, seed=3)
+
+    def test_burn_in_derived_from_graph(self, gender_osn):
+        result = estimate_target_edge_count(
+            gender_osn, 1, 2, algorithm="NeighborSample-HH", sample_size=40, seed=3
+        )
+        assert result.estimate >= 0
+
+    def test_unknown_algorithm(self, gender_osn):
+        with pytest.raises(ConfigurationError):
+            estimate_target_edge_count(gender_osn, 1, 2, algorithm="Nope", sample_size=10)
+
+    def test_both_labels_absent_raises(self, gender_osn):
+        with pytest.raises(LabelError):
+            estimate_target_edge_count(gender_osn, 404, 405, sample_size=10, burn_in=5)
+
+    def test_invalid_graph_type(self):
+        with pytest.raises(ConfigurationError):
+            estimate_target_edge_count("not a graph", 1, 2, sample_size=10, burn_in=5)
+
+    def test_reasonable_accuracy_on_abundant_labels(self, gender_osn):
+        truth = count_target_edges(gender_osn, 1, 2)
+        result = estimate_target_edge_count(
+            gender_osn,
+            1,
+            2,
+            algorithm="NeighborExploration-HH",
+            budget_fraction=0.25,
+            burn_in=60,
+            seed=11,
+        )
+        assert result.relative_error(truth) < 0.5
+
+    def test_seed_makes_it_reproducible(self, gender_osn):
+        first = estimate_target_edge_count(
+            gender_osn, 1, 2, algorithm="NeighborSample-HH", sample_size=60, burn_in=20, seed=9
+        )
+        second = estimate_target_edge_count(
+            gender_osn, 1, 2, algorithm="NeighborSample-HH", sample_size=60, burn_in=20, seed=9
+        )
+        assert first.estimate == second.estimate

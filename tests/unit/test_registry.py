@@ -1,0 +1,110 @@
+"""Unit tests for the dataset registry."""
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    clear_dataset_cache,
+    dataset_names,
+    load_dataset,
+    select_target_pairs,
+)
+from repro.exceptions import DatasetError
+from repro.graph.cleaning import is_connected
+from repro.graph.statistics import count_target_edges
+
+
+class TestSpecs:
+    def test_five_datasets_in_paper_order(self):
+        assert dataset_names() == ["facebook", "googleplus", "pokec", "orkut", "livejournal"]
+
+    def test_paper_scale_recorded(self):
+        assert DATASET_SPECS["facebook"].paper_num_nodes == 4_000
+        assert DATASET_SPECS["livejournal"].paper_num_edges == 42_800_000
+
+    def test_label_models(self):
+        assert DATASET_SPECS["facebook"].label_model == "gender"
+        assert DATASET_SPECS["pokec"].label_model == "location"
+        assert DATASET_SPECS["orkut"].label_model == "degree"
+
+
+class TestLoadDataset:
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            load_dataset("friendster")
+
+    def test_facebook_like(self):
+        dataset = load_dataset("facebook", seed=1, scale=0.1)
+        assert is_connected(dataset.graph)
+        assert dataset.target_pairs == [(1, 2)]
+        pair = dataset.target_pairs[0]
+        assert dataset.target_counts[pair] == count_target_edges(dataset.graph, *pair)
+        # Gender labels: the target edges are abundant.
+        assert dataset.fraction(pair) > 0.2
+
+    def test_pokec_like_has_rare_pairs(self):
+        dataset = load_dataset("pokec", seed=1, scale=0.1)
+        assert len(dataset.target_pairs) == 4
+        fractions = [dataset.fraction(pair) for pair in dataset.target_pairs]
+        # The quartile selection must span at least an order of magnitude.
+        assert min(fractions) < max(fractions) / 5
+        assert all(count > 0 for count in dataset.target_counts.values())
+
+    def test_degree_label_datasets(self):
+        for name in ("orkut", "livejournal"):
+            dataset = load_dataset(name, seed=1, scale=0.05)
+            assert len(dataset.target_pairs) == 4
+            assert all(count >= 20 for count in dataset.target_counts.values())
+
+    def test_cache_returns_same_object(self):
+        first = load_dataset("facebook", seed=3, scale=0.1)
+        second = load_dataset("facebook", seed=3, scale=0.1)
+        assert first is second
+
+    def test_cache_bypass(self):
+        first = load_dataset("facebook", seed=4, scale=0.1, use_cache=False)
+        second = load_dataset("facebook", seed=4, scale=0.1, use_cache=False)
+        assert first is not second
+        assert set(first.graph.edges()) == set(second.graph.edges())
+
+    def test_clear_cache(self):
+        first = load_dataset("facebook", seed=5, scale=0.1)
+        clear_dataset_cache()
+        second = load_dataset("facebook", seed=5, scale=0.1)
+        assert first is not second
+
+    def test_scale_changes_size(self):
+        small = load_dataset("facebook", seed=6, scale=0.05, use_cache=False)
+        large = load_dataset("facebook", seed=6, scale=0.2, use_cache=False)
+        assert large.graph.num_nodes > small.graph.num_nodes
+
+    def test_summary(self):
+        dataset = load_dataset("facebook", seed=1, scale=0.1)
+        summary = dataset.summary()
+        assert summary.name == "Facebook"
+        assert summary.num_nodes == dataset.graph.num_nodes
+
+    def test_invalid_scale(self):
+        with pytest.raises(Exception):
+            load_dataset("facebook", scale=0.0)
+
+
+class TestSelectTargetPairs:
+    def test_spans_frequency_range(self, rare_label_osn):
+        pairs = select_target_pairs(rare_label_osn, count=4, min_target_edges=5)
+        assert len(pairs) == 4
+        counts = [count_target_edges(rare_label_osn, *pair) for pair in pairs]
+        assert counts == sorted(counts)
+        assert all(count >= 5 for count in counts)
+
+    def test_excludes_same_label_pairs_by_default(self, rare_label_osn):
+        pairs = select_target_pairs(rare_label_osn, count=4, min_target_edges=5)
+        assert all(t1 != t2 for t1, t2 in pairs)
+
+    def test_no_qualifying_pairs_raises(self, triangle_graph):
+        with pytest.raises(DatasetError):
+            select_target_pairs(triangle_graph, count=2, min_target_edges=100)
+
+    def test_fewer_pairs_than_requested(self, triangle_graph):
+        pairs = select_target_pairs(triangle_graph, count=10, min_target_edges=1)
+        assert pairs == [("a", "b")]

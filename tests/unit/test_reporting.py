@@ -1,0 +1,90 @@
+"""Unit tests for table / figure rendering."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    best_algorithms,
+    format_frequency_series,
+    format_markdown_table,
+    format_nrmse_table,
+    format_summary_table,
+)
+from repro.experiments.runner import NRMSETable, TrialOutcome
+from repro.experiments.sweeps import FrequencyPoint
+
+
+@pytest.fixture
+def sample_table():
+    table = NRMSETable(
+        dataset="Toy",
+        target_pair=(1, 2),
+        true_count=100,
+        sample_sizes=[10, 50],
+        sample_fractions=[0.01, 0.05],
+    )
+    table.cells["AlgA"] = [
+        TrialOutcome("AlgA", 10, 100, estimates=[90.0, 110.0]),
+        TrialOutcome("AlgA", 50, 100, estimates=[95.0, 105.0]),
+    ]
+    table.cells["AlgB"] = [
+        TrialOutcome("AlgB", 10, 100, estimates=[60.0, 140.0]),
+        TrialOutcome("AlgB", 50, 100, estimates=[99.0, 101.0]),
+    ]
+    return table
+
+
+class TestNRMSETableRendering:
+    def test_contains_all_rows_and_columns(self, sample_table):
+        text = format_nrmse_table(sample_table)
+        assert "AlgA" in text and "AlgB" in text
+        assert "1.0%|V|" in text and "5.0%|V|" in text
+        assert "number of target edges=100" in text
+
+    def test_best_cell_marked(self, sample_table):
+        text = format_nrmse_table(sample_table)
+        # AlgA wins the first column (0.1 vs 0.4), AlgB the second.
+        assert "*0.100*" in text
+        assert "*0.010*" in text
+
+    def test_custom_caption(self, sample_table):
+        text = format_nrmse_table(sample_table, caption="My caption")
+        assert text.startswith("My caption")
+
+    def test_markdown_rendering(self, sample_table):
+        markdown = format_markdown_table(sample_table, caption="Table X")
+        assert markdown.count("|") > 10
+        assert "**Table X**" in markdown
+        assert "**0.100**" in markdown
+
+
+class TestSummaries:
+    def test_best_algorithms(self, sample_table):
+        name, value = best_algorithms(sample_table)
+        assert name == "AlgB"
+        assert value == pytest.approx(0.01)
+
+    def test_best_algorithms_first_column(self, sample_table):
+        name, _ = best_algorithms(sample_table, column=0)
+        assert name == "AlgA"
+
+    def test_summary_table(self):
+        text = format_summary_table(
+            [("Facebook", (1, 2), "NeighborSample-HT", 0.104)],
+            caption="Best algorithms",
+        )
+        assert "Facebook" in text
+        assert "NeighborSample-HT" in text
+        assert "0.104" in text
+
+
+class TestFrequencySeries:
+    def test_rendering(self):
+        points = [
+            FrequencyPoint((1, 2), 10, 0.001, {"AlgA": 0.5, "AlgB": 0.7}),
+            FrequencyPoint((3, 4), 100, 0.01, {"AlgA": 0.2}),
+        ]
+        text = format_frequency_series(points)
+        assert "0.001000" in text
+        assert "AlgA" in text and "AlgB" in text
+        # the missing AlgB value in the second point renders as '-'
+        assert "-" in text.splitlines()[-1]

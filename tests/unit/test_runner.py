@@ -1,0 +1,123 @@
+"""Unit tests for the trial runner and NRMSE table builder."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import NRMSETable, TrialOutcome, compare_algorithms, run_trials
+from repro.graph.statistics import count_target_edges
+
+
+@pytest.fixture(scope="module")
+def suite(gender_osn):
+    return build_algorithm_suite(gender_osn, include_baselines=False)
+
+
+class TestRunTrials:
+    def test_outcome_fields(self, gender_osn, suite):
+        outcome = run_trials(
+            gender_osn,
+            1,
+            2,
+            suite["NeighborSample-HH"],
+            "NeighborSample-HH",
+            sample_size=40,
+            repetitions=5,
+            burn_in=20,
+            seed=1,
+        )
+        assert outcome.repetitions == 5
+        assert outcome.sample_size == 40
+        assert outcome.true_count == count_target_edges(gender_osn, 1, 2)
+        assert outcome.nrmse >= 0
+        assert outcome.mean_estimate > 0
+        assert outcome.mean_api_calls > 0
+
+    def test_reproducible_with_seed(self, gender_osn, suite):
+        args = dict(sample_size=30, repetitions=4, burn_in=15, seed=42)
+        first = run_trials(
+            gender_osn, 1, 2, suite["NeighborExploration-HH"], "NeighborExploration-HH", **args
+        )
+        second = run_trials(
+            gender_osn, 1, 2, suite["NeighborExploration-HH"], "NeighborExploration-HH", **args
+        )
+        assert first.estimates == second.estimates
+
+    def test_no_target_edges_raises(self, gender_osn, suite):
+        with pytest.raises(ExperimentError):
+            run_trials(
+                gender_osn,
+                404,
+                405,
+                suite["NeighborSample-HH"],
+                "NeighborSample-HH",
+                sample_size=10,
+                repetitions=2,
+                burn_in=5,
+                seed=1,
+            )
+
+    def test_empty_outcome_guards(self):
+        outcome = TrialOutcome(algorithm="x", sample_size=5, true_count=10)
+        with pytest.raises(ExperimentError):
+            _ = outcome.mean_estimate
+        assert outcome.mean_api_calls == 0.0
+
+
+class TestCompareAlgorithms:
+    @pytest.fixture(scope="class")
+    def table(self, gender_osn, suite):
+        return compare_algorithms(
+            gender_osn,
+            1,
+            2,
+            sample_fractions=[0.02, 0.05],
+            repetitions=4,
+            algorithms=suite,
+            burn_in=20,
+            seed=7,
+            dataset_name="toy",
+        )
+
+    def test_structure(self, table, suite):
+        assert isinstance(table, NRMSETable)
+        assert table.dataset == "toy"
+        assert list(table.cells) == list(suite)
+        assert len(table.sample_sizes) == 2
+        assert all(len(outcomes) == 2 for outcomes in table.cells.values())
+
+    def test_sample_sizes_derived_from_fractions(self, table, gender_osn):
+        assert table.sample_sizes[0] == pytest.approx(0.02 * gender_osn.num_nodes, abs=1)
+        assert table.sample_sizes[1] > table.sample_sizes[0]
+
+    def test_nrmse_row(self, table):
+        row = table.nrmse_row("NeighborSample-HH")
+        assert len(row) == 2
+        assert all(value >= 0 for value in row)
+
+    def test_best_algorithm(self, table):
+        name, value = table.best_algorithm()
+        assert name in table.cells
+        assert value == min(outcomes[-1].nrmse for outcomes in table.cells.values())
+
+    def test_progress_callback(self, gender_osn, suite):
+        seen = []
+        compare_algorithms(
+            gender_osn,
+            1,
+            2,
+            sample_fractions=[0.02],
+            repetitions=2,
+            algorithms={"NeighborSample-HH": suite["NeighborSample-HH"]},
+            burn_in=10,
+            seed=3,
+            progress=lambda name, size, frac: seen.append((name, size, frac)),
+        )
+        assert seen and seen[-1][2] == pytest.approx(1.0)
+
+    def test_empty_table_best_raises(self):
+        table = NRMSETable(
+            dataset="x", target_pair=(1, 2), true_count=5, sample_sizes=[], sample_fractions=[]
+        )
+        with pytest.raises(ExperimentError):
+            table.best_algorithm()

@@ -1,0 +1,88 @@
+"""Unit tests for the sample-set containers."""
+
+import pytest
+
+from repro.core.samplers.base import EdgeSample, EdgeSampleSet, NodeSample, NodeSampleSet
+from repro.exceptions import InsufficientSamplesError
+
+
+def make_edge_set(flags, num_edges=100):
+    samples = [
+        EdgeSample(u=i, v=i + 1, is_target=flag, step_index=i) for i, flag in enumerate(flags)
+    ]
+    return EdgeSampleSet(samples=samples, num_edges=num_edges, num_nodes=50)
+
+
+def make_node_set(entries, num_edges=100, num_nodes=50):
+    samples = [
+        NodeSample(
+            node=i,
+            degree=degree,
+            has_target_label=incident > 0,
+            incident_target_edges=incident,
+            step_index=i,
+        )
+        for i, (degree, incident) in enumerate(entries)
+    ]
+    return NodeSampleSet(samples=samples, num_edges=num_edges, num_nodes=num_nodes)
+
+
+class TestEdgeSample:
+    def test_canonical_is_order_independent(self):
+        a = EdgeSample(u=2, v=1, is_target=True)
+        b = EdgeSample(u=1, v=2, is_target=True)
+        assert a.canonical() == b.canonical()
+
+    def test_canonical_mixed_types(self):
+        sample = EdgeSample(u="b", v="a", is_target=False)
+        assert sample.canonical() == ("a", "b")
+
+
+class TestEdgeSampleSet:
+    def test_len_iter_and_k(self):
+        sample_set = make_edge_set([True, False, True])
+        assert len(sample_set) == 3
+        assert sample_set.k == 3
+        assert sum(1 for _ in sample_set) == 3
+
+    def test_target_samples(self):
+        sample_set = make_edge_set([True, False, True])
+        assert len(sample_set.target_samples()) == 2
+
+    def test_require_non_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            EdgeSampleSet(num_edges=5).require_non_empty()
+
+    def test_thinned_keeps_spaced_samples(self):
+        sample_set = make_edge_set([True] * 100)
+        thinned = sample_set.thinned(fraction=0.1)
+        assert thinned.k == 10
+        assert thinned.num_edges == sample_set.num_edges
+        assert [s.step_index for s in thinned.samples] == list(range(0, 100, 10))
+
+    def test_thinned_preserves_metadata(self):
+        sample_set = make_edge_set([True, False])
+        sample_set.target_labels = ("a", "b")
+        sample_set.api_calls_used = 42
+        thinned = sample_set.thinned()
+        assert thinned.target_labels == ("a", "b")
+        assert thinned.api_calls_used == 42
+
+
+class TestNodeSampleSet:
+    def test_labeled_samples(self):
+        sample_set = make_node_set([(3, 1), (2, 0), (5, 2)])
+        assert len(sample_set.labeled_samples()) == 2
+
+    def test_k(self):
+        assert make_node_set([(3, 1)]).k == 1
+
+    def test_require_non_empty(self):
+        with pytest.raises(InsufficientSamplesError):
+            NodeSampleSet(num_edges=5, num_nodes=5).require_non_empty()
+
+    def test_thinned(self):
+        sample_set = make_node_set([(3, 1)] * 40)
+        thinned = sample_set.thinned(fraction=0.25)
+        assert thinned.k == 4
+        assert thinned.num_nodes == 50

@@ -1,0 +1,88 @@
+"""Unit tests for the adaptive algorithm selector (paper §5.3 guidance)."""
+
+import pytest
+
+from repro.core.selector import (
+    DEFAULT_RARITY_THRESHOLD,
+    estimate_with_adaptive_selection,
+    recommend_algorithm,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.statistics import count_target_edges, target_edge_fraction
+
+
+class TestRecommendAlgorithm:
+    def test_abundant_labels_get_neighbor_sample(self):
+        assert recommend_algorithm(0.40) == "NeighborSample-HH"
+
+    def test_rare_labels_get_neighbor_exploration(self):
+        assert recommend_algorithm(0.001) == "NeighborExploration-HH"
+
+    def test_threshold_boundary(self):
+        assert recommend_algorithm(DEFAULT_RARITY_THRESHOLD) == "NeighborSample-HH"
+
+    def test_custom_threshold(self):
+        assert recommend_algorithm(0.02, threshold=0.01) == "NeighborSample-HH"
+        assert recommend_algorithm(0.02, threshold=0.1) == "NeighborExploration-HH"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            recommend_algorithm(-0.1)
+        with pytest.raises(ConfigurationError):
+            recommend_algorithm(0.1, threshold=0.0)
+
+
+class TestAdaptiveEstimation:
+    def test_abundant_pair_selects_neighbor_sample(self, gender_osn):
+        report = estimate_with_adaptive_selection(
+            gender_osn, 1, 2, sample_size=200, burn_in=40, seed=5
+        )
+        assert report.selected_algorithm == "NeighborSample-HH"
+        # the true fraction really is above the threshold
+        assert target_edge_fraction(gender_osn, 1, 2) > report.threshold
+        truth = count_target_edges(gender_osn, 1, 2)
+        assert report.estimate == pytest.approx(truth, rel=0.5)
+
+    def test_rare_pair_selects_neighbor_exploration(self, rare_label_osn):
+        from repro.graph.statistics import edge_label_histogram
+
+        histogram = sorted(
+            (item for item in edge_label_histogram(rare_label_osn).items() if item[0][0] != item[0][1]),
+            key=lambda item: item[1],
+        )
+        rare_pair, _ = histogram[len(histogram) // 4]
+        report = estimate_with_adaptive_selection(
+            rare_label_osn, rare_pair[0], rare_pair[1], sample_size=200, burn_in=40, seed=6
+        )
+        assert report.selected_algorithm == "NeighborExploration-HH"
+
+    def test_budget_split(self, gender_osn):
+        report = estimate_with_adaptive_selection(
+            gender_osn, 1, 2, sample_size=100, pilot_share=0.3, burn_in=20, seed=7
+        )
+        assert report.pilot_sample_size == 30
+        assert report.main_sample_size == 70
+        assert report.result.sample_size == 70
+
+    def test_report_fields(self, gender_osn):
+        report = estimate_with_adaptive_selection(
+            gender_osn, 1, 2, sample_size=80, burn_in=20, seed=8
+        )
+        assert report.pilot_estimate >= 0
+        assert 0 <= report.pilot_relative_count
+        assert report.threshold == DEFAULT_RARITY_THRESHOLD
+        assert report.estimate == report.result.estimate
+
+    def test_burn_in_derived_when_omitted(self, gender_osn):
+        report = estimate_with_adaptive_selection(gender_osn, 1, 2, sample_size=60, seed=9)
+        assert report.estimate >= 0
+
+    def test_invalid_sample_size(self, gender_osn):
+        with pytest.raises(ConfigurationError):
+            estimate_with_adaptive_selection(gender_osn, 1, 2, sample_size=0, burn_in=5)
+
+    def test_reproducible(self, gender_osn):
+        first = estimate_with_adaptive_selection(gender_osn, 1, 2, sample_size=80, burn_in=20, seed=11)
+        second = estimate_with_adaptive_selection(gender_osn, 1, 2, sample_size=80, burn_in=20, seed=11)
+        assert first.estimate == second.estimate
+        assert first.selected_algorithm == second.selected_algorithm

@@ -1,0 +1,61 @@
+"""Unit tests for the |V| / |E| estimators (the prior-knowledge substitute)."""
+
+import pytest
+
+from repro.exceptions import EstimationError
+from repro.graph.api import RestrictedGraphAPI
+from repro.osn.size_estimation import (
+    estimate_graph_size,
+    estimate_num_edges,
+    estimate_num_nodes,
+)
+from repro.walks.engine import WalkResult
+
+
+def synthetic_walk(nodes, degrees):
+    return WalkResult(nodes=list(nodes), degrees=list(degrees), edges=[None] * len(nodes))
+
+
+class TestNodeEstimator:
+    def test_needs_two_samples(self):
+        with pytest.raises(EstimationError):
+            estimate_num_nodes(synthetic_walk([1], [2]))
+
+    def test_needs_collisions(self):
+        with pytest.raises(EstimationError):
+            estimate_num_nodes(synthetic_walk([1, 2, 3], [2, 2, 2]))
+
+    def test_regular_graph_formula(self):
+        # 4 samples on a d-regular graph with one collision:
+        # (Σd)(Σ1/d) / (2C) = (4d)(4/d) / 2 = 8
+        walk = synthetic_walk([1, 2, 1, 3], [5, 5, 5, 5])
+        assert estimate_num_nodes(walk) == pytest.approx(8.0)
+
+
+class TestEdgeEstimator:
+    def test_regular_graph_formula(self):
+        walk = synthetic_walk([1, 2, 1, 3], [5, 5, 5, 5])
+        # |E| = k · n̂ / (2 Σ 1/d) = 4 · 8 / (2 · 0.8) = 20 = n̂ · d / 2
+        assert estimate_num_edges(walk) == pytest.approx(20.0)
+
+    def test_empty_walk_raises(self):
+        with pytest.raises(EstimationError):
+            estimate_num_edges(synthetic_walk([], []))
+
+    def test_explicit_num_nodes(self):
+        walk = synthetic_walk([1, 2], [4, 4])
+        assert estimate_num_edges(walk, num_nodes=10) == pytest.approx(2 * 10 / (2 * 0.5))
+
+
+class TestEndToEnd:
+    def test_estimates_close_to_truth(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn)
+        estimate = estimate_graph_size(api, sample_size=3000, burn_in=50, rng=5)
+        assert estimate.collisions > 0
+        assert estimate.num_nodes == pytest.approx(gender_osn.num_nodes, rel=0.5)
+        assert estimate.num_edges == pytest.approx(gender_osn.num_edges, rel=0.5)
+        assert estimate.api_calls > 0
+
+    def test_invalid_sample_size(self, gender_osn):
+        with pytest.raises(Exception):
+            estimate_graph_size(RestrictedGraphAPI(gender_osn), sample_size=0)

@@ -1,0 +1,112 @@
+"""Unit tests for exact graph statistics and ground-truth counting."""
+
+import pytest
+
+from repro.exceptions import EmptyGraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.statistics import (
+    count_target_edges,
+    degree_histogram,
+    edge_label_histogram,
+    label_histogram,
+    label_pair_by_frequency_quartile,
+    nodes_covering_target_edges,
+    summarize_graph,
+    target_edge_fraction,
+    target_incident_counts,
+)
+
+
+class TestCountTargetEdges:
+    def test_triangle(self, triangle_graph):
+        assert count_target_edges(triangle_graph, "a", "b") == 2
+        assert count_target_edges(triangle_graph, "b", "a") == 2
+
+    def test_path(self, path_graph):
+        assert count_target_edges(path_graph, "x", "y") == 3
+
+    def test_star(self, star_graph):
+        assert count_target_edges(star_graph, "hub", "leaf") == 5
+
+    def test_missing_labels_give_zero(self, triangle_graph):
+        assert count_target_edges(triangle_graph, "nope", "b") == 0
+
+    def test_same_label_pair(self):
+        graph = LabeledGraph.from_edges([(1, 2), (2, 3)], {1: ["a"], 2: ["a"], 3: ["b"]})
+        assert count_target_edges(graph, "a", "a") == 1
+
+    def test_multi_label_nodes(self):
+        graph = LabeledGraph.from_edges([(1, 2)], {1: ["a", "b"], 2: ["c"]})
+        assert count_target_edges(graph, "a", "c") == 1
+        assert count_target_edges(graph, "b", "c") == 1
+
+    def test_fraction(self, triangle_graph):
+        assert target_edge_fraction(triangle_graph, "a", "b") == pytest.approx(2 / 3)
+
+    def test_fraction_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            target_edge_fraction(LabeledGraph(), "a", "b")
+
+
+class TestIncidentCounts:
+    def test_sum_is_twice_count(self, triangle_graph):
+        counts = target_incident_counts(triangle_graph, "a", "b")
+        assert sum(counts.values()) == 2 * count_target_edges(triangle_graph, "a", "b")
+
+    def test_sum_is_twice_count_random_graph(self, gender_osn):
+        counts = target_incident_counts(gender_osn, 1, 2)
+        assert sum(counts.values()) == 2 * count_target_edges(gender_osn, 1, 2)
+
+    def test_nodes_covering_target_edges(self, triangle_graph):
+        assert nodes_covering_target_edges(triangle_graph, "a", "b") == {1, 2, 3}
+        # For a pair with no target edges the covering set is empty.
+        assert nodes_covering_target_edges(triangle_graph, "zz", "b") == set()
+
+
+class TestHistograms:
+    def test_degree_histogram(self, star_graph):
+        assert degree_histogram(star_graph) == {5: 1, 1: 5}
+
+    def test_label_histogram(self, triangle_graph):
+        assert label_histogram(triangle_graph) == {"a": 2, "b": 1}
+
+    def test_edge_label_histogram(self, triangle_graph):
+        histogram = edge_label_histogram(triangle_graph)
+        assert histogram[("a", "b")] == 2
+        assert histogram[("a", "a")] == 1
+
+    def test_edge_label_histogram_counts_each_edge_once_per_pair(self):
+        graph = LabeledGraph.from_edges([(1, 2)], {1: ["a", "b"], 2: ["a"]})
+        histogram = edge_label_histogram(graph)
+        # pairs ('a','a') and ('a','b') each appear once for this single edge
+        assert histogram == {("a", "a"): 1, ("a", "b"): 1}
+
+    def test_quartile_split(self, rare_label_osn):
+        buckets = label_pair_by_frequency_quartile(rare_label_osn, quartiles=4)
+        assert len(buckets) == 4
+        flattened = [count for bucket in buckets for _, count in bucket]
+        assert flattened == sorted(flattened)
+
+    def test_quartile_split_invalid(self, triangle_graph):
+        with pytest.raises(ValueError):
+            label_pair_by_frequency_quartile(triangle_graph, quartiles=0)
+
+
+class TestSummary:
+    def test_summary_fields(self, triangle_graph):
+        summary = summarize_graph(triangle_graph, name="tri")
+        assert summary.name == "tri"
+        assert summary.num_nodes == 3
+        assert summary.num_edges == 3
+        assert summary.max_degree == 2
+        assert summary.average_degree == pytest.approx(2.0)
+        assert summary.num_distinct_labels == 2
+
+    def test_summary_as_row(self, triangle_graph):
+        row = summarize_graph(triangle_graph, name="tri").as_row()
+        assert row[0] == "tri"
+        assert row[1] == 3
+
+    def test_summary_empty_graph_raises(self):
+        with pytest.raises(EmptyGraphError):
+            summarize_graph(LabeledGraph())

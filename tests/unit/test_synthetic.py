@@ -1,0 +1,76 @@
+"""Unit tests for the synthetic topology generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    barabasi_albert_osn,
+    chung_lu_osn,
+    erdos_renyi_osn,
+    powerlaw_cluster_osn,
+    small_world_osn,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.cleaning import is_connected
+
+
+class TestPowerlawCluster:
+    def test_connected_and_simple(self):
+        graph = powerlaw_cluster_osn(300, 4, 0.3, rng=1)
+        assert is_connected(graph)
+        assert graph.num_nodes <= 300
+        assert graph.min_degree() >= 1
+
+    def test_reproducible(self):
+        first = powerlaw_cluster_osn(200, 3, 0.2, rng=9)
+        second = powerlaw_cluster_osn(200, 3, 0.2, rng=9)
+        assert first.num_edges == second.num_edges
+        assert set(first.edges()) == set(second.edges())
+
+    def test_different_seeds_differ(self):
+        first = powerlaw_cluster_osn(200, 3, 0.2, rng=1)
+        second = powerlaw_cluster_osn(200, 3, 0.2, rng=2)
+        assert set(first.edges()) != set(second.edges())
+
+    def test_heavy_tail(self):
+        graph = powerlaw_cluster_osn(1500, 4, 0.2, rng=3)
+        assert graph.max_degree() > 5 * graph.average_degree()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_osn(10, 10, 0.3)
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_osn(0, 2, 0.3)
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_osn(10, 2, 1.5)
+
+
+class TestOtherGenerators:
+    def test_barabasi_albert(self):
+        graph = barabasi_albert_osn(200, 3, rng=4)
+        assert is_connected(graph)
+        assert graph.num_nodes == 200
+
+    def test_erdos_renyi_keeps_largest_component(self):
+        graph = erdos_renyi_osn(300, 0.01, rng=5)
+        assert is_connected(graph)
+
+    def test_small_world(self):
+        graph = small_world_osn(200, 6, 0.1, rng=6)
+        assert is_connected(graph)
+        assert graph.average_degree() >= 5
+
+    def test_chung_lu_matches_degree_scale(self):
+        degrees = [10] * 50 + [3] * 150
+        graph = chung_lu_osn(degrees, rng=7)
+        assert graph.num_nodes <= 200
+        assert graph.average_degree() == pytest.approx(
+            sum(degrees) / len(degrees), rel=0.5
+        )
+
+    def test_chung_lu_empty_sequence(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu_osn([])
+
+    def test_labels_start_empty(self):
+        graph = barabasi_albert_osn(100, 2, rng=8)
+        assert graph.all_labels() == set()

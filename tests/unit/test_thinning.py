@@ -1,0 +1,65 @@
+"""Unit tests for the thinning strategy used by the HT estimators."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.walks.thinning import (
+    DEFAULT_THINNING_FRACTION,
+    thin_indices,
+    thin_sequence,
+    thinning_interval,
+)
+
+
+class TestThinningInterval:
+    def test_paper_default(self):
+        # r = 2.5% of k, the value used in the paper
+        assert thinning_interval(1000) == 25
+
+    def test_rounds_up(self):
+        assert thinning_interval(1001) == 26
+
+    def test_minimum_of_one(self):
+        assert thinning_interval(10) == 1
+        assert thinning_interval(0) == 1
+
+    def test_custom_fraction(self):
+        assert thinning_interval(100, fraction=0.1) == 10
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            thinning_interval(100, fraction=0.0)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            thinning_interval(-5)
+
+
+class TestThinIndices:
+    def test_empty(self):
+        assert thin_indices(0) == []
+
+    def test_includes_zero(self):
+        assert thin_indices(50)[0] == 0
+
+    def test_spacing(self):
+        indices = thin_indices(1000)
+        gaps = {b - a for a, b in zip(indices, indices[1:])}
+        assert gaps == {25}
+
+    def test_all_kept_when_interval_is_one(self):
+        assert thin_indices(20) == list(range(20))
+
+    def test_indices_within_bounds(self):
+        indices = thin_indices(123)
+        assert all(0 <= i < 123 for i in indices)
+
+
+class TestThinSequence:
+    def test_values_match_indices(self):
+        items = list(range(200))
+        thinned = thin_sequence(items)
+        assert thinned == [items[i] for i in thin_indices(200)]
+
+    def test_default_fraction_constant(self):
+        assert DEFAULT_THINNING_FRACTION == pytest.approx(0.025)

@@ -1,0 +1,163 @@
+"""Unit tests for the shared utilities (rng, validation, logging)."""
+
+import logging
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.rng import (
+    choice_weighted,
+    ensure_numpy_rng,
+    ensure_rng,
+    spawn_rngs,
+)
+from repro.utils.validation import (
+    check_choice,
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_random(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_reproducible(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_existing_random_passthrough(self):
+        rng = random.Random(1)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_generator_accepted(self):
+        rng = ensure_rng(np.random.default_rng(3))
+        assert isinstance(rng, random.Random)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_ensure_numpy_rng_from_int(self):
+        first = ensure_numpy_rng(5).integers(0, 100)
+        second = ensure_numpy_rng(5).integers(0, 100)
+        assert first == second
+
+    def test_ensure_numpy_rng_invalid(self):
+        with pytest.raises(TypeError):
+            ensure_numpy_rng("bad")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_reproducible_family(self):
+        first = [rng.random() for rng in spawn_rngs(42, 3)]
+        second = [rng.random() for rng in spawn_rngs(42, 3)]
+        assert first == second
+
+    def test_streams_differ(self):
+        streams = spawn_rngs(42, 2)
+        assert streams[0].random() != streams[1].random()
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestChoiceWeighted:
+    def test_respects_zero_weight(self):
+        rng = random.Random(0)
+        picks = {choice_weighted(rng, ["a", "b"], [1.0, 0.0]) for _ in range(50)}
+        assert picks == {"a"}
+
+    def test_proportional_sampling(self):
+        rng = random.Random(1)
+        picks = [choice_weighted(rng, ["a", "b"], [9.0, 1.0]) for _ in range(2000)]
+        assert picks.count("a") > picks.count("b") * 4
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            choice_weighted(random.Random(), ["a"], [1.0, 2.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            choice_weighted(random.Random(), [], [])
+
+    def test_non_positive_total_raises(self):
+        with pytest.raises(ValueError):
+            choice_weighted(random.Random(), ["a"], [0.0])
+
+
+class TestValidation:
+    def test_check_positive_int(self):
+        assert check_positive_int(3, "x") == 3
+        with pytest.raises(ConfigurationError):
+            check_positive_int(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(2.5, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive_int(True, "x")
+
+    def test_check_non_negative_int(self):
+        assert check_non_negative_int(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "x")
+
+    def test_check_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+        with pytest.raises(ConfigurationError):
+            check_positive(0, "x")
+        with pytest.raises(ConfigurationError):
+            check_positive("nope", "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "x") == 0.0
+        assert check_probability(1.0, "x") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_probability(1.5, "x")
+
+    def test_check_fraction(self):
+        assert check_fraction(1.0, "x") == 1.0
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "x")
+
+    def test_check_in_range(self):
+        assert check_in_range(0.4, "x", 0.3, 0.7) == 0.4
+        with pytest.raises(ConfigurationError):
+            check_in_range(0.8, "x", 0.3, 0.7)
+
+    def test_check_choice(self):
+        assert check_choice("a", "x", ["a", "b"]) == "a"
+        with pytest.raises(ConfigurationError):
+            check_choice("z", "x", ["a", "b"])
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            check_positive_int(-3, "my_param")
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("walks").name == "repro.walks"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_configure_logging_idempotent(self):
+        logger = configure_logging(level=logging.DEBUG)
+        count_after_first = len(logger.handlers)
+        configure_logging(level=logging.DEBUG)
+        assert len(logger.handlers) == count_after_first

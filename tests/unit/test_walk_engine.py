@@ -1,0 +1,108 @@
+"""Unit tests for the random-walk engine."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, WalkError
+from repro.graph.api import RestrictedGraphAPI
+from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.engine import RandomWalk, WalkResult
+from repro.walks.kernels import MetropolisHastingsKernel, SimpleRandomWalkKernel
+
+
+@pytest.fixture
+def path_api():
+    graph = LabeledGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+    return RestrictedGraphAPI(graph)
+
+
+class TestWalkResult:
+    def test_length_and_distinct(self):
+        result = WalkResult(nodes=[1, 2, 1], degrees=[1, 2, 1], edges=[None, (1, 2), (2, 1)])
+        assert len(result) == 3
+        assert result.distinct_nodes() == {1, 2}
+
+    def test_traversed_edges_skips_self_loops(self):
+        result = WalkResult(nodes=[1, 1, 2], degrees=[1, 1, 2], edges=[(2, 1), None, (1, 2)])
+        assert result.traversed_edges() == [(2, 1), (1, 2)]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(WalkError):
+            WalkResult(nodes=[1], degrees=[], edges=[])
+
+
+class TestRandomWalk:
+    def test_collects_requested_samples(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), burn_in=5, rng=1)
+        result = walk.run(10)
+        assert len(result) == 10
+        assert result.burn_in == 5
+
+    def test_zero_samples(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=1)
+        assert len(walk.run(0)) == 0
+
+    def test_consecutive_nodes_are_adjacent(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=2)
+        result = walk.run(20, start_node=1)
+        for edge in result.edges:
+            assert edge is not None
+            previous, current = edge
+            assert current in path_api.neighbors(previous)
+
+    def test_degrees_match_graph(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=3)
+        result = walk.run(15, start_node=2)
+        for node, degree in zip(result.nodes, result.degrees):
+            assert degree == path_api.degree(node)
+
+    def test_start_node_respected(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), burn_in=0, rng=4)
+        result = walk.run(1, start_node=1)
+        assert result.start_node == 1
+        # with burn_in 0 the first collected node is a neighbor of the start
+        assert result.nodes[0] in path_api.neighbors(1)
+
+    def test_seeded_walks_are_reproducible(self, path_api):
+        first = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=7).run(25)
+        second = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=7).run(25)
+        assert first.nodes == second.nodes
+
+    def test_different_seeds_differ(self, path_api):
+        first = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=7).run(25)
+        second = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=8).run(25)
+        assert first.nodes != second.nodes
+
+    def test_collect_every_spaces_samples(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=9)
+        result = walk.run(5, collect_every=3, start_node=1)
+        assert len(result) == 5
+
+    def test_collect_every_must_be_positive(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), rng=9)
+        with pytest.raises(ConfigurationError):
+            walk.run(5, collect_every=0)
+
+    def test_negative_burn_in_rejected(self, path_api):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(path_api, SimpleRandomWalkKernel(), burn_in=-1)
+
+    def test_self_loop_kernel_records_none_edge(self, path_api):
+        # MH on a path self-loops often (degree imbalance), which must be
+        # recorded as edge=None rather than a fake edge.
+        walk = RandomWalk(path_api, MetropolisHastingsKernel(), rng=11)
+        result = walk.run(50, start_node=2)
+        assert any(edge is None for edge in result.edges)
+
+    def test_run_independent(self, path_api):
+        walk = RandomWalk(path_api, SimpleRandomWalkKernel(), burn_in=2, rng=5)
+        results = walk.run_independent(4, samples_per_walk=2)
+        assert len(results) == 4
+        assert all(len(result) == 2 for result in results)
+
+    def test_isolated_node_raises(self):
+        graph = LabeledGraph()
+        graph.add_node("alone")
+        api = RestrictedGraphAPI(graph)
+        walk = RandomWalk(api, SimpleRandomWalkKernel(), rng=1)
+        with pytest.raises(WalkError):
+            walk.run(1, start_node="alone")
