@@ -4,8 +4,13 @@ Unlike the table/figure benches (one-shot experiment regenerations),
 these use pytest-benchmark conventionally: many rounds of the same
 operation, so regressions in the samplers, the walk engine or the
 estimators show up as timing changes.
+
+Every python-backend bench has a ``_csr`` twin doing the same work on
+the vectorized backend, so the speedup of the CSR walk path is tracked
+in the perf trajectory alongside the reference engine.
 """
 
+import numpy as np
 import pytest
 
 from repro.core.estimators import (
@@ -16,6 +21,8 @@ from repro.core.estimators import (
 from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
 from repro.datasets.registry import load_dataset
 from repro.graph.api import RestrictedGraphAPI
+from repro.graph.csr import CSRGraph
+from repro.walks.batched import BatchedWalkEngine, csr_walk
 from repro.walks.engine import RandomWalk
 from repro.walks.kernels import SimpleRandomWalkKernel
 
@@ -23,6 +30,11 @@ from repro.walks.kernels import SimpleRandomWalkKernel
 @pytest.fixture(scope="module")
 def facebook_graph(settings):
     return load_dataset("facebook", seed=settings["seed"], scale=min(settings["scale"], 0.25)).graph
+
+
+@pytest.fixture(scope="module")
+def facebook_csr(facebook_graph):
+    return CSRGraph.from_labeled_graph(facebook_graph)
 
 
 def test_throughput_simple_walk(benchmark, facebook_graph):
@@ -33,6 +45,29 @@ def test_throughput_simple_walk(benchmark, facebook_graph):
 
     result = benchmark(run)
     assert len(result) == 500
+
+
+def test_throughput_simple_walk_csr(benchmark, facebook_csr):
+    # reuse one generator across rounds, like the engine and samplers do
+    generator = np.random.default_rng(1)
+
+    def run():
+        return csr_walk(facebook_csr, 500, rng=generator)
+
+    result = benchmark(run)
+    assert len(result) == 500
+
+
+def test_throughput_batched_walks_csr(benchmark, facebook_csr):
+    # 512 walkers amortise the per-step numpy dispatch; this bench tracks
+    # fleet throughput (steps/second), not single-walk latency.
+    engine = BatchedWalkEngine(facebook_csr, rng=1)
+
+    def run():
+        return engine.run(512, 500)
+
+    result = benchmark(run)
+    assert result.nodes.shape == (512, 500)
 
 
 def test_throughput_neighbor_sample(benchmark, facebook_graph):
@@ -46,11 +81,35 @@ def test_throughput_neighbor_sample(benchmark, facebook_graph):
     assert samples.k == 200
 
 
+def test_throughput_neighbor_sample_csr(benchmark, facebook_graph, facebook_csr):
+    api = RestrictedGraphAPI(facebook_graph)
+    api.adopt_csr(facebook_csr)
+
+    def run():
+        sampler = NeighborSampleSampler(api, 1, 2, burn_in=10, rng=2, backend="csr")
+        return sampler.sample(200)
+
+    samples = benchmark(run)
+    assert samples.k == 200
+
+
 def test_throughput_neighbor_exploration(benchmark, facebook_graph):
     api = RestrictedGraphAPI(facebook_graph)
 
     def run():
         sampler = NeighborExplorationSampler(api, 1, 2, burn_in=10, rng=3)
+        return sampler.sample(200)
+
+    samples = benchmark(run)
+    assert samples.k == 200
+
+
+def test_throughput_neighbor_exploration_csr(benchmark, facebook_graph, facebook_csr):
+    api = RestrictedGraphAPI(facebook_graph)
+    api.adopt_csr(facebook_csr)
+
+    def run():
+        sampler = NeighborExplorationSampler(api, 1, 2, burn_in=10, rng=3, backend="csr")
         return sampler.sample(200)
 
     samples = benchmark(run)

@@ -9,13 +9,25 @@ The script
 1. generates a small synthetic social network with binary "gender"
    labels (the Facebook-like stand-in from the dataset registry),
 2. estimates the number of female-male friendships with two of the
-   paper's algorithms using only 5% of |V| API calls, and
+   paper's algorithms using only 5% of |V| API calls,
 3. compares both estimates against the exact ground truth (which the
    estimators never see — they only use the restricted neighbor-list
-   API).
+   API), and
+4. repeats one estimation on the vectorized CSR walk backend
+   (``backend="csr"``), which freezes the graph into numpy arrays and
+   is the right choice for large graphs and repeated trials; the
+   default ``backend="python"`` keeps the auditable dict-based engine,
+   best for small graphs and API-call-trace debugging.
 """
 
-from repro import count_target_edges, estimate_target_edge_count, load_dataset
+import time
+
+from repro import (
+    RestrictedGraphAPI,
+    count_target_edges,
+    estimate_target_edge_count,
+    load_dataset,
+)
 
 
 def main() -> None:
@@ -43,6 +55,36 @@ def main() -> None:
         print(f"{algorithm:>24}: estimate = {result.estimate:9.1f}   "
               f"(k = {result.sample_size} samples, {result.api_calls} API calls, "
               f"relative error = {error:.3f})")
+
+    # The same estimation on the vectorized CSR backend: identical
+    # charged-API-call accounting, distributionally equivalent estimates,
+    # several times faster per walk step.  Freezing the graph into CSR
+    # arrays is a one-off cost, so the backend pays off on repeated
+    # trials (tables, figures, sweeps) — which is how the experiment
+    # harness uses it; a shared API wrapper amortises it here.
+    print()
+    trials = 10
+    for backend in ("python", "csr"):
+        api = RestrictedGraphAPI(graph)
+        started = time.perf_counter()
+        estimates = [
+            estimate_target_edge_count(
+                api,
+                female,
+                male,
+                algorithm="NeighborSample-HH",
+                sample_size=5000,
+                burn_in=200,
+                seed=42 + trial,
+                backend=backend,
+            ).estimate
+            for trial in range(trials)
+        ]
+        elapsed = (time.perf_counter() - started) * 1000
+        mean = sum(estimates) / trials
+        print(f"backend={backend:<7}: mean of {trials} estimates = {mean:9.1f}   "
+              f"(relative error = {abs(mean - truth) / truth:.3f}, "
+              f"{elapsed / trials:6.1f} ms/trial)")
 
 
 if __name__ == "__main__":

@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.bounds import compute_all_bounds
+from repro.core.samplers.csr_backend import BACKENDS
 from repro.core.pipeline import available_algorithms, estimate_target_edge_count
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments.config import ExperimentConfig
@@ -62,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--budget", type=float, default=0.05, help="fraction of |V|")
     estimate.add_argument("--scale", type=float, default=0.5, help="dataset scale")
     estimate.add_argument("--seed", type=int, default=2018)
+    estimate.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="python",
+        help="walk backend: dict-based reference engine or vectorized CSR arrays",
+    )
 
     table = subparsers.add_parser("table", help="reproduce a paper NRMSE table")
     table.add_argument("number", type=int, choices=list_tables())
@@ -75,12 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.01, 0.03, 0.05],
         help="sample-size fractions of |V|",
     )
+    table.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="python",
+        help="walk backend for the proposed algorithms",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
     figure.add_argument("number", type=int, choices=[1, 2])
     figure.add_argument("--repetitions", type=int, default=10)
     figure.add_argument("--scale", type=float, default=0.25)
     figure.add_argument("--seed", type=int, default=2018)
+    figure.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="python",
+        help="walk backend for the proposed algorithms",
+    )
 
     bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
     bounds.add_argument("--dataset", choices=dataset_names(), default="facebook")
@@ -143,9 +162,11 @@ def _command_estimate(args) -> int:
         algorithm=args.algorithm,
         budget_fraction=args.budget,
         seed=args.seed,
+        backend=args.backend,
     )
     print(f"dataset            : {dataset.spec.paper_name} (scale {args.scale})")
     print(f"target labels      : ({t1}, {t2})")
+    print(f"backend            : {args.backend}")
     print(f"algorithm          : {result.estimator}")
     print(f"sample size (k)    : {result.sample_size}")
     print(f"API calls charged  : {result.api_calls}")
@@ -162,6 +183,7 @@ def _command_table(args) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         scale=args.scale,
+        backend=args.backend,
     )
     result = run_paper_table(args.number, config)
     print(format_nrmse_table(result.table, caption=f"Reproduction of paper Table {args.number}"))
@@ -182,6 +204,7 @@ def _command_figure(args) -> int:
         repetitions=args.repetitions,
         seed=args.seed,
         scale=args.scale,
+        backend=args.backend,
     )
     result = run_paper_figure(args.number, config, repetitions=args.repetitions)
     print(

@@ -27,6 +27,7 @@ from repro.core.bounds import (
 )
 from repro.core.pipeline import (
     ALGORITHMS,
+    BACKENDS,
     AlgorithmSpec,
     estimate_target_edge_count,
     available_algorithms,
@@ -58,6 +59,7 @@ __all__ = [
     "bound_neighbor_exploration_rw",
     "compute_all_bounds",
     "ALGORITHMS",
+    "BACKENDS",
     "AlgorithmSpec",
     "estimate_target_edge_count",
     "available_algorithms",

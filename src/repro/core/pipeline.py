@@ -42,6 +42,7 @@ from repro.core.estimators import (
     NodeReweightedEstimator,
 )
 from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
+from repro.core.samplers.csr_backend import BACKENDS, validate_backend
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,8 @@ class AlgorithmSpec:
     sampler:
         ``"edge"`` for NeighborSample, ``"node"`` for NeighborExploration.
     run:
-        ``run(api, t1, t2, k, burn_in, rng) -> EstimateResult``.
+        ``run(api, t1, t2, k, burn_in, rng, backend="python") ->
+        EstimateResult``.
     """
 
     name: str
@@ -64,8 +66,10 @@ class AlgorithmSpec:
 
 
 def _run_neighbor_sample(estimator_factory):
-    def runner(api, t1, t2, k, burn_in, rng) -> EstimateResult:
-        sampler = NeighborSampleSampler(api, t1, t2, burn_in=burn_in, rng=rng)
+    def runner(api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
+        sampler = NeighborSampleSampler(
+            api, t1, t2, burn_in=burn_in, rng=rng, backend=backend
+        )
         samples = sampler.sample(k)
         return estimator_factory().estimate(samples)
 
@@ -73,8 +77,10 @@ def _run_neighbor_sample(estimator_factory):
 
 
 def _run_neighbor_exploration(estimator_factory):
-    def runner(api, t1, t2, k, burn_in, rng) -> EstimateResult:
-        sampler = NeighborExplorationSampler(api, t1, t2, burn_in=burn_in, rng=rng)
+    def runner(api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
+        sampler = NeighborExplorationSampler(
+            api, t1, t2, burn_in=burn_in, rng=rng, backend=backend
+        )
         samples = sampler.sample(k)
         return estimator_factory().estimate(samples)
 
@@ -144,6 +150,7 @@ def estimate_target_edge_count(
     budget_fraction: Optional[float] = None,
     burn_in: Optional[int] = None,
     seed: RandomSource = None,
+    backend: str = "python",
 ) -> EstimateResult:
     """Estimate the number of edges whose endpoints carry ``t1`` and ``t2``.
 
@@ -167,12 +174,22 @@ def estimate_target_edge_count(
         (only possible when a full graph was passed).
     seed:
         Seed or generator for reproducibility.
+    backend:
+        ``"python"`` (default) runs the dict-based reference walk engine
+        through the restricted API.  ``"csr"`` freezes the graph into
+        numpy CSR arrays and runs the vectorized backend — typically an
+        order of magnitude faster, with identical charged-API-call
+        accounting and a distributionally equivalent sampling law (the
+        equivalence test suite enforces this).  Prefer ``"csr"`` for
+        large graphs and repeated trials; prefer ``"python"`` when
+        auditing API-call traces or using a non-vectorized kernel.
 
     Returns
     -------
     EstimateResult
         The estimate plus bookkeeping (sample size, API calls, details).
     """
+    validate_backend(backend)
     if algorithm not in ALGORITHMS:
         raise ConfigurationError(
             f"unknown algorithm {algorithm!r}; available: {', '.join(ALGORITHMS)}"
@@ -204,11 +221,12 @@ def estimate_target_edge_count(
         burn_in = check_non_negative_int(burn_in, "burn_in")
 
     k = resolve_sample_size(api.num_nodes, sample_size, budget_fraction)
-    return spec.run(api, t1, t2, k, burn_in, seed)
+    return spec.run(api, t1, t2, k, burn_in, seed, backend=backend)
 
 
 __all__ = [
     "AlgorithmSpec",
+    "BACKENDS",
     "ALGORITHMS",
     "available_algorithms",
     "resolve_sample_size",

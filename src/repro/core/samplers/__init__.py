@@ -8,6 +8,7 @@ from repro.core.samplers.base import (
 )
 from repro.core.samplers.neighbor_sample import NeighborSampleSampler
 from repro.core.samplers.neighbor_exploration import NeighborExplorationSampler
+from repro.core.samplers.csr_backend import explore_nodes_csr, sample_edges_csr
 
 __all__ = [
     "EdgeSample",
@@ -16,4 +17,6 @@ __all__ = [
     "NodeSampleSet",
     "NeighborSampleSampler",
     "NeighborExplorationSampler",
+    "sample_edges_csr",
+    "explore_nodes_csr",
 ]

@@ -1,0 +1,321 @@
+"""CSR-array implementations of the paper's two sampling processes.
+
+These functions mirror :class:`NeighborSampleSampler` and
+:class:`NeighborExplorationSampler` over a frozen
+:class:`~repro.graph.csr.CSRGraph` instead of the dict-based
+:class:`RestrictedGraphAPI`.  They produce the very same
+:class:`EdgeSampleSet` / :class:`NodeSampleSet` containers, so every
+estimator downstream is backend-agnostic.
+
+Fidelity guarantees:
+
+* ``exact_rng=True`` reproduces the reference sampler **bit for bit**:
+  same seed, same trajectory, same samples, same charged API calls.
+* ``exact_rng=False`` (default) uses the fast numpy-uniform walk; it has
+  the same per-step transition distribution, so estimates agree in
+  distribution (enforced by the Kolmogorov–Smirnov equivalence suite).
+* Charged API calls are counted with the reference distinct-page
+  semantics: one charge per distinct node whose neighbor-list page the
+  process downloads (walk positions, plus — for NeighborExploration —
+  the explored neighbors of labeled sampled nodes).  A *budget* makes
+  the functions raise :class:`APIBudgetExceededError` exactly when the
+  reference crawler would have run out mid-crawl.  Through
+  :func:`run_csr_sampler` the accounting also persists across repeated
+  calls on one wrapper (previously downloaded pages stay free), and a
+  non-caching wrapper is rejected — ``cache=False`` charges every
+  retrieval, which the distinct-page model cannot reproduce.  Only the
+  aggregate count is reproduced: the per-node call breakdown
+  (:attr:`APICallCounter.per_node`) is not tracked on this path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import APIBudgetExceededError, ConfigurationError
+from repro.graph.csr import CSRGraph
+from repro.graph.labeled_graph import Label, Node
+from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.walks.batched import (
+    KernelLike,
+    charge_distinct_pages,
+    csr_walk,
+    draw_start_index,
+    resolve_csr_kernel,
+)
+
+from repro.core.samplers.base import (
+    EdgeSample,
+    EdgeSampleSet,
+    NodeSample,
+    NodeSampleSet,
+)
+
+#: Walk-backend choices, shared by the samplers, the pipeline, the
+#: experiment config and the CLI.
+BACKENDS: Tuple[str, ...] = ("python", "csr")
+
+
+def validate_backend(backend: str) -> str:
+    """Return *backend* or raise the shared unknown-backend error."""
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
+        )
+    return backend
+
+
+def validate_backend_and_kernel(backend: str, kernel) -> str:
+    """Backend validation plus, for ``"csr"``, an eager kernel check.
+
+    Shared by both sampler constructors so an unvectorizable kernel
+    fails at construction time, not mid-sample.
+    """
+    if validate_backend(backend) == "csr":
+        resolve_csr_kernel(kernel)
+    return backend
+
+
+def _run_walk(
+    csr: CSRGraph,
+    total_steps: int,
+    start_node: Optional[Node],
+    rng: RandomSource,
+    kernel_name: str,
+    exact_rng: bool,
+) -> np.ndarray:
+    """Walk ``total_steps`` steps; return start + every position (len + 1)."""
+    # Normalise the rng up front so the start draw and the walk consume
+    # one generator (draw_start_index mirrors RestrictedGraphAPI.random_node
+    # in exact mode).
+    generator = ensure_rng(rng) if exact_rng else ensure_numpy_rng(rng)
+    if start_node is None:
+        start = draw_start_index(csr, generator, exact_rng=exact_rng)
+    else:
+        start = csr.index_of(start_node)
+    path = csr_walk(csr, total_steps, start, generator, kernel_name, exact_rng=exact_rng)
+    return np.concatenate(([start], path))
+
+
+def _charge_pages(
+    pages: np.ndarray,
+    budget: Optional[int],
+    page_filter: Optional[np.ndarray],
+) -> int:
+    """Count the chargeable pages in *pages* and update *page_filter*.
+
+    *page_filter* is the caller's "already downloaded" mask (one bool
+    per CSR index); pages present in it are free, mirroring the
+    reference wrapper's cache.  Delegates to
+    :func:`charge_distinct_pages` for the crossing semantics (error
+    reports ``budget + 1``; pages fetched before the crossing stay
+    marked).
+    """
+    if budget is not None:
+        check_non_negative_int(budget, "budget")
+    if page_filter is None:
+        # Standalone use: nothing was downloaded before this crawl.
+        page_filter = np.zeros(int(pages.max()) + 1, dtype=bool)
+    return charge_distinct_pages(pages, page_filter, budget)
+
+
+def sample_edges_csr(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    start_node: Optional[Node] = None,
+    budget: Optional[int] = None,
+    exact_rng: bool = False,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+    page_filter: Optional[np.ndarray] = None,
+) -> EdgeSampleSet:
+    """NeighborSample (Algorithm 1, single-walk variant) on CSR arrays.
+
+    Returns the same :class:`EdgeSampleSet` the reference sampler would:
+    the edges traversed during the last ``k`` of ``burn_in + k`` steps,
+    each classified as target / non-target via the label masks.
+    *page_filter* marks pages already downloaded (free revisits); it is
+    updated in place.
+    """
+    check_positive_int(k, "k")
+    check_non_negative_int(burn_in, "burn_in")
+    kernel_name = resolve_csr_kernel(kernel)
+    full = _run_walk(csr, burn_in + k, start_node, rng, kernel_name, exact_rng)
+
+    sources = full[burn_in : burn_in + k]
+    dests = full[burn_in + 1 :]
+    m1 = csr.label_mask(t1)
+    m2 = csr.label_mask(t2)
+    is_target = (m1[sources] & m2[dests]) | (m2[sources] & m1[dests])
+
+    # Every page the reference crawler downloads belongs to an occupied
+    # node (classification endpoints are walk nodes, hence cache hits).
+    charged = _charge_pages(full, budget, page_filter)
+
+    ids = csr.node_ids
+    sample_set = EdgeSampleSet(
+        num_edges=csr.num_edges if known_num_edges is None else known_num_edges,
+        num_nodes=csr.num_nodes if known_num_nodes is None else known_num_nodes,
+        target_labels=(t1, t2),
+        api_calls_used=charged,
+    )
+    samples = sample_set.samples
+    for index in range(k):
+        samples.append(
+            EdgeSample(
+                u=ids[int(sources[index])],
+                v=ids[int(dests[index])],
+                is_target=bool(is_target[index]),
+                step_index=index,
+            )
+        )
+    return sample_set
+
+
+def explore_nodes_csr(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    start_node: Optional[Node] = None,
+    budget: Optional[int] = None,
+    exact_rng: bool = False,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+    page_filter: Optional[np.ndarray] = None,
+) -> NodeSampleSet:
+    """NeighborExploration (Algorithm 2, single-walk variant) on CSR arrays.
+
+    ``T(u)`` for labeled sampled nodes comes from the precomputed
+    vectorized incident-target-edge counts; the charged-call accounting
+    adds the pages of explored neighbors, as the reference sampler does.
+    *page_filter* marks pages already downloaded (free revisits); it is
+    updated in place.  (On budget exhaustion, which pages count as
+    fetched-before-crossing is approximated: explorations are accounted
+    in node-index rather than sample order.)
+    """
+    check_positive_int(k, "k")
+    check_non_negative_int(burn_in, "burn_in")
+    kernel_name = resolve_csr_kernel(kernel)
+    full = _run_walk(csr, burn_in + k, start_node, rng, kernel_name, exact_rng)
+
+    collected = full[burn_in + 1 :]
+    m1 = csr.label_mask(t1)
+    m2 = csr.label_mask(t2)
+    has_label = m1[collected] | m2[collected]
+    incident = csr.target_incident_counts(t1, t2)[collected]
+
+    labeled = np.unique(collected[has_label])
+    if labeled.size:
+        explored = [
+            csr.indices[csr.indptr[i] : csr.indptr[i + 1]] for i in labeled
+        ]
+        pages = np.concatenate([full] + explored)
+    else:
+        pages = full
+    charged = _charge_pages(pages, budget, page_filter)
+
+    ids = csr.node_ids
+    degrees = csr.degrees[collected]
+    sample_set = NodeSampleSet(
+        num_edges=csr.num_edges if known_num_edges is None else known_num_edges,
+        num_nodes=csr.num_nodes if known_num_nodes is None else known_num_nodes,
+        target_labels=(t1, t2),
+        api_calls_used=charged,
+    )
+    samples = sample_set.samples
+    for index in range(k):
+        labeled_here = bool(has_label[index])
+        samples.append(
+            NodeSample(
+                node=ids[int(collected[index])],
+                degree=int(degrees[index]),
+                has_target_label=labeled_here,
+                incident_target_edges=int(incident[index]) if labeled_here else 0,
+                step_index=index,
+            )
+        )
+    return sample_set
+
+
+def run_csr_sampler(
+    api,
+    sample_fn: Callable[..., object],
+    t1: Label,
+    t2: Label,
+    k: int,
+    burn_in: int,
+    kernel: KernelLike,
+    rng: RandomSource,
+    start_node: Optional[Node],
+    exact_rng: bool,
+):
+    """Run a CSR sampling function through a :class:`RestrictedGraphAPI`.
+
+    Shared by both sampler classes.  Keeps the wrapper's accounting in
+    step with the reference path:
+
+    * pages already in the wrapper's cache (downloaded by earlier calls,
+      on either backend) are free — the wrapper's page mask is threaded
+      through and updated in place;
+    * on budget exhaustion the counter lands on ``budget + 1`` and the
+      raised error reports the crossing attempt, exactly like
+      :meth:`APICallCounter.charge`;
+    * on success the charged calls are added to the wrapper's counter.
+
+    Requires a caching wrapper: with ``cache=False`` the reference
+    charges every retrieval, an accounting the distinct-page CSR model
+    cannot reproduce.
+    """
+    if not api.cache_enabled:
+        raise ConfigurationError(
+            "backend='csr' models the distinct-page-download accounting of a "
+            "caching crawler; build the RestrictedGraphAPI with cache=True or "
+            "use backend='python'"
+        )
+    counter = api.counter
+    remaining = None
+    if counter.budget is not None:
+        remaining = max(0, counter.budget - counter.calls)
+    try:
+        sample_set = sample_fn(
+            api.to_csr(),
+            t1,
+            t2,
+            k,
+            burn_in=burn_in,
+            rng=rng,
+            kernel=kernel,
+            start_node=start_node,
+            budget=remaining,
+            exact_rng=exact_rng,
+            known_num_nodes=api.num_nodes,
+            known_num_edges=api.num_edges,
+            page_filter=api.downloaded_page_mask(),
+        )
+    except APIBudgetExceededError:
+        counter.calls = counter.budget + 1  # mirror the reference counter
+        raise APIBudgetExceededError(counter.budget, counter.calls) from None
+    counter.calls += sample_set.api_calls_used
+    sample_set.api_calls_used = api.api_calls
+    return sample_set
+
+
+__all__ = [
+    "BACKENDS",
+    "validate_backend",
+    "sample_edges_csr",
+    "explore_nodes_csr",
+    "run_csr_sampler",
+]

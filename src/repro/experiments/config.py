@@ -13,6 +13,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.samplers.csr_backend import validate_backend
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -53,6 +54,11 @@ class ExperimentConfig:
     burn_in:
         Explicit walk burn-in; ``None`` derives it from the graph's
         mixing time.
+    backend:
+        Walk backend for the proposed algorithms: ``"python"`` (the
+        dict-based reference engine) or ``"csr"`` (the vectorized numpy
+        backend; the EX-* baselines keep the reference engine either
+        way).
     """
 
     dataset: str
@@ -64,9 +70,11 @@ class ExperimentConfig:
     algorithms: Optional[Tuple[str, ...]] = None
     include_baselines: bool = True
     burn_in: Optional[int] = None
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         check_positive_int(self.repetitions, "repetitions")
+        validate_backend(self.backend)
         if not self.sample_fractions:
             raise ConfigurationError("sample_fractions must not be empty")
         for fraction in self.sample_fractions:

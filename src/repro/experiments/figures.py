@@ -120,6 +120,7 @@ def run_paper_figure(
         repetitions=repetitions,
         burn_in=config.burn_in,
         seed=config.seed,
+        backend=config.backend,
     )
     return PaperFigureResult(definition=definition, points=points, config=config)
 

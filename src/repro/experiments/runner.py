@@ -17,9 +17,10 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ExperimentError
 from repro.graph.api import RestrictedGraphAPI
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
-from repro.utils.rng import RandomSource, spawn_rngs
+from repro.utils.rng import RandomSource, derive_seed, spawn_rngs
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
@@ -109,12 +110,18 @@ def run_trials(
     burn_in: int,
     seed: RandomSource = None,
     true_count: Optional[int] = None,
+    backend: str = "python",
+    csr: Optional[CSRGraph] = None,
 ) -> TrialOutcome:
     """Repeat one estimation *repetitions* times and summarise.
 
     Every repetition gets a fresh :class:`RestrictedGraphAPI` (so API
     calls and caches do not leak across repetitions) and an independent
-    random stream derived from *seed*.
+    random stream derived from *seed*.  With ``backend="csr"`` the CSR
+    arrays are frozen once and shared by every repetition (the walks
+    stay independent; only the read-only adjacency is reused); callers
+    looping over many cells should freeze once and pass *csr* down, as
+    :func:`compare_algorithms` does.
     """
     check_positive_int(sample_size, "sample_size")
     check_positive_int(repetitions, "repetitions")
@@ -127,9 +134,17 @@ def run_trials(
     outcome = TrialOutcome(
         algorithm=algorithm_name, sample_size=sample_size, true_count=true_count
     )
+    # Only pass backend through when non-default, so hand-written runners
+    # with the historical 6-argument signature keep working.
+    extra = {} if backend == "python" else {"backend": backend}
+    shared_csr = csr
+    if backend == "csr" and shared_csr is None:
+        shared_csr = CSRGraph.from_labeled_graph(graph)
     for rng in spawn_rngs(seed, repetitions):
         api = RestrictedGraphAPI(graph)
-        result = runner(api, t1, t2, sample_size, burn_in, rng)
+        if shared_csr is not None:
+            api.adopt_csr(shared_csr)
+        result = runner(api, t1, t2, sample_size, burn_in, rng, **extra)
         outcome.estimates.append(result.estimate)
         outcome.api_calls.append(api.api_calls)
     return outcome
@@ -146,6 +161,7 @@ def compare_algorithms(
     seed: RandomSource = 2018,
     dataset_name: str = "dataset",
     progress: Optional[Callable[[str, int, float], None]] = None,
+    backend: str = "python",
 ) -> NRMSETable:
     """Reproduce one NRMSE table: every algorithm at every budget.
 
@@ -168,12 +184,19 @@ def compare_algorithms(
         Master seed; cells get deterministic derived streams.
     progress:
         Optional callback ``(algorithm, sample_size, fraction_done)``.
+    backend:
+        Walk backend for the proposed algorithms (``"python"`` or
+        ``"csr"``).  The EX-* baselines always run the reference engine
+        (their MH/MD kernels are not vectorized) and simply ignore the
+        selector.
     """
     if algorithms is None:
         algorithms = build_algorithm_suite(graph)
     if burn_in is None:
         burn_in = recommended_burn_in(graph, rng=seed)
     true_count = count_target_edges(graph, t1, t2)
+    # Freeze the CSR arrays once for the whole table, not once per cell.
+    shared_csr = CSRGraph.from_labeled_graph(graph) if backend == "csr" else None
 
     sample_sizes = [max(1, math.ceil(fraction * graph.num_nodes)) for fraction in sample_fractions]
     table = NRMSETable(
@@ -201,6 +224,8 @@ def compare_algorithms(
                     burn_in,
                     seed=cell_seed,
                     true_count=true_count,
+                    backend=backend,
+                    csr=shared_csr,
                 )
             )
             done += 1
@@ -212,8 +237,7 @@ def compare_algorithms(
 
 def _derive_cell_seed(seed: RandomSource, algorithm: str, column: int) -> int:
     """Deterministic per-cell seed so tables are reproducible cell-by-cell."""
-    base = seed if isinstance(seed, int) else 0
-    return abs(hash((base, algorithm, column))) % (2**31)
+    return derive_seed(seed, algorithm, column)
 
 
 __all__ = ["TrialOutcome", "NRMSETable", "run_trials", "compare_algorithms"]

@@ -12,9 +12,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
-from repro.utils.rng import RandomSource
+from repro.utils.rng import RandomSource, derive_seed
 from repro.walks.mixing import recommended_burn_in
 
 from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite, PAPER_ALGORITHM_ORDER
@@ -31,6 +32,7 @@ def sample_size_sweep(
     burn_in: Optional[int] = None,
     seed: RandomSource = 2018,
     dataset_name: str = "dataset",
+    backend: str = "python",
 ) -> NRMSETable:
     """NRMSE of every algorithm as the budget grows — one paper table.
 
@@ -47,6 +49,7 @@ def sample_size_sweep(
         burn_in=burn_in,
         seed=seed,
         dataset_name=dataset_name,
+        backend=backend,
     )
 
 
@@ -68,6 +71,7 @@ def frequency_sweep(
     algorithms: Optional[Mapping[str, AlgorithmRunner]] = None,
     burn_in: Optional[int] = None,
     seed: RandomSource = 2018,
+    backend: str = "python",
 ) -> List[FrequencyPoint]:
     """NRMSE vs relative target-edge count at a fixed budget (Figures 1–2).
 
@@ -94,6 +98,8 @@ def frequency_sweep(
     if burn_in is None:
         burn_in = recommended_burn_in(graph, rng=seed)
     sample_size = max(1, math.ceil(budget_fraction * graph.num_nodes))
+    # Freeze the CSR arrays once for the whole sweep, not once per point.
+    shared_csr = CSRGraph.from_labeled_graph(graph) if backend == "csr" else None
 
     points: List[FrequencyPoint] = []
     for pair_index, (t1, t2) in enumerate(target_pairs):
@@ -119,6 +125,8 @@ def frequency_sweep(
                 burn_in,
                 seed=_derive_point_seed(seed, name, pair_index),
                 true_count=true_count,
+                backend=backend,
+                csr=shared_csr,
             )
             point.nrmse_by_algorithm[name] = outcome.nrmse
         points.append(point)
@@ -127,8 +135,7 @@ def frequency_sweep(
 
 
 def _derive_point_seed(seed: RandomSource, algorithm: str, pair_index: int) -> int:
-    base = seed if isinstance(seed, int) else 0
-    return abs(hash((base, algorithm, "frequency", pair_index))) % (2**31)
+    return derive_seed(seed, algorithm, "frequency", pair_index)
 
 
 __all__ = ["sample_size_sweep", "FrequencyPoint", "frequency_sweep"]

@@ -147,6 +147,7 @@ def run_paper_table(
         burn_in=config.burn_in,
         seed=config.seed,
         dataset_name=dataset.spec.paper_name,
+        backend=config.backend,
     )
     return PaperTableResult(definition=definition, table=table, config=config)
 

@@ -1,0 +1,221 @@
+"""Compressed-sparse-row (CSR) view of a :class:`LabeledGraph`.
+
+The dict-of-sets substrate in :mod:`repro.graph.labeled_graph` is ideal
+for incremental construction and honest restricted-API simulation, but
+every walk step pays a Python-level set lookup plus a neighbor-list
+copy.  :class:`CSRGraph` freezes the adjacency into two numpy integer
+arrays (``indptr`` / ``indices``) and the node labels into boolean masks
+so the vectorized walk backend (:mod:`repro.walks.batched`) and the CSR
+samplers (:mod:`repro.core.samplers.csr_backend`) can advance walkers
+and classify samples with array arithmetic.
+
+Two properties are load-bearing for backend equivalence:
+
+* node index ``i`` corresponds to the ``i``-th node of the graph's
+  iteration order, which is also the order
+  :meth:`RestrictedGraphAPI.random_node` draws from, and
+* each adjacency row preserves the exact order of
+  :meth:`LabeledGraph.neighbors`, which is the order
+  ``random.Random.choice`` indexes into on the reference path.
+
+Together they let the exact-RNG walk mode reproduce the dict engine
+step for step from the same seed (see
+:func:`repro.walks.batched.csr_walk`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError, NodeNotFoundError
+from repro.graph.labeled_graph import Label, LabeledGraph, Node
+
+
+class CSRGraph:
+    """Immutable numpy CSR adjacency plus per-label boolean masks.
+
+    Parameters
+    ----------
+    node_ids:
+        Original node identifiers; index ``i`` in every array refers to
+        ``node_ids[i]``.
+    indptr:
+        ``int64`` array of length ``n + 1``; the neighbors of node ``i``
+        are ``indices[indptr[i]:indptr[i + 1]]``.
+    indices:
+        ``int64`` array of neighbor indices (length ``2|E|``).
+    label_sets:
+        One label set per node, aligned with *node_ids*.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[Node],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        label_sets: Sequence[Iterable[Label]],
+    ) -> None:
+        self.node_ids: List[Node] = list(node_ids)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._label_sets: List[FrozenSet[Label]] = [frozenset(s) for s in label_sets]
+        n = len(self.node_ids)
+        if self.indptr.shape != (n + 1,):
+            raise GraphError(
+                f"indptr must have length num_nodes + 1 = {n + 1}, got {self.indptr.shape}"
+            )
+        if len(self._label_sets) != n:
+            raise GraphError("label_sets must provide one entry per node")
+        if n and (self.indptr[0] != 0 or self.indptr[-1] != self.indices.size):
+            raise GraphError("indptr must start at 0 and end at len(indices)")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= n
+        ):
+            raise GraphError("indices contains out-of-range node indices")
+        self.degrees = np.diff(self.indptr)
+        self._index_of: Dict[Node, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self._mask_cache: Dict[Label, np.ndarray] = {}
+        self._incident_cache: Dict[Tuple[Label, Label], np.ndarray] = {}
+        self._indptr_list: Optional[List[int]] = None
+        self._indices_list: Optional[List[int]] = None
+        self._degrees_list: Optional[List[int]] = None
+        self._rows: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labeled_graph(cls, graph: LabeledGraph) -> "CSRGraph":
+        """Freeze *graph* into CSR arrays (order-preserving, see module doc)."""
+        node_ids = list(graph.nodes())
+        index_of = {nid: i for i, nid in enumerate(node_ids)}
+        indptr = np.zeros(len(node_ids) + 1, dtype=np.int64)
+        flat: List[int] = []
+        for i, nid in enumerate(node_ids):
+            neighbors = graph.neighbors(nid)
+            indptr[i + 1] = indptr[i] + len(neighbors)
+            flat.extend(index_of[v] for v in neighbors)
+        indices = np.fromiter(flat, dtype=np.int64, count=len(flat))
+        label_sets = [graph.labels_of(nid) for nid in node_ids]
+        return cls(node_ids, indptr, indices, label_sets)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes, ``|V|``."""
+        return len(self.node_ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges, ``|E|``."""
+        return int(self.indices.size // 2)
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def index_of(self, node: Node) -> int:
+        """Dense index of an original node identifier."""
+        try:
+            return self._index_of[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def neighbors(self, index: int) -> np.ndarray:
+        """Neighbor indices of node *index* (a view, do not mutate)."""
+        return self.indices[self.indptr[index] : self.indptr[index + 1]]
+
+    def degree(self, index: int) -> int:
+        """Degree of node *index*."""
+        return int(self.degrees[index])
+
+    def labels_of(self, index: int) -> FrozenSet[Label]:
+        """Label set of node *index*."""
+        return self._label_sets[index]
+
+    def label_mask(self, label: Label) -> np.ndarray:
+        """Boolean array: ``mask[i]`` iff node ``i`` carries *label* (cached)."""
+        mask = self._mask_cache.get(label)
+        if mask is None:
+            mask = np.fromiter(
+                (label in labels for labels in self._label_sets),
+                dtype=bool,
+                count=len(self._label_sets),
+            )
+            mask.setflags(write=False)
+            self._mask_cache[label] = mask
+        return mask
+
+    def adjacency_lists(self) -> Tuple[List[int], List[int], List[int]]:
+        """``(indptr, indices, degrees)`` as plain Python lists (cached).
+
+        The scalar single-walker loops index these a few million times a
+        second; list indexing beats numpy scalar indexing there.
+        """
+        if self._indptr_list is None:
+            self._indptr_list = self.indptr.tolist()
+            self._indices_list = self.indices.tolist()
+            self._degrees_list = self.degrees.tolist()
+        return self._indptr_list, self._indices_list, self._degrees_list
+
+    def neighbor_rows(self) -> List[List[int]]:
+        """Per-node neighbor lists as plain Python lists (cached).
+
+        One list index replaces the ``indptr``/``indices`` pair in the
+        innermost walk loop — worth ~10% there at the cost of one extra
+        materialisation of the adjacency.
+        """
+        if self._rows is None:
+            indptr, indices, _ = self.adjacency_lists()
+            self._rows = [
+                indices[indptr[i] : indptr[i + 1]] for i in range(self.num_nodes)
+            ]
+        return self._rows
+
+    # ------------------------------------------------------------------
+    # vectorized label statistics
+    # ------------------------------------------------------------------
+    def neighbor_mask_counts(self, mask: np.ndarray) -> np.ndarray:
+        """Per-node count of neighbors for which *mask* is true.
+
+        Implemented with a cumulative sum over the flat neighbor array so
+        empty adjacency rows are handled correctly (``np.add.reduceat``
+        is not safe there).
+        """
+        acc = np.concatenate(
+            ([0], np.cumsum(mask[self.indices], dtype=np.int64))
+        )
+        return acc[self.indptr[1:]] - acc[self.indptr[:-1]]
+
+    def target_incident_counts(self, t1: Label, t2: Label) -> np.ndarray:
+        """``T(u)`` for every node: incident target edges for ``(t1, t2)``.
+
+        Matches :meth:`LabeledGraph.target_edges_incident_to`: a neighbor
+        is counted once even when both branch conditions hold, hence the
+        inclusion–exclusion term for nodes carrying both labels.
+        """
+        key = (t1, t2)
+        counts = self._incident_cache.get(key)
+        if counts is None:
+            m1 = self.label_mask(t1)
+            m2 = self.label_mask(t2)
+            c2 = self.neighbor_mask_counts(m2)
+            if t1 == t2:
+                counts = np.where(m1, c2, 0)
+            else:
+                c1 = self.neighbor_mask_counts(m1)
+                cboth = self.neighbor_mask_counts(m1 & m2)
+                counts = m1 * c2 + m2 * c1 - (m1 & m2) * cboth
+            counts = counts.astype(np.int64)
+            counts.setflags(write=False)
+            self._incident_cache[key] = counts
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
+        return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+
+__all__ = ["CSRGraph"]

@@ -11,6 +11,7 @@ tool; numpy generators are converted by drawing a seed from them).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Iterable, Optional, Union
 
@@ -19,6 +20,20 @@ import numpy as np
 RandomSource = Union[None, int, random.Random, np.random.Generator]
 
 _MAX_SEED = 2**63 - 1
+
+
+def derive_seed(seed: RandomSource, *parts) -> int:
+    """Deterministic child seed from a master *seed* and a key of *parts*.
+
+    Uses a blake2s digest rather than ``hash()``: string hashing is
+    salted per process, so ``hash()``-derived seeds would silently make
+    "seeded" experiments differ between runs.  Non-integer sources
+    contribute a base of 0 (their state cannot be summarised stably).
+    """
+    base = seed if isinstance(seed, (int, np.integer)) else 0
+    key = ":".join([str(int(base))] + [str(part) for part in parts])
+    digest = hashlib.blake2s(key.encode(), digest_size=4).digest()
+    return int.from_bytes(digest, "big") % (2**31)
 
 
 def ensure_rng(rng: RandomSource = None) -> random.Random:
@@ -104,6 +119,7 @@ def choice_weighted(rng: random.Random, items: Iterable, weights: Iterable[float
 
 __all__ = [
     "RandomSource",
+    "derive_seed",
     "ensure_rng",
     "ensure_numpy_rng",
     "spawn_rngs",

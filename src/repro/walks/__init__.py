@@ -1,6 +1,16 @@
 """Random-walk engines, transition kernels, mixing-time and thinning utilities."""
 
 from repro.walks.engine import RandomWalk, WalkResult, NeighborProvider
+from repro.walks.batched import (
+    BatchedWalkEngine,
+    BatchedWalkResult,
+    PageBudgetTracker,
+    SUPPORTED_CSR_KERNELS,
+    charge_distinct_pages,
+    csr_walk,
+    draw_start_index,
+    resolve_csr_kernel,
+)
 from repro.walks.kernels import (
     TransitionKernel,
     SimpleRandomWalkKernel,
@@ -23,6 +33,14 @@ __all__ = [
     "RandomWalk",
     "WalkResult",
     "NeighborProvider",
+    "BatchedWalkEngine",
+    "BatchedWalkResult",
+    "PageBudgetTracker",
+    "SUPPORTED_CSR_KERNELS",
+    "charge_distinct_pages",
+    "csr_walk",
+    "draw_start_index",
+    "resolve_csr_kernel",
     "TransitionKernel",
     "SimpleRandomWalkKernel",
     "NonBacktrackingKernel",

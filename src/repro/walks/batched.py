@@ -1,0 +1,484 @@
+"""Vectorized random walks over a :class:`~repro.graph.csr.CSRGraph`.
+
+Two execution styles live here, both sharing the CSR arrays:
+
+* :func:`csr_walk` — one walker, a tight scalar loop.  In its default
+  *fast* mode it consumes pre-drawn numpy uniforms; in *exact-RNG* mode
+  it reproduces the reference dict engine
+  (:class:`repro.walks.engine.RandomWalk`) **step for step from the same
+  seed**, by consuming ``random.Random`` bits exactly the way
+  ``rng.choice`` does.
+* :class:`BatchedWalkEngine` — ``N`` independent walkers advanced one
+  numpy-vectorized step at a time, for throughput workloads (fleet
+  simulation, variance studies, benchmarks).
+
+Both support the simple random walk and the non-backtracking kernel —
+the two degree-stationary kernels the paper's proposed algorithms use —
+and both account charged API calls with the same distinct-page-download
+semantics as :class:`repro.graph.api.RestrictedGraphAPI` with caching
+on: fetching a page (neighbor list) of a node is charged once per
+distinct node, revisits are free, and exceeding a budget raises
+:class:`~repro.exceptions.APIBudgetExceededError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import (
+    APIBudgetExceededError,
+    ConfigurationError,
+    EmptyGraphError,
+    WalkError,
+)
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
+from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.walks.engine import WalkResult
+
+#: Kernel names the CSR backend can vectorize.
+SUPPORTED_CSR_KERNELS: Tuple[str, ...] = ("simple", "non_backtracking")
+
+KernelLike = Union[None, str, object]
+
+
+def resolve_csr_kernel(kernel: KernelLike) -> str:
+    """Normalise *kernel* (name or kernel instance) to a supported name.
+
+    The CSR backend vectorizes the two degree-stationary kernels only;
+    the MH/MD-style baseline kernels keep the reference engine.
+    """
+    if kernel is None:
+        return "simple"
+    if isinstance(kernel, str):
+        if kernel not in SUPPORTED_CSR_KERNELS:
+            raise ConfigurationError(
+                f"unsupported CSR kernel {kernel!r}; "
+                f"supported: {', '.join(SUPPORTED_CSR_KERNELS)}"
+            )
+        return kernel
+    name = getattr(kernel, "name", None)
+    if name in SUPPORTED_CSR_KERNELS:
+        return name
+    raise ConfigurationError(
+        f"the CSR backend cannot vectorize kernel {kernel!r}; "
+        f"supported: {', '.join(SUPPORTED_CSR_KERNELS)} "
+        "(use backend='python' for the other kernels)"
+    )
+
+
+def _check_not_empty(csr: CSRGraph) -> None:
+    if csr.num_nodes == 0:
+        raise EmptyGraphError("cannot walk on an empty graph")
+
+
+def _isolated_error(index: int, csr: CSRGraph) -> WalkError:
+    return WalkError(
+        f"random walk reached isolated node {csr.node_ids[index]!r}; "
+        "run on the largest connected component"
+    )
+
+
+# ----------------------------------------------------------------------
+# exact-RNG draw contract
+# ----------------------------------------------------------------------
+def exact_randbelow(generator):
+    """The index source of ``random.Random.choice``, as a bound callable.
+
+    ``choice(seq)`` is ``seq[rng._randbelow(len(seq))]``; consuming
+    ``_randbelow`` directly keeps the bit stream aligned with the dict
+    engine.  Defined once so every exact-RNG replay path shares the same
+    consumption contract (with a ``randrange`` fallback should CPython
+    ever drop the private method).
+    """
+    randbelow = getattr(generator, "_randbelow", None)
+    if randbelow is None:  # pragma: no cover - future-proofing
+        return generator.randrange
+    return randbelow
+
+
+def draw_start_index(csr: CSRGraph, rng, exact_rng: bool = False) -> int:
+    """Uniform start index for a walk.
+
+    In exact mode this consumes the generator exactly like
+    :meth:`RestrictedGraphAPI.random_node` (one ``choice`` over the node
+    list), so seeded replays of the reference pipeline stay aligned.
+    """
+    _check_not_empty(csr)
+    if exact_rng:
+        return exact_randbelow(ensure_rng(rng))(csr.num_nodes)
+    return int(ensure_numpy_rng(rng).integers(csr.num_nodes))
+
+
+# ----------------------------------------------------------------------
+# single-walker scalar paths
+# ----------------------------------------------------------------------
+def csr_walk(
+    csr: CSRGraph,
+    num_steps: int,
+    start: Optional[int] = None,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    exact_rng: bool = False,
+) -> np.ndarray:
+    """Run one walker for *num_steps* steps; return the node index after each.
+
+    Parameters
+    ----------
+    csr:
+        The frozen graph.
+    num_steps:
+        Number of transitions to perform.
+    start:
+        Starting node *index*; drawn uniformly from the rng when omitted
+        (mirroring :meth:`RestrictedGraphAPI.random_node`).
+    rng:
+        Seed / generator.  Fast mode draws from a numpy generator; exact
+        mode from a :class:`random.Random`.
+    kernel:
+        ``"simple"`` or ``"non_backtracking"`` (name or kernel instance).
+    exact_rng:
+        When true, consume ``random.Random`` bits exactly like the
+        reference engine, so the same seed yields the same trajectory as
+        :class:`repro.walks.engine.RandomWalk` over a
+        :class:`RestrictedGraphAPI` of the same graph.
+    """
+    check_non_negative_int(num_steps, "num_steps")
+    _check_not_empty(csr)
+    kernel_name = resolve_csr_kernel(kernel)
+    if exact_rng:
+        return _walk_exact(csr, num_steps, start, ensure_rng(rng), kernel_name)
+    return _walk_fast(csr, num_steps, start, ensure_numpy_rng(rng), kernel_name)
+
+
+def _walk_exact(csr, num_steps, start, generator, kernel_name):
+    randbelow = exact_randbelow(generator)
+    indptr, indices, degrees = csr.adjacency_lists()
+    if start is None:
+        start = randbelow(csr.num_nodes)
+    # Only the start can be isolated: every later position is someone's
+    # neighbor, so its degree is >= 1 and the hot loops skip the check.
+    if num_steps and degrees[start] == 0:
+        raise _isolated_error(start, csr)
+    u = start
+    out: List[int] = []
+    append = out.append
+    if kernel_name == "simple":
+        for _ in range(num_steps):
+            u = indices[indptr[u] + randbelow(degrees[u])]
+            append(u)
+    else:  # non-backtracking
+        prev = None
+        for _ in range(num_steps):
+            lo = indptr[u]
+            deg = degrees[u]
+            if deg == 1:
+                nxt = indices[lo]  # dead end: backtracking, no rng consumed
+            else:
+                # When prev is not a neighbor the first draw already
+                # differs from it, so the rejection loop alone replicates
+                # both kernel branches with identical rng consumption.
+                nxt = indices[lo + randbelow(deg)]
+                while nxt == prev:
+                    nxt = indices[lo + randbelow(deg)]
+            prev, u = u, nxt
+            append(u)
+    return np.asarray(out, dtype=np.int64)
+
+
+def _walk_fast(csr, num_steps, start, nprng, kernel_name):
+    indptr, indices, degrees = csr.adjacency_lists()
+    if start is None:
+        start = int(nprng.integers(csr.num_nodes))
+    # Only the start can be isolated (see _walk_exact).
+    if num_steps and degrees[start] == 0:
+        raise _isolated_error(start, csr)
+    uniforms = nprng.random(num_steps).tolist()
+    u = start
+    out: List[int] = []
+    append = out.append
+    if kernel_name == "simple":
+        rows = csr.neighbor_rows()
+        for r in uniforms:
+            row = rows[u]
+            offset = int(r * len(row))
+            # `offset < len(row)` guards float rounding at r -> 1
+            u = row[offset] if offset < len(row) else row[-1]
+            append(u)
+    else:  # non-backtracking
+        prev = -1
+        for r in uniforms:
+            lo = indptr[u]
+            deg = degrees[u]
+            if deg == 1:
+                nxt = indices[lo]
+            else:
+                offset = int(r * deg)
+                if offset == deg:
+                    offset -= 1
+                nxt = indices[lo + offset]
+                while nxt == prev:
+                    offset = int(nprng.random() * deg)
+                    if offset == deg:
+                        offset -= 1
+                    nxt = indices[lo + offset]
+            prev, u = u, nxt
+            append(u)
+    return np.asarray(out, dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# budget accounting
+# ----------------------------------------------------------------------
+def charge_distinct_pages(
+    pages: np.ndarray,
+    visited: np.ndarray,
+    budget: Optional[int],
+    already_charged: int = 0,
+) -> int:
+    """Charge the never-downloaded pages of *pages*; return the new charge.
+
+    The one implementation of the distinct-page crossing invariant,
+    shared by the samplers' page filters and the batched engine: pages
+    are considered in first-download order, on exhaustion only the
+    still-affordable ones are marked in *visited* (mutated in place),
+    and the raised error reports the crossing attempt ``budget + 1`` —
+    exactly :meth:`APICallCounter.charge`'s behavior mid-crawl.
+    """
+    distinct, first_seen = np.unique(np.atleast_1d(pages), return_index=True)
+    ordered = distinct[np.argsort(first_seen)]
+    new = ordered[~visited[ordered]]
+    if budget is not None:
+        affordable = budget - already_charged
+        if new.size > affordable:
+            visited[new[: max(0, affordable)]] = True
+            raise APIBudgetExceededError(budget, budget + 1)
+    visited[new] = True
+    return int(new.size)
+
+
+class PageBudgetTracker:
+    """Distinct-page-download accounting for CSR walks.
+
+    Mirrors a budgeted :class:`RestrictedGraphAPI` with caching enabled:
+    the first fetch of a node's page is charged, revisits are free, and
+    crossing *budget* raises :class:`APIBudgetExceededError`.
+    """
+
+    def __init__(self, num_nodes: int, budget: Optional[int] = None) -> None:
+        self._visited = np.zeros(num_nodes, dtype=bool)
+        self.budget = budget if budget is None else check_non_negative_int(budget, "budget")
+        self._charged = 0
+
+    @property
+    def charged(self) -> int:
+        """Distinct pages downloaded so far."""
+        if self.budget is None:
+            # Unbudgeted: pages are only marked (cheap per step); count lazily.
+            return int(np.count_nonzero(self._visited))
+        return self._charged
+
+    def charge_pages(self, node_indices: np.ndarray) -> None:
+        """Charge the pages of *node_indices* that were never fetched before.
+
+        See :func:`charge_distinct_pages` for the crossing semantics.
+        """
+        if self.budget is None:
+            # Unbudgeted fast path: mark only, count lazily in `charged`.
+            self._visited[np.atleast_1d(node_indices)] = True
+            return
+        try:
+            self._charged += charge_distinct_pages(
+                node_indices, self._visited, self.budget, self._charged
+            )
+        except APIBudgetExceededError:
+            self._charged = self.budget + 1
+            raise
+
+
+# ----------------------------------------------------------------------
+# batched engine
+# ----------------------------------------------------------------------
+@dataclass
+class BatchedWalkResult:
+    """Trajectories of ``N`` independent walkers, post burn-in.
+
+    Attributes
+    ----------
+    nodes:
+        ``(num_walkers, num_steps)`` node indices, one row per walker.
+    degrees:
+        Degrees of the collected nodes (same shape).
+    start_nodes:
+        Where each walker started.
+    tail_nodes:
+        Each walker's position just before the first collected step
+        (the start node when ``burn_in == 0``) — needed to reconstruct
+        the first traversed edge.
+    burn_in:
+        Steps discarded per walker before collection.
+    charged_calls:
+        Distinct pages downloaded across the whole fleet (shared cache).
+    """
+
+    nodes: np.ndarray
+    degrees: np.ndarray
+    start_nodes: np.ndarray
+    tail_nodes: np.ndarray
+    burn_in: int
+    charged_calls: int
+
+    @property
+    def num_walkers(self) -> int:
+        return int(self.nodes.shape[0])
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.nodes.shape[1])
+
+    def walk_result(self, walker: int, csr: CSRGraph) -> WalkResult:
+        """Convert one walker's trajectory into a reference :class:`WalkResult`."""
+        row = self.nodes[walker]
+        ids = csr.node_ids
+        previous = int(self.tail_nodes[walker])
+        edges = []
+        for index in row:
+            index = int(index)
+            edges.append(None if index == previous else (ids[previous], ids[index]))
+            previous = index
+        return WalkResult(
+            nodes=[ids[int(i)] for i in row],
+            degrees=[int(d) for d in self.degrees[walker]],
+            edges=edges,
+            burn_in=self.burn_in,
+            start_node=ids[int(self.start_nodes[walker])],
+        )
+
+
+class BatchedWalkEngine:
+    """Advance ``N`` independent walkers with one numpy step at a time.
+
+    Parameters
+    ----------
+    csr:
+        The frozen graph.
+    kernel:
+        ``"simple"`` (default) or ``"non_backtracking"``; kernel
+        instances of those two types are also accepted.
+    budget:
+        Optional charged-API-call cap, with the same distinct-page
+        semantics as a caching :class:`RestrictedGraphAPI`: the fleet
+        shares one page cache, and the engine raises
+        :class:`APIBudgetExceededError` mid-walk as soon as the number of
+        distinct pages fetched exceeds the budget.
+    rng:
+        Seed / generator (normalised to a numpy generator).
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        kernel: KernelLike = "simple",
+        budget: Optional[int] = None,
+        rng: RandomSource = None,
+    ) -> None:
+        self.csr = csr
+        self.kernel_name = resolve_csr_kernel(kernel)
+        self.budget = budget if budget is None else check_non_negative_int(budget, "budget")
+        self._nprng = ensure_numpy_rng(rng)
+
+    def run(
+        self,
+        num_walkers: int,
+        num_steps: int,
+        burn_in: int = 0,
+        start_nodes: Optional[Sequence[int]] = None,
+    ) -> BatchedWalkResult:
+        """Run the fleet and collect *num_steps* positions per walker."""
+        check_positive_int(num_walkers, "num_walkers")
+        check_positive_int(num_steps, "num_steps")
+        check_non_negative_int(burn_in, "burn_in")
+        _check_not_empty(self.csr)
+        csr = self.csr
+        nprng = self._nprng
+
+        if start_nodes is None:
+            current = nprng.integers(0, csr.num_nodes, size=num_walkers, dtype=np.int64)
+        else:
+            current = np.asarray(start_nodes, dtype=np.int64)
+            if current.shape != (num_walkers,):
+                raise ConfigurationError(
+                    f"start_nodes must have shape ({num_walkers},), got {current.shape}"
+                )
+            if current.size and (current.min() < 0 or current.max() >= csr.num_nodes):
+                raise ConfigurationError("start_nodes contains out-of-range indices")
+        # Only starts can be isolated; every later position is a neighbor.
+        start_degrees = csr.degrees[current]
+        if not start_degrees.all():
+            index = int(current[int(np.argmin(start_degrees))])
+            raise _isolated_error(index, csr)
+        starts = current.copy()
+
+        tracker = PageBudgetTracker(csr.num_nodes, self.budget)
+        nodes = np.empty((num_walkers, num_steps), dtype=np.int64)
+        tail = starts.copy()
+        previous = np.full(num_walkers, -1, dtype=np.int64)
+
+        total = burn_in + num_steps
+        for step in range(total):
+            tracker.charge_pages(current)  # fetch pages of current positions
+            nxt = self._advance(current, previous)
+            previous = current
+            current = nxt
+            if step >= burn_in:
+                nodes[:, step - burn_in] = current
+            if step == burn_in - 1:
+                tail = current.copy()
+        # Collected degrees are read off the final pages too.
+        tracker.charge_pages(current)
+
+        return BatchedWalkResult(
+            nodes=nodes,
+            degrees=csr.degrees[nodes],
+            start_nodes=starts,
+            tail_nodes=tail,
+            burn_in=burn_in,
+            charged_calls=tracker.charged,
+        )
+
+    # ------------------------------------------------------------------
+    def _advance(self, current: np.ndarray, previous: np.ndarray) -> np.ndarray:
+        csr = self.csr
+        degrees = csr.degrees[current]
+        draws = self._nprng.random(current.size)
+        offsets = (draws * degrees).astype(np.int64)
+        np.minimum(offsets, degrees - 1, out=offsets)
+        nxt = csr.indices[csr.indptr[current] + offsets]
+        if self.kernel_name == "non_backtracking":
+            # Reject candidates equal to the previous node, except at dead
+            # ends (degree 1) where backtracking is the only option.
+            redo = (nxt == previous) & (degrees > 1)
+            while redo.any():
+                where = np.flatnonzero(redo)
+                deg = degrees[where]
+                offs = (self._nprng.random(where.size) * deg).astype(np.int64)
+                np.minimum(offs, deg - 1, out=offs)
+                nxt[where] = csr.indices[csr.indptr[current[where]] + offs]
+                redo[where] = nxt[where] == previous[where]
+        return nxt
+
+
+__all__ = [
+    "SUPPORTED_CSR_KERNELS",
+    "resolve_csr_kernel",
+    "exact_randbelow",
+    "draw_start_index",
+    "csr_walk",
+    "charge_distinct_pages",
+    "PageBudgetTracker",
+    "BatchedWalkResult",
+    "BatchedWalkEngine",
+]

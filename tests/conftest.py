@@ -14,6 +14,19 @@ from __future__ import annotations
 
 import pytest
 
+
+def pytest_configure(config):
+    """Register the marker splitting statistical tests from the fast tier.
+
+    Run the fast tier with ``pytest -m "not slow"``, the statistical
+    tier with ``pytest -m slow`` (see ``scripts/run_tests.sh``); a plain
+    ``pytest`` run executes both.
+    """
+    config.addinivalue_line(
+        "markers",
+        "slow: statistical / multi-seed tests, excluded from the fast tier",
+    )
+
 from repro.datasets.labeling import assign_binary_labels, assign_zipf_labels
 from repro.datasets.synthetic import powerlaw_cluster_osn
 from repro.graph.api import RestrictedGraphAPI

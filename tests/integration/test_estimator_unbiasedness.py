@@ -1,0 +1,76 @@
+"""Statistical regression tests for estimator unbiasedness.
+
+Theorems 4.2/4.4 of the paper: the Hansen–Hurwitz and Horvitz–Thompson
+estimators are (asymptotically) unbiased for the target-edge count.
+These tests run many independent estimates on a synthetic graph whose
+ground truth is known exactly and check that the empirical mean lands
+inside a confidence interval around the truth.  They guard against
+regressions that would silently bias either walk backend (e.g. a wrong
+stationary weight, an off-by-one in the CSR offset draw, or broken
+thinning).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import estimate_target_edge_count
+from repro.graph.statistics import count_target_edges
+
+NUM_SEEDS = 80
+BURN_IN = 30
+SAMPLE_SIZE = 100
+
+#: Confidence multiplier: with mean-of-80 runs the CLT applies; 4 sigma
+#: keeps the deterministic-seed suite far from the rejection boundary
+#: while still catching any real bias of a few percent.
+SIGMAS = 4.0
+
+
+def _mean_with_ci(graph, t1, t2, algorithm, backend):
+    estimates = np.array(
+        [
+            estimate_target_edge_count(
+                graph,
+                t1,
+                t2,
+                algorithm=algorithm,
+                sample_size=SAMPLE_SIZE,
+                burn_in=BURN_IN,
+                seed=seed,
+                backend=backend,
+            ).estimate
+            for seed in range(NUM_SEEDS)
+        ]
+    )
+    mean = estimates.mean()
+    sem = estimates.std(ddof=1) / np.sqrt(NUM_SEEDS)
+    return mean, sem
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("backend", ["python", "csr"])
+@pytest.mark.parametrize(
+    "algorithm",
+    [
+        "NeighborSample-HH",
+        "NeighborExploration-HH",
+        "NeighborExploration-HT",
+    ],
+)
+def test_mean_estimate_within_ci_of_truth(gender_osn, algorithm, backend):
+    truth = count_target_edges(gender_osn, 1, 2)
+    mean, sem = _mean_with_ci(gender_osn, 1, 2, algorithm, backend)
+    margin = SIGMAS * sem + 0.02 * truth  # CI plus a small burn-in-bias allowance
+    assert abs(mean - truth) < margin, (
+        f"{algorithm} on backend={backend}: mean estimate {mean:.1f} is outside "
+        f"±{margin:.1f} of the true count {truth} (sem {sem:.1f})"
+    )
+
+
+@pytest.mark.slow
+def test_neighbor_sample_ht_tracks_truth(gender_osn):
+    # HT thins the walk, so fewer effective samples: allow a wider margin
+    # but still require the estimate to track the truth.
+    truth = count_target_edges(gender_osn, 1, 2)
+    mean, sem = _mean_with_ci(gender_osn, 1, 2, "NeighborSample-HT", "csr")
+    assert abs(mean - truth) < 5.0 * sem + 0.05 * truth

@@ -5,6 +5,8 @@ import pytest
 from repro.exceptions import APIBudgetExceededError
 from repro.graph.api import APICallCounter, RestrictedGraphAPI
 from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.engine import RandomWalk
+from repro.walks.kernels import SimpleRandomWalkKernel
 
 
 @pytest.fixture
@@ -112,3 +114,66 @@ class TestRestrictedAPI:
         assert api.api_calls == 0
         api.neighbors("u")
         assert api.api_calls == 1
+
+
+class TestBudgetEdgeCases:
+    """Budget exhaustion, cache-hit accounting and zero-budget behavior."""
+
+    def test_budget_exhaustion_mid_walk(self, gender_osn):
+        api = RestrictedGraphAPI(gender_osn, budget=10)
+        walk = RandomWalk(api, SimpleRandomWalkKernel(), burn_in=0, rng=7)
+        with pytest.raises(APIBudgetExceededError) as excinfo:
+            walk.run(500)
+        assert excinfo.value.budget == 10
+        assert excinfo.value.used == 11
+        # the counter stopped right where the budget was crossed
+        assert api.api_calls == 11
+
+    def test_walk_within_budget_thanks_to_cache(self, small_graph):
+        # a 3-node path has only 3 pages; with caching a long walk fits
+        # in a budget of 3 because revisits are free
+        api = RestrictedGraphAPI(small_graph, budget=3)
+        walk = RandomWalk(api, SimpleRandomWalkKernel(), burn_in=0, rng=5)
+        result = walk.run(200)
+        assert len(result) == 200
+        assert api.api_calls <= 3
+        assert api.counter.cache_hits > 200
+
+    def test_cache_hit_accounting_repeat_lookups_are_free(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, budget=2)
+        api.neighbors("u")
+        api.labels_of("u")  # same page: free
+        for _ in range(10):
+            api.neighbors("u")
+            api.degree("u")
+        assert api.api_calls == 1
+        assert api.counter.cache_hits == 21
+        assert api.counter.total_requests == 22
+        assert api.counter.per_node == {"u": 1}
+
+    def test_zero_budget_rejects_first_call(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, budget=0)
+        with pytest.raises(APIBudgetExceededError) as excinfo:
+            api.neighbors("u")
+        assert excinfo.value.budget == 0
+        assert excinfo.value.used == 1
+
+    def test_zero_budget_walk_raises(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, budget=0)
+        walk = RandomWalk(api, SimpleRandomWalkKernel(), burn_in=0, rng=1)
+        with pytest.raises(APIBudgetExceededError):
+            walk.run(1)
+
+    def test_zero_budget_random_node_is_free(self, small_graph):
+        # drawing a start node is prior knowledge, not an API call
+        api = RestrictedGraphAPI(small_graph, budget=0)
+        assert api.random_node(rng=1) in {"u", "v", "w"}
+        assert api.api_calls == 0
+
+    def test_exhausted_budget_still_serves_cached_pages(self, small_graph):
+        api = RestrictedGraphAPI(small_graph, budget=1)
+        api.neighbors("u")
+        with pytest.raises(APIBudgetExceededError):
+            api.neighbors("v")
+        # the already-downloaded page stays readable
+        assert set(api.neighbors("u")) == {"v"}

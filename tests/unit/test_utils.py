@@ -10,6 +10,7 @@ from repro.exceptions import ConfigurationError
 from repro.utils.logging import configure_logging, get_logger
 from repro.utils.rng import (
     choice_weighted,
+    derive_seed,
     ensure_numpy_rng,
     ensure_rng,
     spawn_rngs,
@@ -71,6 +72,25 @@ class TestSpawnRngs:
     def test_negative_count_raises(self):
         with pytest.raises(ValueError):
             spawn_rngs(1, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(2018, "NS-HH", 3) == derive_seed(2018, "NS-HH", 3)
+
+    def test_stable_across_processes(self):
+        # pinned values: salted hash() must never leak back in — a
+        # hash()-based implementation passes same-process equality but
+        # cannot reproduce these constants
+        assert derive_seed(2018, "NeighborSample-HH", 0) == 1974944679
+        assert derive_seed(0, "x") == 1146306545
+
+    def test_distinct_for_distinct_keys(self):
+        seeds = {derive_seed(7, "algo", column) for column in range(20)}
+        assert len(seeds) == 20
+
+    def test_non_int_source_uses_zero_base(self):
+        assert derive_seed(random.Random(5), "a", 1) == derive_seed(0, "a", 1)
 
 
 class TestChoiceWeighted:
