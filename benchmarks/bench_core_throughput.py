@@ -8,11 +8,21 @@ estimators show up as timing changes.
 Every python-backend bench has a ``_csr`` twin doing the same work on
 the vectorized backend, so the speedup of the CSR walk path is tracked
 in the perf trajectory alongside the reference engine.
+
+``test_fleet_cell_speedup`` additionally times one representative NRMSE
+table cell on the sequential CSR path and on the fleet path and writes
+the machine-readable ``benchmarks/results/BENCH_core.json`` (fleet
+steps/s, per-path cell wall-clock, speedup), so the perf trajectory of
+the experiment engine is diffable across PRs.
 """
+
+import math
+import time
 
 import numpy as np
 import pytest
 
+import bench_support
 from repro.core.estimators import (
     EdgeHansenHurwitzEstimator,
     NodeHansenHurwitzEstimator,
@@ -20,6 +30,8 @@ from repro.core.estimators import (
 )
 from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
 from repro.datasets.registry import load_dataset
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import run_trials
 from repro.graph.api import RestrictedGraphAPI
 from repro.graph.csr import CSRGraph
 from repro.walks.batched import BatchedWalkEngine, csr_walk
@@ -114,6 +126,91 @@ def test_throughput_neighbor_exploration_csr(benchmark, facebook_graph, facebook
 
     samples = benchmark(run)
     assert samples.k == 200
+
+
+def test_fleet_cell_speedup(facebook_graph, facebook_csr, settings):
+    """Time representative NRMSE cells: sequential CSR vs fleet.
+
+    Two cells mirroring the paper's setting — NeighborSample-HH and
+    NeighborExploration-HH at a 5%·|V| budget with 200 repetitions
+    (env-overridable via ``REPRO_REPETITIONS``) — each timed best-of-3
+    per path; the wall-clocks land in ``BENCH_core.json`` together with
+    the raw fleet walker throughput, so the perf trajectory of the
+    experiment engine is diffable across PRs.
+    """
+    repetitions = max(50, settings["repetitions"])
+    sample_size = max(1, math.ceil(0.05 * facebook_graph.num_nodes))
+    burn_in = 100
+    suite = build_algorithm_suite(facebook_graph, include_baselines=False)
+
+    def run_cell(algorithm, execution):
+        started = time.perf_counter()
+        outcome = run_trials(
+            facebook_graph,
+            1,
+            2,
+            suite[algorithm],
+            algorithm,
+            sample_size=sample_size,
+            repetitions=repetitions,
+            burn_in=burn_in,
+            seed=settings["seed"],
+            backend="csr",
+            csr=facebook_csr,
+            execution=execution,
+        )
+        assert outcome.repetitions == repetitions
+        return time.perf_counter() - started
+
+    cells = {}
+    for algorithm in ("NeighborSample-HH", "NeighborExploration-HH"):
+        # Warm the shared caches (label masks, incident counts, list
+        # views) so both paths are measured steady-state.
+        run_trials(
+            facebook_graph, 1, 2, suite[algorithm], algorithm,
+            sample_size=sample_size, repetitions=2, burn_in=10,
+            seed=0, backend="csr", csr=facebook_csr, execution="fleet",
+        )
+        sequential_seconds = min(run_cell(algorithm, "sequential") for _ in range(3))
+        fleet_seconds = min(run_cell(algorithm, "fleet") for _ in range(3))
+        cells[algorithm] = {
+            "sample_size": sample_size,
+            "burn_in": burn_in,
+            "repetitions": repetitions,
+            "sequential_csr_seconds": round(sequential_seconds, 4),
+            "fleet_seconds": round(fleet_seconds, 4),
+            "fleet_speedup": round(sequential_seconds / fleet_seconds, 2),
+        }
+
+    # Raw fleet walker throughput (steps/second) on the same graph.
+    engine = BatchedWalkEngine(facebook_csr, rng=1)
+    started = time.perf_counter()
+    engine.run(512, 500)
+    engine_seconds = time.perf_counter() - started
+
+    bench_support.write_json(
+        "BENCH_core.json",
+        {
+            "dataset": "facebook",
+            "scale": min(settings["scale"], 0.25),
+            "num_nodes": facebook_graph.num_nodes,
+            "num_edges": facebook_graph.num_edges,
+            "cells": cells,
+            "batched_walk": {
+                "walkers": 512,
+                "steps_per_walker": 500,
+                "steps_per_second": round(512 * 500 / engine_seconds),
+            },
+        },
+    )
+    # Acceptance floor: the fleet path must reproduce a representative
+    # table cell at least 5x faster than the sequential CSR path (the
+    # NeighborSample cell typically lands >20x, NeighborExploration >5x;
+    # the latter gets a softer regression floor to absorb timer noise).
+    speedup_ns = cells["NeighborSample-HH"]["fleet_speedup"]
+    speedup_ne = cells["NeighborExploration-HH"]["fleet_speedup"]
+    assert speedup_ns >= 5, f"fleet speedup {speedup_ns:.1f}x below the 5x floor"
+    assert speedup_ne >= 3.5, f"exploration fleet speedup regressed: {speedup_ne:.1f}x"
 
 
 def test_throughput_edge_hh_estimator(benchmark, facebook_graph):

@@ -8,6 +8,7 @@ laptop; set the environment variables to approach the paper's setting::
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -27,6 +28,15 @@ def write_result(name: str, content: str) -> Path:
     path = RESULTS_DIR / name
     path.write_text(content + "\n", encoding="utf-8")
     return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist one machine-readable artifact under ``benchmarks/results/``.
+
+    Used for the perf-trajectory files (e.g. ``BENCH_core.json``) that
+    later PRs diff against, so keys should stay stable.
+    """
+    return write_result(name, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def bench_settings() -> dict:

@@ -12,12 +12,16 @@ The script
    paper's algorithms using only 5% of |V| API calls,
 3. compares both estimates against the exact ground truth (which the
    estimators never see — they only use the restricted neighbor-list
-   API), and
+   API),
 4. repeats one estimation on the vectorized CSR walk backend
    (``backend="csr"``), which freezes the graph into numpy arrays and
    is the right choice for large graphs and repeated trials; the
    default ``backend="python"`` keeps the auditable dict-based engine,
-   best for small graphs and API-call-trace debugging.
+   best for small graphs and API-call-trace debugging, and
+5. runs a whole NRMSE table cell (many repetitions of one estimation)
+   with ``execution="fleet"``: every repetition becomes one walker of a
+   vectorized fleet sharing the frozen CSR arrays, with per-walker
+   API-call ledgers — the fastest way to reproduce the paper's tables.
 """
 
 import time
@@ -28,6 +32,8 @@ from repro import (
     estimate_target_edge_count,
     load_dataset,
 )
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import run_trials
 
 
 def main() -> None:
@@ -85,6 +91,34 @@ def main() -> None:
         print(f"backend={backend:<7}: mean of {trials} estimates = {mean:9.1f}   "
               f"(relative error = {abs(mean - truth) / truth:.3f}, "
               f"{elapsed / trials:6.1f} ms/trial)")
+
+    # Finally, a whole NRMSE table cell — 200 independent repetitions of
+    # one estimation, the paper's setting — run both ways.  Fleet mode
+    # turns the cell into one vectorized walker fleet (one walker per
+    # repetition), which is how `compare_algorithms` / the CLI's
+    # `--execution fleet` reproduce Tables 4-17 in seconds.
+    print()
+    suite = build_algorithm_suite(graph, include_baselines=False)
+    algorithm = "NeighborExploration-HH"
+    for execution in ("sequential", "fleet"):
+        started = time.perf_counter()
+        outcome = run_trials(
+            graph,
+            female,
+            male,
+            suite[algorithm],
+            algorithm,
+            sample_size=max(1, graph.num_nodes // 20),  # 5% of |V|
+            repetitions=200,
+            burn_in=200,
+            seed=42,
+            backend="csr",
+            execution=execution,
+        )
+        elapsed = (time.perf_counter() - started) * 1000
+        print(f"execution={execution:<10}: cell of {outcome.repetitions} repetitions, "
+              f"NRMSE = {outcome.nrmse:.3f}, mean estimate = {outcome.mean_estimate:8.1f} "
+              f"({elapsed:7.1f} ms)")
 
 
 if __name__ == "__main__":

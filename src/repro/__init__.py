@@ -49,6 +49,19 @@ For fleet-style workloads (many independent walkers over one graph),
 :class:`repro.walks.BatchedWalkEngine` advances ``N`` walkers per
 numpy-vectorized step over a shared :class:`repro.graph.CSRGraph`.
 
+Fleet execution
+---------------
+The experiment harness builds on that engine: with
+``execution="fleet"`` (``run_trials`` / ``compare_algorithms`` /
+``frequency_sweep``, ``ExperimentConfig`` and the CLI's
+``--execution``), all repetitions of an NRMSE table cell run as *one*
+walker fleet — one walker per repetition, each with its own
+distinct-page budget ledger — and the estimators consume the whole
+fleet's samples through their array-native ``estimate_batch`` entry
+points.  ``n_jobs`` additionally spreads cells across worker processes
+with pre-derived per-cell seeds, so results are identical for any
+worker count.
+
 Sub-packages
 ------------
 ``repro.core``
@@ -74,6 +87,7 @@ Sub-packages
 from repro.core import (
     ALGORITHMS,
     BACKENDS,
+    EXECUTIONS,
     AlgorithmSpec,
     EdgeHansenHurwitzEstimator,
     EdgeHorvitzThompsonEstimator,
@@ -119,6 +133,7 @@ __all__ = [
     "EstimateResult",
     "ALGORITHMS",
     "BACKENDS",
+    "EXECUTIONS",
     "AlgorithmSpec",
     "available_algorithms",
     "estimate_target_edge_count",

@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.bounds import compute_all_bounds
-from repro.core.samplers.csr_backend import BACKENDS
+from repro.core.samplers.csr_backend import BACKENDS, EXECUTIONS
 from repro.core.pipeline import available_algorithms, estimate_target_edge_count
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments.config import ExperimentConfig
@@ -72,8 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = subparsers.add_parser("table", help="reproduce a paper NRMSE table")
     table.add_argument("number", type=int, choices=list_tables())
-    table.add_argument("--repetitions", type=int, default=20)
-    table.add_argument("--scale", type=float, default=0.25)
+    # None sentinels: only flags the user actually passed are pinned
+    # against the REPRO_* environment overrides.
+    table.add_argument("--repetitions", type=int, default=None, help="default: 20")
+    table.add_argument("--scale", type=float, default=None, help="default: 0.25")
     table.add_argument("--seed", type=int, default=2018)
     table.add_argument(
         "--budgets",
@@ -88,17 +90,45 @@ def build_parser() -> argparse.ArgumentParser:
         default="python",
         help="walk backend for the proposed algorithms",
     )
+    table.add_argument(
+        "--execution",
+        choices=EXECUTIONS,
+        default="sequential",
+        help="run each cell's repetitions one at a time or as one vectorized "
+        "walker fleet (proposed algorithms only)",
+    )
+    table.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for cell-level parallelism (same table for any "
+        "worker count; default: 1)",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
     figure.add_argument("number", type=int, choices=[1, 2])
-    figure.add_argument("--repetitions", type=int, default=10)
-    figure.add_argument("--scale", type=float, default=0.25)
+    figure.add_argument("--repetitions", type=int, default=None, help="default: 10")
+    figure.add_argument("--scale", type=float, default=None, help="default: 0.25")
     figure.add_argument("--seed", type=int, default=2018)
     figure.add_argument(
         "--backend",
         choices=BACKENDS,
         default="python",
         help="walk backend for the proposed algorithms",
+    )
+    figure.add_argument(
+        "--execution",
+        choices=EXECUTIONS,
+        default="sequential",
+        help="run each point's repetitions one at a time or as one vectorized "
+        "walker fleet",
+    )
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for point-level parallelism (same series for "
+        "any worker count; default: 1)",
     )
 
     bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
@@ -133,6 +163,28 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--scale", type=float, default=0.25)
     cost.add_argument("--seed", type=int, default=2018)
     return parser
+
+
+def _resolve_run_size(args, default_repetitions: int, default_scale: float):
+    """Resolve --repetitions/--scale/--jobs sentinels against defaults.
+
+    Returns ``(repetitions, scale, n_jobs, pinned)`` where *pinned*
+    names only the flags the user actually passed — those beat exported
+    ``REPRO_*`` variables, while untouched defaults stay overridable.
+    """
+    pinned = tuple(
+        name
+        for name, value in (
+            ("repetitions", args.repetitions),
+            ("scale", args.scale),
+            ("n_jobs", args.jobs),
+        )
+        if value is not None
+    )
+    repetitions = default_repetitions if args.repetitions is None else args.repetitions
+    scale = default_scale if args.scale is None else args.scale
+    n_jobs = 1 if args.jobs is None else args.jobs
+    return repetitions, scale, n_jobs, pinned
 
 
 def _command_datasets(args) -> int:
@@ -177,13 +229,19 @@ def _command_estimate(args) -> int:
 
 
 def _command_table(args) -> int:
+    repetitions, scale, n_jobs, pinned = _resolve_run_size(
+        args, default_repetitions=20, default_scale=0.25
+    )
     config = ExperimentConfig(
         dataset="facebook",  # replaced by run_paper_table with the table's dataset
         sample_fractions=tuple(args.budgets),
-        repetitions=args.repetitions,
+        repetitions=repetitions,
         seed=args.seed,
-        scale=args.scale,
+        scale=scale,
         backend=args.backend,
+        execution=args.execution,
+        n_jobs=n_jobs,
+        pinned=pinned,
     )
     result = run_paper_table(args.number, config)
     print(format_nrmse_table(result.table, caption=f"Reproduction of paper Table {args.number}"))
@@ -199,14 +257,22 @@ def _command_table(args) -> int:
 
 
 def _command_figure(args) -> int:
+    repetitions, scale, n_jobs, pinned = _resolve_run_size(
+        args, default_repetitions=10, default_scale=0.25
+    )
     config = ExperimentConfig(
         dataset="orkut",  # replaced by run_paper_figure with the figure's dataset
-        repetitions=args.repetitions,
+        repetitions=repetitions,
         seed=args.seed,
-        scale=args.scale,
+        scale=scale,
         backend=args.backend,
+        execution=args.execution,
+        n_jobs=n_jobs,
+        pinned=pinned,
     )
-    result = run_paper_figure(args.number, config, repetitions=args.repetitions)
+    result = run_paper_figure(
+        args.number, config, repetitions=None if args.repetitions is None else repetitions
+    )
     print(
         format_frequency_series(
             result.points,

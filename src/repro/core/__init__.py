@@ -28,6 +28,7 @@ from repro.core.bounds import (
 from repro.core.pipeline import (
     ALGORITHMS,
     BACKENDS,
+    EXECUTIONS,
     AlgorithmSpec,
     estimate_target_edge_count,
     available_algorithms,
@@ -60,6 +61,7 @@ __all__ = [
     "compute_all_bounds",
     "ALGORITHMS",
     "BACKENDS",
+    "EXECUTIONS",
     "AlgorithmSpec",
     "estimate_target_edge_count",
     "available_algorithms",

@@ -20,8 +20,15 @@ an edge with probability ``1/|E|`` and a node with probability
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.estimators.base import EdgeEstimator, EstimateResult, NodeEstimator
-from repro.core.samplers.base import EdgeSampleSet, NodeSampleSet
+from repro.core.samplers.base import (
+    EdgeSampleBatch,
+    EdgeSampleSet,
+    NodeSampleBatch,
+    NodeSampleSet,
+)
 from repro.exceptions import EstimationError
 
 
@@ -45,6 +52,20 @@ class EdgeHansenHurwitzEstimator(EdgeEstimator):
             api_calls=samples.api_calls_used,
             details={"target_hits": float(target_hits)},
         )
+
+    def estimate_batch(self, batch: EdgeSampleBatch) -> np.ndarray:
+        """Equation (2) for every trial of a fleet at once.
+
+        Consumes the target-flag matrix directly (no per-sample Python
+        objects) and returns one estimate per trial.  The arithmetic is
+        the scalar path's (``|E| · hits / k``), so per-trial values match
+        :meth:`estimate` exactly.
+        """
+        batch.require_non_empty()
+        if batch.num_edges <= 0:
+            raise EstimationError("sample batch does not carry |E| prior knowledge")
+        hits = batch.is_target.sum(axis=1, dtype=np.int64)
+        return batch.num_edges * hits / batch.k
 
 
 class NodeHansenHurwitzEstimator(NodeEstimator):
@@ -78,6 +99,23 @@ class NodeHansenHurwitzEstimator(NodeEstimator):
             api_calls=samples.api_calls_used,
             details={"explored_nodes": float(explored)},
         )
+
+    def estimate_batch(self, batch: NodeSampleBatch) -> np.ndarray:
+        """Equation (11) for every trial of a fleet at once.
+
+        Returns one estimate per trial; values agree with
+        :meth:`estimate` up to floating-point summation order.
+        """
+        batch.require_non_empty()
+        if batch.num_edges <= 0:
+            raise EstimationError("sample batch does not carry |E| prior knowledge")
+        if not batch.degrees.all():
+            raise EstimationError(
+                "sample batch contains a degree-0 node; a random walk cannot "
+                "have visited it"
+            )
+        totals = (batch.incident_target_edges / batch.degrees).sum(axis=1)
+        return batch.num_edges * totals / batch.k
 
 
 __all__ = ["EdgeHansenHurwitzEstimator", "NodeHansenHurwitzEstimator"]

@@ -23,8 +23,15 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.core.estimators.base import EdgeEstimator, EstimateResult, NodeEstimator
-from repro.core.samplers.base import EdgeSampleSet, NodeSampleSet
+from repro.core.samplers.base import (
+    EdgeSampleBatch,
+    EdgeSampleSet,
+    NodeSampleBatch,
+    NodeSampleSet,
+)
 from repro.exceptions import EstimationError
 from repro.graph.labeled_graph import Node
 from repro.utils.validation import check_fraction
@@ -83,6 +90,35 @@ class EdgeHorvitzThompsonEstimator(EdgeEstimator):
             },
         )
 
+    def estimate_batch(self, batch: EdgeSampleBatch) -> np.ndarray:
+        """Equation (3) for every trial of a fleet at once, thinning included.
+
+        All trials share one thinning index list (same ``k``), so the
+        whole batch thins in one column slice; the per-trial distinct
+        target-edge counts come from canonical index codes instead of
+        per-sample Python sets.  Values match :meth:`estimate` exactly.
+        """
+        batch.require_non_empty()
+        if batch.num_edges <= 0:
+            raise EstimationError("sample batch does not carry |E| prior knowledge")
+        working = (
+            batch if self.thinning_fraction is None else batch.thinned(self.thinning_fraction)
+        )
+        working.require_non_empty()
+        inclusion = _at_least_once_probability(1.0 / batch.num_edges, working.k)
+        # Direction-independent edge code over CSR indices; the span is
+        # read off the data (prior-knowledge |V| may be an estimate).
+        span = int(max(working.sources.max(), working.dests.max())) + 1
+        codes = (
+            np.minimum(working.sources, working.dests) * span
+            + np.maximum(working.sources, working.dests)
+        )
+        estimates = np.empty(working.num_trials, dtype=np.float64)
+        for trial in range(working.num_trials):
+            targets = codes[trial][working.is_target[trial]]
+            estimates[trial] = np.unique(targets).size / inclusion
+        return estimates
+
 
 class NodeHorvitzThompsonEstimator(NodeEstimator):
     """NeighborExploration-HT (Equation 13), with the paper's thinning strategy."""
@@ -130,6 +166,45 @@ class NodeHorvitzThompsonEstimator(NodeEstimator):
                 "pre_thinning_k": float(samples.k),
             },
         )
+
+    def estimate_batch(self, batch: NodeSampleBatch) -> np.ndarray:
+        """Equation (13) for every trial of a fleet at once, thinning included.
+
+        Distinct sampled nodes are found per trial with one ``unique``
+        over index rows (degree and ``T(u)`` are functions of the node,
+        so any occurrence serves); values agree with :meth:`estimate` up
+        to floating-point summation order.
+        """
+        batch.require_non_empty()
+        if batch.num_edges <= 0:
+            raise EstimationError("sample batch does not carry |E| prior knowledge")
+        working = (
+            batch if self.thinning_fraction is None else batch.thinned(self.thinning_fraction)
+        )
+        working.require_non_empty()
+        k = working.k
+        total_degree = 2.0 * batch.num_edges
+        estimates = np.empty(working.num_trials, dtype=np.float64)
+        for trial in range(working.num_trials):
+            _, first_seen = np.unique(working.nodes[trial], return_index=True)
+            degrees = working.degrees[trial][first_seen]
+            incident = working.incident_target_edges[trial][first_seen]
+            contributing = incident > 0
+            degrees = degrees[contributing]
+            incident = incident[contributing]
+            if degrees.size and int(degrees.min()) <= 0:
+                raise EstimationError("sampled node has degree 0")
+            per_draw = degrees / total_degree
+            if per_draw.size and float(per_draw.max()) > 1.0:
+                # Same guard as the scalar _at_least_once_probability: an
+                # underestimated |E| prior can push degree/2|E| past 1.
+                raise EstimationError(
+                    "per-draw probability must be in (0, 1], got "
+                    f"{float(per_draw.max())}"
+                )
+            inclusion = 1.0 - (1.0 - per_draw) ** k
+            estimates[trial] = 0.5 * (incident / inclusion).sum()
+        return estimates
 
 
 __all__ = ["EdgeHorvitzThompsonEstimator", "NodeHorvitzThompsonEstimator"]

@@ -18,8 +18,10 @@ independent samples, so it runs on the raw single-walk output.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.estimators.base import EstimateResult, NodeEstimator
-from repro.core.samplers.base import NodeSampleSet
+from repro.core.samplers.base import NodeSampleBatch, NodeSampleSet
 from repro.exceptions import EstimationError
 
 
@@ -56,6 +58,27 @@ class NodeReweightedEstimator(NodeEstimator):
                 "weighted_denominator": denominator,
             },
         )
+
+    def estimate_batch(self, batch: NodeSampleBatch) -> np.ndarray:
+        """Equation (19) for every trial of a fleet at once.
+
+        Pure array arithmetic over the degree and ``T(u)`` matrices;
+        values agree with :meth:`estimate` up to floating-point
+        summation order.
+        """
+        batch.require_non_empty()
+        if batch.num_nodes <= 0:
+            raise EstimationError("sample batch does not carry |V| prior knowledge")
+        if not batch.degrees.all():
+            raise EstimationError(
+                "sample batch contains a degree-0 node; a random walk cannot "
+                "have visited it"
+            )
+        numerators = (batch.incident_target_edges / batch.degrees).sum(axis=1)
+        denominators = (1.0 / batch.degrees).sum(axis=1)
+        if not denominators.all():
+            raise EstimationError("degenerate sample: all importance weights are zero")
+        return batch.num_nodes * numerators / (2.0 * denominators)
 
 
 __all__ = ["NodeReweightedEstimator"]

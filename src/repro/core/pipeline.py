@@ -42,7 +42,7 @@ from repro.core.estimators import (
     NodeReweightedEstimator,
 )
 from repro.core.samplers import NeighborExplorationSampler, NeighborSampleSampler
-from repro.core.samplers.csr_backend import BACKENDS, validate_backend
+from repro.core.samplers.csr_backend import BACKENDS, EXECUTIONS, validate_backend
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,11 @@ class AlgorithmSpec:
         ``"edge"`` for NeighborSample, ``"node"`` for NeighborExploration.
     run:
         ``run(api, t1, t2, k, burn_in, rng, backend="python") ->
-        EstimateResult``.
+        EstimateResult``.  For the proposed algorithms this is a
+        :class:`ProposedRunner`, which also carries the sampler kind
+        and estimator constructor the fleet execution path reads off it
+        (``estimate_batch`` over whole trial batches instead of one
+        trial at a time).
     """
 
     name: str
@@ -65,26 +69,33 @@ class AlgorithmSpec:
     run: Callable[..., EstimateResult]
 
 
-def _run_neighbor_sample(estimator_factory):
-    def runner(api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
-        sampler = NeighborSampleSampler(
-            api, t1, t2, burn_in=burn_in, rng=rng, backend=backend
-        )
-        samples = sampler.sample(k)
-        return estimator_factory().estimate(samples)
+@dataclass(frozen=True)
+class ProposedRunner:
+    """Picklable runner for one proposed (sampler, estimator) pairing.
 
-    return runner
+    A plain value object instead of a closure so experiment suites can
+    cross process boundaries (``n_jobs > 1`` ships the suite to the
+    workers) and so the fleet execution path can read the sampling
+    process and estimator constructor straight off the runner — any
+    ``ProposedRunner``, registry or custom, vectorizes with its own
+    configuration.
+    """
+
+    sampler: str
+    estimator_factory: Callable[[], object]
+
+    def __call__(self, api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
+        sampler_cls = NeighborSampleSampler if self.sampler == "edge" else NeighborExplorationSampler
+        sampler = sampler_cls(api, t1, t2, burn_in=burn_in, rng=rng, backend=backend)
+        return self.estimator_factory().estimate(sampler.sample(k))
+
+
+def _run_neighbor_sample(estimator_factory):
+    return ProposedRunner(sampler="edge", estimator_factory=estimator_factory)
 
 
 def _run_neighbor_exploration(estimator_factory):
-    def runner(api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
-        sampler = NeighborExplorationSampler(
-            api, t1, t2, burn_in=burn_in, rng=rng, backend=backend
-        )
-        samples = sampler.sample(k)
-        return estimator_factory().estimate(samples)
-
-    return runner
+    return ProposedRunner(sampler="node", estimator_factory=estimator_factory)
 
 
 #: The paper's five proposed algorithm configurations (Table 2, upper half).
@@ -227,6 +238,7 @@ def estimate_target_edge_count(
 __all__ = [
     "AlgorithmSpec",
     "BACKENDS",
+    "EXECUTIONS",
     "ALGORITHMS",
     "available_algorithms",
     "resolve_sample_size",

@@ -13,12 +13,20 @@ types:
 Both containers also carry the prior knowledge (``|E|``, ``|V|``) read
 from the restricted API at sampling time, so an estimator needs nothing
 but the sample set.
+
+The fleet execution path (``run_trials(..., execution="fleet")``) runs
+*all repetitions of a table cell at once* and therefore works with the
+array-native twins :class:`EdgeSampleBatch` / :class:`NodeSampleBatch`:
+one numpy row per trial, consumed wholesale by the estimators'
+``estimate_batch`` entry points instead of one Python object per sample.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.exceptions import InsufficientSamplesError
 from repro.graph.labeled_graph import Label, Node
@@ -177,4 +185,167 @@ class NodeSampleSet:
         )
 
 
-__all__ = ["EdgeSample", "NodeSample", "EdgeSampleSet", "NodeSampleSet"]
+@dataclass
+class EdgeSampleBatch:
+    """NeighborSample output for a whole fleet: one numpy row per trial.
+
+    All per-sample arrays have shape ``(num_trials, k)`` and hold CSR
+    node *indices* (``node_ids[i]`` maps back to the original
+    identifiers).  ``api_calls`` has one charged-call count per trial —
+    each trial is an independent crawler with its own page cache.
+    """
+
+    sources: np.ndarray
+    dests: np.ndarray
+    is_target: np.ndarray
+    num_edges: int = 0
+    num_nodes: int = 0
+    target_labels: Optional[Tuple[Label, Label]] = None
+    api_calls: Optional[np.ndarray] = None
+    node_ids: Optional[Sequence[Node]] = None
+    trajectories: Optional[np.ndarray] = None
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.sources.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Sampling iterations per trial (``k`` in the paper)."""
+        return int(self.sources.shape[1])
+
+    def require_non_empty(self) -> None:
+        """Raise when an estimator is asked to work with zero samples."""
+        if self.sources.size == 0:
+            raise InsufficientSamplesError("edge sample batch is empty")
+
+    def thinned(self, fraction: float = DEFAULT_THINNING_FRACTION) -> "EdgeSampleBatch":
+        """Column subset ``r = fraction·k`` steps apart (HT independence fix).
+
+        Every trial has the same length, so one index list thins the
+        whole batch — this is the array-native form of
+        :meth:`EdgeSampleSet.thinned`.
+        """
+        keep = thin_indices(self.k, fraction)
+        return EdgeSampleBatch(
+            sources=self.sources[:, keep],
+            dests=self.dests[:, keep],
+            is_target=self.is_target[:, keep],
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls=self.api_calls,
+            node_ids=self.node_ids,
+            trajectories=self.trajectories,
+        )
+
+    def sample_set(self, trial: int) -> EdgeSampleSet:
+        """Materialise one trial's row as a reference :class:`EdgeSampleSet`."""
+        if self.node_ids is None:
+            raise ValueError("batch does not carry node_ids; cannot materialise")
+        ids = self.node_ids
+        calls = 0 if self.api_calls is None else int(self.api_calls[trial])
+        result = EdgeSampleSet(
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls_used=calls,
+        )
+        for index in range(self.k):
+            result.samples.append(
+                EdgeSample(
+                    u=ids[int(self.sources[trial, index])],
+                    v=ids[int(self.dests[trial, index])],
+                    is_target=bool(self.is_target[trial, index]),
+                    step_index=index,
+                )
+            )
+        return result
+
+
+@dataclass
+class NodeSampleBatch:
+    """NeighborExploration output for a whole fleet: one numpy row per trial.
+
+    Same conventions as :class:`EdgeSampleBatch`; ``incident_target_edges``
+    is already zeroed for unlabeled samples (mirroring the reference
+    sampler, which only explores labeled nodes).
+    """
+
+    nodes: np.ndarray
+    degrees: np.ndarray
+    has_target_label: np.ndarray
+    incident_target_edges: np.ndarray
+    num_edges: int = 0
+    num_nodes: int = 0
+    target_labels: Optional[Tuple[Label, Label]] = None
+    api_calls: Optional[np.ndarray] = None
+    node_ids: Optional[Sequence[Node]] = None
+    trajectories: Optional[np.ndarray] = None
+
+    @property
+    def num_trials(self) -> int:
+        return int(self.nodes.shape[0])
+
+    @property
+    def k(self) -> int:
+        """Sampling iterations per trial (``k`` in the paper)."""
+        return int(self.nodes.shape[1])
+
+    def require_non_empty(self) -> None:
+        """Raise when an estimator is asked to work with zero samples."""
+        if self.nodes.size == 0:
+            raise InsufficientSamplesError("node sample batch is empty")
+
+    def thinned(self, fraction: float = DEFAULT_THINNING_FRACTION) -> "NodeSampleBatch":
+        """Column subset ``r = fraction·k`` steps apart (HT independence fix)."""
+        keep = thin_indices(self.k, fraction)
+        return NodeSampleBatch(
+            nodes=self.nodes[:, keep],
+            degrees=self.degrees[:, keep],
+            has_target_label=self.has_target_label[:, keep],
+            incident_target_edges=self.incident_target_edges[:, keep],
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls=self.api_calls,
+            node_ids=self.node_ids,
+            trajectories=self.trajectories,
+        )
+
+    def sample_set(self, trial: int) -> NodeSampleSet:
+        """Materialise one trial's row as a reference :class:`NodeSampleSet`."""
+        if self.node_ids is None:
+            raise ValueError("batch does not carry node_ids; cannot materialise")
+        ids = self.node_ids
+        calls = 0 if self.api_calls is None else int(self.api_calls[trial])
+        result = NodeSampleSet(
+            num_edges=self.num_edges,
+            num_nodes=self.num_nodes,
+            target_labels=self.target_labels,
+            api_calls_used=calls,
+        )
+        for index in range(self.k):
+            labeled = bool(self.has_target_label[trial, index])
+            result.samples.append(
+                NodeSample(
+                    node=ids[int(self.nodes[trial, index])],
+                    degree=int(self.degrees[trial, index]),
+                    has_target_label=labeled,
+                    incident_target_edges=(
+                        int(self.incident_target_edges[trial, index]) if labeled else 0
+                    ),
+                    step_index=index,
+                )
+            )
+        return result
+
+
+__all__ = [
+    "EdgeSample",
+    "NodeSample",
+    "EdgeSampleSet",
+    "NodeSampleSet",
+    "EdgeSampleBatch",
+    "NodeSampleBatch",
+]

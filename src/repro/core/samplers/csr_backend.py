@@ -40,6 +40,7 @@ from repro.graph.labeled_graph import Label, Node
 from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
 from repro.utils.validation import check_non_negative_int, check_positive_int
 from repro.walks.batched import (
+    BatchedWalkEngine,
     KernelLike,
     charge_distinct_pages,
     csr_walk,
@@ -49,14 +50,21 @@ from repro.walks.batched import (
 
 from repro.core.samplers.base import (
     EdgeSample,
+    EdgeSampleBatch,
     EdgeSampleSet,
     NodeSample,
+    NodeSampleBatch,
     NodeSampleSet,
 )
 
 #: Walk-backend choices, shared by the samplers, the pipeline, the
 #: experiment config and the CLI.
 BACKENDS: Tuple[str, ...] = ("python", "csr")
+
+#: Trial-execution choices for the experiment harness: one repetition at
+#: a time through a fresh API wrapper, or all repetitions of a cell as
+#: one vectorized walker fleet.
+EXECUTIONS: Tuple[str, ...] = ("sequential", "fleet")
 
 
 def validate_backend(backend: str) -> str:
@@ -66,6 +74,15 @@ def validate_backend(backend: str) -> str:
             f"unknown backend {backend!r}; available: {', '.join(BACKENDS)}"
         )
     return backend
+
+
+def validate_execution(execution: str) -> str:
+    """Return *execution* or raise the shared unknown-execution error."""
+    if execution not in EXECUTIONS:
+        raise ConfigurationError(
+            f"unknown execution {execution!r}; available: {', '.join(EXECUTIONS)}"
+        )
+    return execution
 
 
 def validate_backend_and_kernel(backend: str, kernel) -> str:
@@ -312,10 +329,193 @@ def run_csr_sampler(
     return sample_set
 
 
+# ----------------------------------------------------------------------
+# fleet execution: every repetition of a table cell as one walker fleet
+# ----------------------------------------------------------------------
+def _run_fleet_walk(
+    csr: CSRGraph,
+    k: int,
+    repetitions: int,
+    burn_in: int,
+    rng: RandomSource,
+    kernel: KernelLike,
+):
+    check_positive_int(k, "k")
+    check_positive_int(repetitions, "repetitions")
+    check_non_negative_int(burn_in, "burn_in")
+    engine = BatchedWalkEngine(csr, kernel=kernel, rng=ensure_numpy_rng(rng))
+    return engine.run_fleet(repetitions, k, burn_in=burn_in)
+
+
+def _enforce_fleet_budget(charges: np.ndarray, budget: Optional[int]) -> None:
+    """Per-walker budget check, mirroring :meth:`APICallCounter.charge`.
+
+    Each walker stands for one repetition crawling through its own
+    budgeted wrapper, so the first walker whose distinct-page ledger
+    crosses *budget* is the crawl that would have died mid-walk.
+    """
+    if budget is None:
+        return
+    check_non_negative_int(budget, "budget")
+    if charges.size and int(charges.max()) > budget:
+        raise APIBudgetExceededError(budget, budget + 1)
+
+
+#: Ledger-matrix size cap for the dense (fleet × |V|) boolean strategy;
+#: 2^27 cells is 128 MB of bools, beyond which the sort-based encoding
+#: takes over.
+_MASK_LEDGER_MAX_CELLS = 1 << 27
+
+
+def _exploration_charges(
+    csr: CSRGraph,
+    trajectories: np.ndarray,
+    collected: np.ndarray,
+    has_label: np.ndarray,
+) -> np.ndarray:
+    """Per-walker distinct pages: own trajectory ∪ own explored neighbors.
+
+    Fully vectorized across the fleet, no per-walker Python loop.  The
+    default strategy scatters every downloaded page into a dense
+    ``(fleet, |V|)`` boolean ledger and row-sums it; when that matrix
+    would be unreasonably large the pages are encoded as
+    ``walker · |V| + page`` codes instead and counted with one global
+    ``unique`` + ``bincount``.  Either way the (walker, labeled node)
+    exploration pairs are deduplicated before their neighborhoods are
+    gathered.
+    """
+    num_walkers = trajectories.shape[0]
+    span = np.int64(csr.num_nodes)
+    explorers = explored = None
+    if has_label.any():
+        rows, cols = np.nonzero(has_label)
+        explore_pairs = np.unique(rows * span + collected[rows, cols])
+        explorers = explore_pairs // span
+        explored = explore_pairs % span
+
+    if num_walkers * csr.num_nodes <= _MASK_LEDGER_MAX_CELLS:
+        visited = np.zeros((num_walkers, csr.num_nodes), dtype=bool)
+        visited[np.arange(num_walkers)[:, None], trajectories] = True
+        if explored is not None:
+            visited[
+                np.repeat(explorers, csr.degrees[explored]),
+                csr.gather_neighbors(explored),
+            ] = True
+        return visited.sum(axis=1).astype(np.int64)
+
+    codes = (np.arange(num_walkers, dtype=np.int64)[:, None] * span + trajectories).ravel()
+    if explored is not None:
+        neighbor_codes = (
+            np.repeat(explorers, csr.degrees[explored]) * span
+            + csr.gather_neighbors(explored)
+        )
+        codes = np.concatenate([codes, neighbor_codes])
+    distinct = np.unique(codes)
+    return np.bincount(distinct // span, minlength=num_walkers).astype(np.int64)
+
+
+def sample_edges_fleet(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    repetitions: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    budget: Optional[int] = None,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+) -> EdgeSampleBatch:
+    """NeighborSample for *repetitions* independent trials in one fleet.
+
+    One walker per trial, advanced with vectorized numpy steps (burn-in
+    included); the result is the array-native
+    :class:`~repro.core.samplers.base.EdgeSampleBatch` — per-trial
+    source/destination/target-flag rows — plus a per-trial charged-call
+    ledger with the same distinct-page semantics as running each trial
+    through its own caching :class:`RestrictedGraphAPI`.
+    """
+    fleet = _run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
+    sources = fleet.sources
+    dests = fleet.collected
+    m1 = csr.label_mask(t1)
+    m2 = csr.label_mask(t2)
+    is_target = (m1[sources] & m2[dests]) | (m2[sources] & m1[dests])
+
+    # As on the sequential CSR path, every page a NeighborSample crawler
+    # downloads belongs to a walk position, so the ledger is the
+    # per-walker distinct count of the full trajectory.
+    charges = fleet.charged_calls()
+    _enforce_fleet_budget(charges, budget)
+
+    return EdgeSampleBatch(
+        sources=sources,
+        dests=dests,
+        is_target=is_target,
+        num_edges=csr.num_edges if known_num_edges is None else known_num_edges,
+        num_nodes=csr.num_nodes if known_num_nodes is None else known_num_nodes,
+        target_labels=(t1, t2),
+        api_calls=charges,
+        node_ids=csr.node_ids,
+        trajectories=fleet.trajectories,
+    )
+
+
+def explore_nodes_fleet(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    repetitions: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    budget: Optional[int] = None,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+) -> NodeSampleBatch:
+    """NeighborExploration for *repetitions* independent trials in one fleet.
+
+    ``T(u)`` comes from the precomputed vectorized incident counts; the
+    per-trial charged-call ledger adds the pages of the neighbors each
+    trial explores around its labeled sampled nodes, exactly like the
+    reference sampler running through a fresh caching wrapper.
+    """
+    fleet = _run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
+    collected = fleet.collected
+    m1 = csr.label_mask(t1)
+    m2 = csr.label_mask(t2)
+    has_label = m1[collected] | m2[collected]
+    incident = np.where(
+        has_label, csr.target_incident_counts(t1, t2)[collected], 0
+    ).astype(np.int64)
+
+    charges = _exploration_charges(csr, fleet.trajectories, collected, has_label)
+    _enforce_fleet_budget(charges, budget)
+
+    return NodeSampleBatch(
+        nodes=collected,
+        degrees=csr.degrees[collected],
+        has_target_label=has_label,
+        incident_target_edges=incident,
+        num_edges=csr.num_edges if known_num_edges is None else known_num_edges,
+        num_nodes=csr.num_nodes if known_num_nodes is None else known_num_nodes,
+        target_labels=(t1, t2),
+        api_calls=charges,
+        node_ids=csr.node_ids,
+        trajectories=fleet.trajectories,
+    )
+
+
 __all__ = [
     "BACKENDS",
+    "EXECUTIONS",
     "validate_backend",
+    "validate_execution",
     "sample_edges_csr",
     "explore_nodes_csr",
+    "sample_edges_fleet",
+    "explore_nodes_fleet",
     "run_csr_sampler",
 ]

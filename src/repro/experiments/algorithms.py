@@ -14,7 +14,8 @@ paper's favourable setting).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.baselines import (
     BASELINE_NAMES,
@@ -47,14 +48,25 @@ ALL_ALGORITHM_ORDER: List[str] = PAPER_ALGORITHM_ORDER + [
 ]
 
 
-def _baseline_runner(baseline) -> AlgorithmRunner:
-    def runner(api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
-        # The EX-* baselines walk MH/MD-style kernels that the CSR backend
-        # does not vectorize; they always run the reference engine and
-        # accept the selector only for harness uniformity.
-        return baseline.estimate(api, t1, t2, k, burn_in=burn_in, rng=rng)
+@dataclass(frozen=True)
+class BaselineRunner:
+    """Picklable runner wrapping one EX-* baseline instance.
 
-    return runner
+    The EX-* baselines walk MH/MD-style kernels that the CSR backend
+    does not vectorize; they always run the reference engine and accept
+    the backend selector only for harness uniformity.  Carrying the
+    baseline object (tuning knobs included) keeps tuned suites intact
+    across the ``n_jobs`` process boundary.
+    """
+
+    baseline: object
+
+    def __call__(self, api, t1, t2, k, burn_in, rng, backend: str = "python") -> EstimateResult:
+        return self.baseline.estimate(api, t1, t2, k, burn_in=burn_in, rng=rng)
+
+
+def _baseline_runner(baseline) -> AlgorithmRunner:
+    return BaselineRunner(baseline)
 
 
 def build_algorithm_suite(
@@ -114,6 +126,7 @@ def build_algorithm_suite(
 
 __all__ = [
     "AlgorithmRunner",
+    "BaselineRunner",
     "PAPER_ALGORITHM_ORDER",
     "ALL_ALGORITHM_ORDER",
     "build_algorithm_suite",

@@ -13,7 +13,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.samplers.csr_backend import validate_backend
+from repro.core.samplers.csr_backend import validate_backend, validate_execution
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -26,6 +26,7 @@ DEFAULT_SAMPLE_FRACTIONS: Tuple[float, ...] = tuple(
 #: without editing code.
 ENV_REPETITIONS = "REPRO_REPETITIONS"
 ENV_SCALE = "REPRO_DATASET_SCALE"
+ENV_JOBS = "REPRO_JOBS"
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,19 @@ class ExperimentConfig:
         dict-based reference engine) or ``"csr"`` (the vectorized numpy
         backend; the EX-* baselines keep the reference engine either
         way).
+    execution:
+        Trial execution for the proposed algorithms: ``"sequential"``
+        (one repetition at a time through a fresh API wrapper) or
+        ``"fleet"`` (all repetitions of a table cell as one vectorized
+        walker fleet; the EX-* baselines keep the sequential loop).
+    n_jobs:
+        Worker processes for cell-level parallelism; per-cell seeds are
+        pre-derived so any worker count reproduces the same tables.
+    pinned:
+        Field names whose values were set explicitly (e.g. CLI flags)
+        and must not be changed by :meth:`apply_environment` — an
+        exported ``REPRO_JOBS`` should fill defaults, not silently beat
+        an explicit ``--jobs``.
     """
 
     dataset: str
@@ -71,10 +85,15 @@ class ExperimentConfig:
     include_baselines: bool = True
     burn_in: Optional[int] = None
     backend: str = "python"
+    execution: str = "sequential"
+    n_jobs: int = 1
+    pinned: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         check_positive_int(self.repetitions, "repetitions")
+        check_positive_int(self.n_jobs, "n_jobs")
         validate_backend(self.backend)
+        validate_execution(self.execution)
         if not self.sample_fractions:
             raise ConfigurationError("sample_fractions must not be empty")
         for fraction in self.sample_fractions:
@@ -106,14 +125,18 @@ class ExperimentConfig:
         return replace(self, **kwargs)
 
     def apply_environment(self) -> "ExperimentConfig":
-        """Apply ``REPRO_REPETITIONS`` / ``REPRO_DATASET_SCALE`` overrides."""
+        """Apply ``REPRO_REPETITIONS`` / ``REPRO_DATASET_SCALE`` /
+        ``REPRO_JOBS`` overrides, skipping :attr:`pinned` fields."""
         updates = {}
         repetitions = os.environ.get(ENV_REPETITIONS)
-        if repetitions:
+        if repetitions and "repetitions" not in self.pinned:
             updates["repetitions"] = int(repetitions)
         scale = os.environ.get(ENV_SCALE)
-        if scale:
+        if scale and "scale" not in self.pinned:
             updates["scale"] = float(scale)
+        jobs = os.environ.get(ENV_JOBS)
+        if jobs and "n_jobs" not in self.pinned:
+            updates["n_jobs"] = int(jobs)
         return self.with_overrides(**updates) if updates else self
 
 
@@ -122,4 +145,5 @@ __all__ = [
     "DEFAULT_SAMPLE_FRACTIONS",
     "ENV_REPETITIONS",
     "ENV_SCALE",
+    "ENV_JOBS",
 ]

@@ -121,6 +121,8 @@ def run_paper_figure(
         burn_in=config.burn_in,
         seed=config.seed,
         backend=config.backend,
+        execution=config.execution,
+        n_jobs=config.n_jobs,
     )
     return PaperFigureResult(definition=definition, points=points, config=config)
 

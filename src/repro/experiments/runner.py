@@ -7,20 +7,41 @@ Two entry points:
 * :func:`compare_algorithms` — a whole table: every algorithm × every
   budget, returning an :class:`NRMSETable` whose rows mirror Tables 4–17
   of the paper.
+
+Two orthogonal performance knobs:
+
+* ``execution="fleet"`` runs *all repetitions of a cell at once* as one
+  vectorized walker fleet over the shared CSR arrays (one walker per
+  repetition, per-walker budget ledgers, array-native estimators) —
+  the paper's proposed algorithms only; the EX-* baselines fall back to
+  the sequential loop.
+* ``n_jobs > 1`` distributes whole cells across worker processes.
+  Per-cell seeds are derived with :func:`derive_seed` before
+  submission, so the resulting table is identical for any worker count
+  and scheduling order.
 """
 
 from __future__ import annotations
 
 import math
+import pickle
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.exceptions import ExperimentError
+from repro.core.pipeline import ProposedRunner
+from repro.core.samplers.csr_backend import (
+    explore_nodes_fleet,
+    sample_edges_fleet,
+    validate_backend,
+    validate_execution,
+)
+from repro.exceptions import ConfigurationError, ExperimentError
 from repro.graph.api import RestrictedGraphAPI
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, csr_view, ensure_same_graph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
-from repro.utils.rng import RandomSource, derive_seed, spawn_rngs
+from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
@@ -112,24 +133,56 @@ def run_trials(
     true_count: Optional[int] = None,
     backend: str = "python",
     csr: Optional[CSRGraph] = None,
+    execution: str = "sequential",
 ) -> TrialOutcome:
     """Repeat one estimation *repetitions* times and summarise.
 
-    Every repetition gets a fresh :class:`RestrictedGraphAPI` (so API
-    calls and caches do not leak across repetitions) and an independent
-    random stream derived from *seed*.  With ``backend="csr"`` the CSR
-    arrays are frozen once and shared by every repetition (the walks
-    stay independent; only the read-only adjacency is reused); callers
-    looping over many cells should freeze once and pass *csr* down, as
+    With ``execution="sequential"`` (default) every repetition gets a
+    fresh :class:`RestrictedGraphAPI` (so API calls and caches do not
+    leak across repetitions) and an independent random stream derived
+    from *seed*.  With ``backend="csr"`` the CSR arrays are frozen once
+    and shared by every repetition (the walks stay independent; only the
+    read-only adjacency is reused); callers looping over many cells
+    should freeze once and pass *csr* down, as
     :func:`compare_algorithms` does.
+
+    With ``execution="fleet"`` all *repetitions* run as **one**
+    vectorized walker fleet over the shared CSR arrays: one walker per
+    repetition (each with its own distinct-page ledger, matching the
+    fresh wrapper it stands for), vectorized burn-in, and array-native
+    ``estimate_batch`` estimators instead of per-sample Python loops.
+    Fleet estimates are distributionally equivalent to sequential ones
+    (enforced by the KS equivalence suite) but not bit-identical — the
+    random streams are consumed walker-by-step instead of
+    trial-by-trial.  Any :class:`ProposedRunner` vectorizes — its own
+    sampler kind and estimator configuration are honored, custom or
+    registry alike; every other runner (notably the EX-* baselines,
+    whose MH/MD kernels are not vectorized) falls back to the
+    sequential loop, exactly like ``backend="csr"``.
     """
     check_positive_int(sample_size, "sample_size")
     check_positive_int(repetitions, "repetitions")
+    validate_backend(backend)
+    validate_execution(execution)
     if true_count is None:
         true_count = count_target_edges(graph, t1, t2)
     if true_count <= 0:
         raise ExperimentError(
             f"the target pair ({t1!r}, {t2!r}) has no target edges; NRMSE is undefined"
+        )
+    if execution == "fleet" and isinstance(runner, ProposedRunner):
+        return _run_trials_fleet(
+            graph,
+            t1,
+            t2,
+            runner,
+            algorithm_name,
+            sample_size,
+            repetitions,
+            burn_in,
+            seed,
+            true_count,
+            csr,
         )
     outcome = TrialOutcome(
         algorithm=algorithm_name, sample_size=sample_size, true_count=true_count
@@ -139,7 +192,7 @@ def run_trials(
     extra = {} if backend == "python" else {"backend": backend}
     shared_csr = csr
     if backend == "csr" and shared_csr is None:
-        shared_csr = CSRGraph.from_labeled_graph(graph)
+        shared_csr = csr_view(graph)
     for rng in spawn_rngs(seed, repetitions):
         api = RestrictedGraphAPI(graph)
         if shared_csr is not None:
@@ -148,6 +201,46 @@ def run_trials(
         outcome.estimates.append(result.estimate)
         outcome.api_calls.append(api.api_calls)
     return outcome
+
+
+def _run_trials_fleet(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    runner: ProposedRunner,
+    algorithm_name: str,
+    sample_size: int,
+    repetitions: int,
+    burn_in: int,
+    seed: RandomSource,
+    true_count: int,
+    csr: Optional[CSRGraph],
+) -> TrialOutcome:
+    """One (algorithm, budget) cell as a single vectorized walker fleet.
+
+    The sampler kind and estimator come off the *runner* itself, so a
+    custom :class:`ProposedRunner` (e.g. a thinning ablation) vectorizes
+    with its own configuration rather than a registry lookup's.
+    """
+    shared_csr = ensure_same_graph(csr, graph) if csr is not None else csr_view(graph)
+    sampler = sample_edges_fleet if runner.sampler == "edge" else explore_nodes_fleet
+    batch = sampler(
+        shared_csr,
+        t1,
+        t2,
+        sample_size,
+        repetitions,
+        burn_in=burn_in,
+        rng=ensure_numpy_rng(seed),
+    )
+    estimates = runner.estimator_factory().estimate_batch(batch)
+    return TrialOutcome(
+        algorithm=algorithm_name,
+        sample_size=sample_size,
+        true_count=true_count,
+        estimates=[float(value) for value in estimates],
+        api_calls=[int(calls) for calls in batch.api_calls],
+    )
 
 
 def compare_algorithms(
@@ -162,6 +255,8 @@ def compare_algorithms(
     dataset_name: str = "dataset",
     progress: Optional[Callable[[str, int, float], None]] = None,
     backend: str = "python",
+    execution: str = "sequential",
+    n_jobs: int = 1,
 ) -> NRMSETable:
     """Reproduce one NRMSE table: every algorithm at every budget.
 
@@ -189,14 +284,31 @@ def compare_algorithms(
         ``"csr"``).  The EX-* baselines always run the reference engine
         (their MH/MD kernels are not vectorized) and simply ignore the
         selector.
+    execution:
+        ``"sequential"`` (one repetition at a time) or ``"fleet"`` (all
+        repetitions of a cell as one vectorized walker fleet; see
+        :func:`run_trials`).
+    n_jobs:
+        Number of worker processes for cell-level parallelism.  Every
+        cell's seed is derived with :func:`derive_seed` *before*
+        submission, so the table is identical for any worker count and
+        scheduling order.  ``n_jobs > 1`` ships the actual runner
+        objects to the workers, so it requires picklable runners —
+        registry suites (tuned or not) qualify; hand-written closures
+        do not and must run with ``n_jobs=1`` (a clear
+        :class:`ConfigurationError` is raised otherwise).
     """
+    check_positive_int(n_jobs, "n_jobs")
+    validate_backend(backend)
+    validate_execution(execution)
     if algorithms is None:
         algorithms = build_algorithm_suite(graph)
     if burn_in is None:
         burn_in = recommended_burn_in(graph, rng=seed)
     true_count = count_target_edges(graph, t1, t2)
     # Freeze the CSR arrays once for the whole table, not once per cell.
-    shared_csr = CSRGraph.from_labeled_graph(graph) if backend == "csr" else None
+    needs_csr = backend == "csr" or execution == "fleet"
+    shared_csr = csr_view(graph) if needs_csr else None
 
     sample_sizes = [max(1, math.ceil(fraction * graph.num_nodes)) for fraction in sample_fractions]
     table = NRMSETable(
@@ -206,38 +318,174 @@ def compare_algorithms(
         sample_sizes=sample_sizes,
         sample_fractions=list(sample_fractions),
     )
-    total_cells = len(algorithms) * len(sample_sizes)
-    done = 0
-    for name, runner in algorithms.items():
-        outcomes: List[TrialOutcome] = []
-        for column, sample_size in enumerate(sample_sizes):
-            cell_seed = _derive_cell_seed(seed, name, column)
-            outcomes.append(
-                run_trials(
-                    graph,
-                    t1,
-                    t2,
-                    runner,
-                    name,
-                    sample_size,
-                    repetitions,
-                    burn_in,
-                    seed=cell_seed,
-                    true_count=true_count,
-                    backend=backend,
-                    csr=shared_csr,
-                )
+    cells = [
+        CellTask(
+            algorithm=name,
+            column=column,
+            sample_size=sample_size,
+            seed=_derive_cell_seed(seed, name, column),
+            t1=t1,
+            t2=t2,
+            repetitions=repetitions,
+            burn_in=burn_in,
+            true_count=true_count,
+            backend=backend,
+            execution=execution,
+        )
+        for name in algorithms
+        for column, sample_size in enumerate(sample_sizes)
+    ]
+    if n_jobs > 1:
+        outcomes = run_cells_parallel(graph, algorithms, cells, n_jobs, progress)
+    else:
+        outcomes = {}
+        for done, cell in enumerate(cells, start=1):
+            outcomes[(cell.algorithm, cell.column)] = run_cell(
+                graph, algorithms[cell.algorithm], cell, shared_csr
             )
-            done += 1
             if progress is not None:
-                progress(name, sample_size, done / total_cells)
-        table.cells[name] = outcomes
+                progress(cell.algorithm, cell.sample_size, done / len(cells))
+    for name in algorithms:
+        table.cells[name] = [
+            outcomes[(name, column)] for column in range(len(sample_sizes))
+        ]
     return table
 
 
 def _derive_cell_seed(seed: RandomSource, algorithm: str, column: int) -> int:
     """Deterministic per-cell seed so tables are reproducible cell-by-cell."""
     return derive_seed(seed, algorithm, column)
+
+
+# ----------------------------------------------------------------------
+# cell-level process parallelism
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellTask:
+    """Everything one worker needs to run one (algorithm, budget) cell.
+
+    Only scalars and labels — the graph and the suite live in per-worker
+    globals (:func:`_init_cell_worker`), so submitting a task ships a
+    few bytes, not the adjacency.  Shared harness plumbing: both
+    :func:`compare_algorithms` and
+    :func:`repro.experiments.sweeps.frequency_sweep` build their cells
+    with it (deliberately not in ``__all__`` — it is not part of the
+    user-facing API).
+    """
+
+    algorithm: str
+    column: int
+    sample_size: int
+    seed: int
+    t1: Label
+    t2: Label
+    repetitions: int
+    burn_in: int
+    true_count: int
+    backend: str
+    execution: str
+
+
+def run_cell(
+    graph: LabeledGraph,
+    runner: AlgorithmRunner,
+    cell: CellTask,
+    csr: Optional[CSRGraph],
+) -> TrialOutcome:
+    """Run one :class:`CellTask` through :func:`run_trials`.
+
+    The single unpacking of a cell into a trial run, shared by the
+    serial loops (tables and sweeps) and the process-pool workers.
+    """
+    return run_trials(
+        graph,
+        cell.t1,
+        cell.t2,
+        runner,
+        cell.algorithm,
+        cell.sample_size,
+        cell.repetitions,
+        cell.burn_in,
+        seed=cell.seed,
+        true_count=cell.true_count,
+        backend=cell.backend,
+        csr=csr,
+        execution=cell.execution,
+    )
+
+
+#: Per-worker state: the shared graph, its frozen CSR view and the suite.
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _init_cell_worker(
+    graph: LabeledGraph,
+    suite: Mapping[str, AlgorithmRunner],
+    needs_csr: bool,
+) -> None:
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["suite"] = suite
+    _WORKER_STATE["csr"] = csr_view(graph) if needs_csr else None
+
+
+def _run_cell_in_worker(cell: CellTask) -> TrialOutcome:
+    suite: Mapping[str, AlgorithmRunner] = _WORKER_STATE["suite"]  # type: ignore[assignment]
+    return run_cell(
+        _WORKER_STATE["graph"],  # type: ignore[arg-type]
+        suite[cell.algorithm],
+        cell,
+        _WORKER_STATE["csr"],  # type: ignore[arg-type]
+    )
+
+
+def run_cells_parallel(
+    graph: LabeledGraph,
+    algorithms: Mapping[str, AlgorithmRunner],
+    cells: Sequence[CellTask],
+    n_jobs: int,
+    progress: Optional[Callable[[str, int, float], None]],
+) -> Dict[Tuple[str, int], TrialOutcome]:
+    """Run cells across a process pool; results keyed (algorithm, column).
+
+    The workers receive the graph and the *actual* suite — runner
+    objects, tuning knobs included — through the pool initializer (one
+    transfer per worker, not per cell), so a tuned suite behaves
+    identically at any worker count.  Because every cell carries its own
+    pre-derived seed, scheduling order cannot change any result, only
+    the completion order of the progress callback.  Picklability is
+    validated eagerly so hand-written closure runners fail with a clear
+    error on every platform (under ``fork`` they would silently work,
+    under ``spawn`` they would crash mid-pool).
+    """
+    suite = dict(algorithms)
+    try:
+        pickle.dumps(suite)
+    except Exception as error:
+        raise ConfigurationError(
+            "n_jobs > 1 ships the algorithm suite to worker processes, which "
+            f"requires picklable runners ({error}); run custom closure-based "
+            "suites with n_jobs=1"
+        ) from error
+    needs_csr = any(
+        cell.backend == "csr" or cell.execution == "fleet" for cell in cells
+    )
+    outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    with ProcessPoolExecutor(
+        max_workers=n_jobs,
+        initializer=_init_cell_worker,
+        initargs=(graph, suite, needs_csr),
+    ) as pool:
+        futures = {
+            pool.submit(_run_cell_in_worker, cell): cell for cell in cells
+        }
+        done = 0
+        for future in as_completed(futures):
+            cell = futures[future]
+            outcomes[(cell.algorithm, cell.column)] = future.result()
+            done += 1
+            if progress is not None:
+                progress(cell.algorithm, cell.sample_size, done / len(cells))
+    return outcomes
 
 
 __all__ = ["TrialOutcome", "NRMSETable", "run_trials", "compare_algorithms"]

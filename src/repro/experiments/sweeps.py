@@ -12,14 +12,23 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.graph.csr import CSRGraph
+from repro.core.samplers.csr_backend import validate_backend, validate_execution
+from repro.graph.csr import csr_view
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
 from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
 from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite, PAPER_ALGORITHM_ORDER
-from repro.experiments.runner import NRMSETable, compare_algorithms, run_trials
+from repro.experiments.runner import (
+    CellTask,
+    NRMSETable,
+    TrialOutcome,
+    compare_algorithms,
+    run_cell,
+    run_cells_parallel,
+)
 
 
 def sample_size_sweep(
@@ -33,6 +42,8 @@ def sample_size_sweep(
     seed: RandomSource = 2018,
     dataset_name: str = "dataset",
     backend: str = "python",
+    execution: str = "sequential",
+    n_jobs: int = 1,
 ) -> NRMSETable:
     """NRMSE of every algorithm as the budget grows — one paper table.
 
@@ -50,6 +61,8 @@ def sample_size_sweep(
         seed=seed,
         dataset_name=dataset_name,
         backend=backend,
+        execution=execution,
+        n_jobs=n_jobs,
     )
 
 
@@ -72,6 +85,8 @@ def frequency_sweep(
     burn_in: Optional[int] = None,
     seed: RandomSource = 2018,
     backend: str = "python",
+    execution: str = "sequential",
+    n_jobs: int = 1,
 ) -> List[FrequencyPoint]:
     """NRMSE vs relative target-edge count at a fixed budget (Figures 1–2).
 
@@ -91,7 +106,18 @@ def frequency_sweep(
         Defaults to the paper's five proposed algorithms only — the
         figures omit the baselines, having already shown them to be far
         behind in the tables.
+    execution:
+        ``"sequential"`` or ``"fleet"`` (all repetitions of a sweep
+        point as one vectorized walker fleet; see
+        :func:`repro.experiments.runner.run_trials`).
+    n_jobs:
+        Worker processes for (pair, algorithm) cell parallelism.  Seeds
+        are pre-derived per cell, so any worker count produces the same
+        series.
     """
+    check_positive_int(n_jobs, "n_jobs")
+    validate_backend(backend)
+    validate_execution(execution)
     if algorithms is None:
         suite = build_algorithm_suite(graph, include_baselines=False)
         algorithms = {name: suite[name] for name in PAPER_ALGORITHM_ORDER}
@@ -99,36 +125,56 @@ def frequency_sweep(
         burn_in = recommended_burn_in(graph, rng=seed)
     sample_size = max(1, math.ceil(budget_fraction * graph.num_nodes))
     # Freeze the CSR arrays once for the whole sweep, not once per point.
-    shared_csr = CSRGraph.from_labeled_graph(graph) if backend == "csr" else None
+    needs_csr = backend == "csr" or execution == "fleet"
+    shared_csr = csr_view(graph) if needs_csr else None
 
-    points: List[FrequencyPoint] = []
+    # Ground truths up front: they define which pairs are plottable and
+    # the per-cell tasks; count_target_edges caches per (graph, pair).
+    plottable: List[Tuple[int, Tuple[Label, Label], int]] = []
     for pair_index, (t1, t2) in enumerate(target_pairs):
         true_count = count_target_edges(graph, t1, t2)
         if true_count == 0:
             # A pair with no target edges has undefined NRMSE; skip it
             # (the paper only plots pairs that exist in the graph).
             continue
+        plottable.append((pair_index, (t1, t2), true_count))
+
+    cells = [
+        CellTask(
+            algorithm=name,
+            column=pair_index,
+            sample_size=sample_size,
+            seed=_derive_point_seed(seed, name, pair_index),
+            t1=t1,
+            t2=t2,
+            repetitions=repetitions,
+            burn_in=burn_in,
+            true_count=true_count,
+            backend=backend,
+            execution=execution,
+        )
+        for pair_index, (t1, t2), true_count in plottable
+        for name in algorithms
+    ]
+    outcomes: Dict[Tuple[str, int], TrialOutcome]
+    if n_jobs > 1:
+        outcomes = run_cells_parallel(graph, algorithms, cells, n_jobs, None)
+    else:
+        outcomes = {}
+        for cell in cells:
+            outcomes[(cell.algorithm, cell.column)] = run_cell(
+                graph, algorithms[cell.algorithm], cell, shared_csr
+            )
+
+    points: List[FrequencyPoint] = []
+    for pair_index, pair, true_count in plottable:
         point = FrequencyPoint(
-            target_pair=(t1, t2),
+            target_pair=pair,
             true_count=true_count,
             relative_count=true_count / graph.num_edges,
         )
-        for name, runner in algorithms.items():
-            outcome = run_trials(
-                graph,
-                t1,
-                t2,
-                runner,
-                name,
-                sample_size,
-                repetitions,
-                burn_in,
-                seed=_derive_point_seed(seed, name, pair_index),
-                true_count=true_count,
-                backend=backend,
-                csr=shared_csr,
-            )
-            point.nrmse_by_algorithm[name] = outcome.nrmse
+        for name in algorithms:
+            point.nrmse_by_algorithm[name] = outcomes[(name, pair_index)].nrmse
         points.append(point)
     points.sort(key=lambda item: item.relative_count)
     return points

@@ -148,6 +148,8 @@ def run_paper_table(
         seed=config.seed,
         dataset_name=dataset.spec.paper_name,
         backend=config.backend,
+        execution=config.execution,
+        n_jobs=config.n_jobs,
     )
     return PaperTableResult(definition=definition, table=table, config=config)
 

@@ -2,7 +2,7 @@
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.api import RestrictedGraphAPI, APICallCounter
-from repro.graph.csr import CSRGraph
+from repro.graph.csr import CSRGraph, csr_view
 from repro.graph.cleaning import simplify_osn_graph, largest_connected_component
 from repro.graph.line_graph import build_line_graph, LineGraphNode
 from repro.graph.statistics import (
@@ -20,6 +20,7 @@ __all__ = [
     "RestrictedGraphAPI",
     "APICallCounter",
     "CSRGraph",
+    "csr_view",
     "simplify_osn_graph",
     "largest_connected_component",
     "build_line_graph",

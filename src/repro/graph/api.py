@@ -208,9 +208,11 @@ class RestrictedGraphAPI:
         of the crawler.
         """
         if self._csr is None:
-            from repro.graph.csr import CSRGraph
+            from repro.graph.csr import csr_view
 
-            self._csr = CSRGraph.from_labeled_graph(self._graph)
+            # Shared (version-checked) view: many wrappers over one
+            # graph — e.g. one per experiment repetition — freeze once.
+            self._csr = csr_view(self._graph)
         return self._csr
 
     def adopt_csr(self, csr: "CSRGraph") -> None:
@@ -222,18 +224,9 @@ class RestrictedGraphAPI:
         adopting a view of a different graph, which would silently
         sample the wrong arrays.
         """
-        if (
-            csr.num_nodes != self._graph.num_nodes
-            or csr.num_edges != self._graph.num_edges
-            or (csr.num_nodes and csr.node_ids[0] not in self._graph)
-        ):
-            from repro.exceptions import ConfigurationError
+        from repro.graph.csr import ensure_same_graph
 
-            raise ConfigurationError(
-                "adopted CSRGraph was not frozen from this wrapper's graph "
-                f"({csr!r} vs {self._graph!r})"
-            )
-        self._csr = csr
+        self._csr = ensure_same_graph(csr, self._graph)
 
     @property
     def cache_enabled(self) -> bool:

@@ -26,6 +26,7 @@ step for step from the same seed (see
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -78,6 +79,7 @@ class CSRGraph:
         self._index_of: Dict[Node, int] = {nid: i for i, nid in enumerate(self.node_ids)}
         self._mask_cache: Dict[Label, np.ndarray] = {}
         self._incident_cache: Dict[Tuple[Label, Label], np.ndarray] = {}
+        self._target_count_cache: Dict[Tuple[Label, Label], int] = {}
         self._indptr_list: Optional[List[int]] = None
         self._indices_list: Optional[List[int]] = None
         self._degrees_list: Optional[List[int]] = None
@@ -175,6 +177,27 @@ class CSRGraph:
             ]
         return self._rows
 
+    def gather_neighbors(self, node_indices: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor indices of many nodes, in one gather.
+
+        Equivalent to ``np.concatenate([self.neighbors(i) for i in
+        node_indices])`` but without the per-node array creation — the
+        multi-range gather is built from ``repeat`` / ``cumsum``
+        arithmetic, so exploring thousands of neighborhoods (the fleet
+        NeighborExploration accounting) stays vectorized.
+        """
+        node_indices = np.atleast_1d(np.asarray(node_indices, dtype=np.int64))
+        lengths = self.degrees[node_indices]
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.indptr[node_indices]
+        # positions[j] = starts[row of j] + offset of j within its row
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        return self.indices[np.repeat(starts, lengths) + offsets]
+
     # ------------------------------------------------------------------
     # vectorized label statistics
     # ------------------------------------------------------------------
@@ -214,8 +237,72 @@ class CSRGraph:
             self._incident_cache[key] = counts
         return counts
 
+    def count_target_edges(self, t1: Label, t2: Label) -> int:
+        """Exact ground-truth count ``F`` for ``(t1, t2)`` via label masks.
+
+        ``Σ_u T(u) = 2F`` (every target edge is incident to exactly two
+        nodes), so the count falls out of the cached vectorized
+        incident-target-edge array — no Python edge loop.  The integer
+        itself is cached per pair; a CSR view is immutable, so the cache
+        can never go stale.
+        """
+        key = (t1, t2)
+        count = self._target_count_cache.get(key)
+        if count is None:
+            count = int(self.target_incident_counts(t1, t2).sum()) // 2
+            self._target_count_cache[key] = count
+        return count
+
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
 
 
-__all__ = ["CSRGraph"]
+def ensure_same_graph(csr: CSRGraph, graph: LabeledGraph) -> CSRGraph:
+    """Cheap shape check that *csr* was frozen from *graph*.
+
+    Guards every place that accepts an externally-supplied CSR view for
+    a given graph (wrapper adoption, fleet cells): a view of a different
+    graph would silently sample the wrong arrays.  Returns *csr*.
+    """
+    if (
+        csr.num_nodes != graph.num_nodes
+        or csr.num_edges != graph.num_edges
+        or (csr.num_nodes and csr.node_ids[0] not in graph)
+    ):
+        from repro.exceptions import ConfigurationError
+
+        raise ConfigurationError(
+            f"CSRGraph was not frozen from this graph ({csr!r} vs {graph!r})"
+        )
+    return csr
+
+
+#: One frozen CSR view per live LabeledGraph (version-checked, weakly keyed).
+_CSR_VIEWS: "WeakKeyDictionary[LabeledGraph, Tuple[int, CSRGraph]]" = WeakKeyDictionary()
+
+
+def csr_view(graph: LabeledGraph) -> CSRGraph:
+    """Return a frozen CSR view of *graph*, cached across callers.
+
+    Freezing is O(|V| + |E|) Python-level work, so the ground-truth
+    counters, the experiment harness and the restricted-API wrappers all
+    share one view per graph instead of re-freezing.  The cache is keyed
+    weakly (graphs are collectable) and validated against
+    :attr:`LabeledGraph.version`, so mutating the graph after a freeze
+    transparently produces a fresh view.
+    """
+    if isinstance(graph, CSRGraph):
+        return graph
+    version = getattr(graph, "version", None)
+    if version is None:
+        # Graph-likes without mutation tracking cannot be cached safely.
+        return CSRGraph.from_labeled_graph(graph)
+    entry = _CSR_VIEWS.get(graph)
+    if entry is not None and entry[0] == version:
+        return entry[1]
+    csr = CSRGraph.from_labeled_graph(graph)
+    _CSR_VIEWS[graph] = (version, csr)
+    return csr
+
+
+__all__ = ["CSRGraph", "csr_view", "ensure_same_graph"]

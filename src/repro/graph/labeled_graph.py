@@ -44,6 +44,16 @@ class LabeledGraph:
         self._adj: Dict[Node, Set[Node]] = {}
         self._labels: Dict[Node, Set[Label]] = {}
         self._num_edges: int = 0
+        self._version: int = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every structural or label change.
+
+        Derived caches (frozen CSR views, ground-truth counts) key on it
+        to detect staleness without hashing the whole graph.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -53,8 +63,10 @@ class LabeledGraph:
         if node not in self._adj:
             self._adj[node] = set()
             self._labels[node] = set()
+            self._version += 1
         if labels is not None:
             self._labels[node].update(labels)
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> bool:
         """Add the undirected edge ``(u, v)``.
@@ -71,6 +83,7 @@ class LabeledGraph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
         return True
 
     def add_edges_from(self, edges: Iterable[Edge]) -> int:
@@ -86,12 +99,14 @@ class LabeledGraph:
         if node not in self._adj:
             raise NodeNotFoundError(node)
         self._labels[node] = set(labels)
+        self._version += 1
 
     def add_label(self, node: Node, label: Label) -> None:
         """Attach a single *label* to *node*."""
         if node not in self._adj:
             raise NodeNotFoundError(node)
         self._labels[node].add(label)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove *node* and all its incident edges."""
@@ -102,6 +117,7 @@ class LabeledGraph:
             self._num_edges -= 1
         del self._adj[node]
         del self._labels[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -299,6 +299,26 @@ class PageBudgetTracker:
             raise
 
 
+def per_walker_distinct_counts(trajectories: np.ndarray) -> np.ndarray:
+    """Distinct pages downloaded by each walker of an independent fleet.
+
+    Unlike :class:`PageBudgetTracker` (one cache shared by the whole
+    fleet), this models ``N`` *independent* crawlers: walker ``w`` is
+    charged once per distinct node in ``trajectories[w]`` — exactly what
+    ``N`` separate :class:`~repro.graph.api.RestrictedGraphAPI` wrappers
+    with caching on would each record, which is how the experiment
+    harness runs repetitions.  (Extra pages beyond the trajectory, such
+    as NeighborExploration's explored neighbors, are accounted by the
+    fleet samplers themselves.)
+
+    All rows have equal length, so each row is sorted in C and its value
+    transitions counted — no per-walker Python work.
+    """
+    trajectories = np.atleast_2d(trajectories)
+    ordered = np.sort(trajectories, axis=1)
+    return (ordered[:, 1:] != ordered[:, :-1]).sum(axis=1) + 1
+
+
 # ----------------------------------------------------------------------
 # batched engine
 # ----------------------------------------------------------------------
@@ -358,6 +378,59 @@ class BatchedWalkResult:
         )
 
 
+@dataclass
+class FleetWalkResult:
+    """Full trajectories of ``N`` independent walkers (burn-in included).
+
+    Produced by :meth:`BatchedWalkEngine.run_fleet`, the execution mode
+    behind ``run_trials(..., execution="fleet")``: one walker stands for
+    one experiment repetition, so — unlike :class:`BatchedWalkResult`,
+    whose fleet shares a page cache — every walker keeps its *own*
+    distinct-page ledger, mirroring the fresh
+    :class:`~repro.graph.api.RestrictedGraphAPI` each repetition gets.
+
+    Attributes
+    ----------
+    trajectories:
+        ``(num_walkers, burn_in + num_steps + 1)`` node indices; column
+        0 is the start node, the remaining columns are the positions
+        after each transition (burn-in transitions included, because a
+        real crawler downloads pages during burn-in too).
+    burn_in:
+        Transitions discarded before collection starts.
+    """
+
+    trajectories: np.ndarray
+    burn_in: int
+
+    @property
+    def num_walkers(self) -> int:
+        return int(self.trajectories.shape[0])
+
+    @property
+    def num_steps(self) -> int:
+        """Collected (post-burn-in) transitions per walker."""
+        return int(self.trajectories.shape[1]) - 1 - self.burn_in
+
+    @property
+    def start_nodes(self) -> np.ndarray:
+        return self.trajectories[:, 0]
+
+    @property
+    def collected(self) -> np.ndarray:
+        """``(num_walkers, num_steps)`` positions after the burn-in."""
+        return self.trajectories[:, self.burn_in + 1 :]
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Source endpoint of each collected transition (same shape)."""
+        return self.trajectories[:, self.burn_in : -1]
+
+    def charged_calls(self) -> np.ndarray:
+        """Per-walker distinct pages downloaded (independent crawlers)."""
+        return per_walker_distinct_counts(self.trajectories)
+
+
 class BatchedWalkEngine:
     """Advance ``N`` independent walkers with one numpy step at a time.
 
@@ -403,23 +476,7 @@ class BatchedWalkEngine:
         check_non_negative_int(burn_in, "burn_in")
         _check_not_empty(self.csr)
         csr = self.csr
-        nprng = self._nprng
-
-        if start_nodes is None:
-            current = nprng.integers(0, csr.num_nodes, size=num_walkers, dtype=np.int64)
-        else:
-            current = np.asarray(start_nodes, dtype=np.int64)
-            if current.shape != (num_walkers,):
-                raise ConfigurationError(
-                    f"start_nodes must have shape ({num_walkers},), got {current.shape}"
-                )
-            if current.size and (current.min() < 0 or current.max() >= csr.num_nodes):
-                raise ConfigurationError("start_nodes contains out-of-range indices")
-        # Only starts can be isolated; every later position is a neighbor.
-        start_degrees = csr.degrees[current]
-        if not start_degrees.all():
-            index = int(current[int(np.argmin(start_degrees))])
-            raise _isolated_error(index, csr)
+        current = self._draw_starts(num_walkers, start_nodes)
         starts = current.copy()
 
         tracker = PageBudgetTracker(csr.num_nodes, self.budget)
@@ -449,7 +506,75 @@ class BatchedWalkEngine:
             charged_calls=tracker.charged,
         )
 
+    def run_fleet(
+        self,
+        num_walkers: int,
+        num_steps: int,
+        burn_in: int = 0,
+        start_nodes: Optional[Sequence[int]] = None,
+    ) -> FleetWalkResult:
+        """Run ``N`` *independent* walkers and record their full trajectories.
+
+        The execution mode behind ``run_trials(..., execution="fleet")``:
+        each walker stands for one experiment repetition, so each keeps
+        its own distinct-page ledger (no fleet-shared cache — see
+        :meth:`FleetWalkResult.charged_calls`).  When the engine has a
+        *budget*, it is enforced **per walker**: the run raises
+        :class:`APIBudgetExceededError` when any single walker's crawl
+        downloaded more than *budget* distinct pages — the same outcome
+        as the budgeted :class:`RestrictedGraphAPI` wrapper each
+        sequential repetition runs through, except that the check
+        happens after the walk completes (the fleet walks to the end
+        before settling the ledgers), not mid-step; size the walk
+        accordingly when probing tight budgets.
+        """
+        check_positive_int(num_walkers, "num_walkers")
+        check_positive_int(num_steps, "num_steps")
+        check_non_negative_int(burn_in, "burn_in")
+        _check_not_empty(self.csr)
+        current = self._draw_starts(num_walkers, start_nodes)
+
+        total = burn_in + num_steps
+        trajectories = np.empty((num_walkers, total + 1), dtype=np.int64)
+        trajectories[:, 0] = current
+        previous = np.full(num_walkers, -1, dtype=np.int64)
+        for step in range(total):
+            nxt = self._advance(current, previous)
+            previous = current
+            current = nxt
+            trajectories[:, step + 1] = current
+
+        result = FleetWalkResult(trajectories=trajectories, burn_in=burn_in)
+        if self.budget is not None:
+            charges = result.charged_calls()
+            if int(charges.max(initial=0)) > self.budget:
+                raise APIBudgetExceededError(self.budget, self.budget + 1)
+        return result
+
     # ------------------------------------------------------------------
+    def _draw_starts(
+        self, num_walkers: int, start_nodes: Optional[Sequence[int]]
+    ) -> np.ndarray:
+        csr = self.csr
+        if start_nodes is None:
+            current = self._nprng.integers(
+                0, csr.num_nodes, size=num_walkers, dtype=np.int64
+            )
+        else:
+            current = np.asarray(start_nodes, dtype=np.int64)
+            if current.shape != (num_walkers,):
+                raise ConfigurationError(
+                    f"start_nodes must have shape ({num_walkers},), got {current.shape}"
+                )
+            if current.size and (current.min() < 0 or current.max() >= csr.num_nodes):
+                raise ConfigurationError("start_nodes contains out-of-range indices")
+        # Only starts can be isolated; every later position is a neighbor.
+        start_degrees = csr.degrees[current]
+        if not start_degrees.all():
+            index = int(current[int(np.argmin(start_degrees))])
+            raise _isolated_error(index, csr)
+        return current.copy()
+
     def _advance(self, current: np.ndarray, previous: np.ndarray) -> np.ndarray:
         csr = self.csr
         degrees = csr.degrees[current]
@@ -478,7 +603,9 @@ __all__ = [
     "draw_start_index",
     "csr_walk",
     "charge_distinct_pages",
+    "per_walker_distinct_counts",
     "PageBudgetTracker",
     "BatchedWalkResult",
+    "FleetWalkResult",
     "BatchedWalkEngine",
 ]

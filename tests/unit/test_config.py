@@ -5,6 +5,7 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.experiments.config import (
     DEFAULT_SAMPLE_FRACTIONS,
+    ENV_JOBS,
     ENV_REPETITIONS,
     ENV_SCALE,
     ExperimentConfig,
@@ -42,6 +43,37 @@ class TestValidation:
     def test_invalid_fraction(self):
         with pytest.raises(ConfigurationError):
             ExperimentConfig(dataset="facebook", sample_fractions=(0.0,))
+
+    def test_invalid_execution(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="facebook", execution="warp")
+
+    def test_invalid_n_jobs(self):
+        with pytest.raises(Exception):
+            ExperimentConfig(dataset="facebook", n_jobs=0)
+
+    def test_fleet_execution_accepted(self):
+        config = ExperimentConfig(dataset="facebook", execution="fleet", n_jobs=4)
+        assert config.execution == "fleet"
+        assert config.n_jobs == 4
+
+    def test_jobs_environment_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        config = ExperimentConfig(dataset="facebook").apply_environment()
+        assert config.n_jobs == 3
+
+    def test_pinned_fields_beat_environment(self, monkeypatch):
+        """Explicit values (CLI flags) must not be stomped by REPRO_*."""
+        monkeypatch.setenv(ENV_JOBS, "16")
+        monkeypatch.setenv(ENV_REPETITIONS, "500")
+        config = ExperimentConfig(
+            dataset="facebook",
+            repetitions=7,
+            n_jobs=1,
+            pinned=("repetitions", "n_jobs"),
+        ).apply_environment()
+        assert config.n_jobs == 1
+        assert config.repetitions == 7
 
     def test_negative_pair_index(self):
         with pytest.raises(ConfigurationError):

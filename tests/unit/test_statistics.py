@@ -40,6 +40,43 @@ class TestCountTargetEdges:
         assert count_target_edges(graph, "a", "c") == 1
         assert count_target_edges(graph, "b", "c") == 1
 
+    def test_accepts_csr_view_directly(self, triangle_graph):
+        from repro.graph.csr import csr_view
+
+        assert count_target_edges(csr_view(triangle_graph), "a", "b") == 2
+
+    def test_vectorized_matches_dict_loop(self, gender_osn, rare_label_osn):
+        from repro.graph.statistics import _count_target_edges_dict
+
+        assert count_target_edges(gender_osn, 1, 2) == _count_target_edges_dict(
+            gender_osn, 1, 2
+        )
+        labels = sorted(rare_label_osn.all_labels())
+        for t1, t2 in [(labels[0], labels[1]), (labels[0], labels[0])]:
+            assert count_target_edges(rare_label_osn, t1, t2) == _count_target_edges_dict(
+                rare_label_osn, t1, t2
+            )
+
+    def test_cache_invalidated_by_mutation(self):
+        graph = LabeledGraph.from_edges([(1, 2), (2, 3)], {1: ["a"], 2: ["b"], 3: ["a"]})
+        assert count_target_edges(graph, "a", "b") == 2
+        graph.set_labels(3, ["b"])  # (2,3) is now b-b, not a-b
+        assert count_target_edges(graph, "a", "b") == 1
+        graph.add_edge(1, 3)  # new a-b edge
+        assert count_target_edges(graph, "a", "b") == 2
+
+    def test_dict_fallback_for_graph_likes(self, triangle_graph):
+        class Wrapper:
+            """Graph-like that is not a LabeledGraph (no version counter)."""
+
+            def edges(self):
+                return triangle_graph.edges()
+
+            def labels_of(self, node):
+                return triangle_graph.labels_of(node)
+
+        assert count_target_edges(Wrapper(), "a", "b") == 2
+
     def test_fraction(self, triangle_graph):
         assert target_edge_fraction(triangle_graph, "a", "b") == pytest.approx(2 / 3)
 
