@@ -1,0 +1,211 @@
+"""Scale ladder: the CSR-native data plane from 10⁴ to 10⁶ nodes.
+
+One test climbs the rungs (``REPRO_SCALE_RUNGS``, default
+``10000,100000,1000000``) and, per rung, times the whole paper
+preprocessing pipeline on the array-native path — Chung–Lu edge draws,
+CSR assembly, largest-connected-component cleaning, Zipf labeling and a
+fleet walk — plus the networkx/dict reference path on the rungs where
+it is still affordable (``REPRO_SCALE_NX_LIMIT``, default ``100000``),
+so the generation speedup is tracked in the perf trajectory.
+
+A second test times a Figure-1-shaped frequency sweep with
+``reuse="none"`` (fresh fleet per point) against ``reuse="prefix"``
+(one fleet per algorithm, classified per pair) and records both NRMSE
+series side by side; the statistical KS equivalence of the two modes is
+enforced by ``tests/integration/test_prefix_equivalence.py``.
+
+Everything lands in ``benchmarks/results/BENCH_scale.json``.  CI runs
+the 10⁴ rung (see ``.github/workflows/ci.yml``) and uploads the JSON as
+an artifact; the committed file is a full-ladder run including the
+≥10⁶-node rung.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+import bench_support
+from repro.datasets.labeling import zipf_label_array
+from repro.datasets.registry import select_target_pairs
+from repro.datasets.synthetic import (
+    chung_lu_edges,
+    chung_lu_osn,
+    powerlaw_degree_sequence,
+)
+from repro.experiments.sweeps import frequency_sweep
+from repro.graph.cleaning import largest_connected_component_csr
+from repro.graph.csr import CSRGraph
+from repro.walks.batched import BatchedWalkEngine
+
+#: Node counts to climb, comma-separated (env-overridable for CI).
+RUNGS = tuple(
+    int(value)
+    for value in os.environ.get("REPRO_SCALE_RUNGS", "10000,100000,1000000").split(",")
+)
+
+#: Largest rung on which the networkx/dict reference path is also timed.
+NX_LIMIT = int(os.environ.get("REPRO_SCALE_NX_LIMIT", "100000"))
+
+AVERAGE_DEGREE = 14.0
+FLEET_WALKERS = 256
+FLEET_STEPS = 1000
+
+_RESULTS: dict = {}
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_scale_ladder_rungs():
+    """Generate → clean → label → fleet-walk each rung; record wall-clocks."""
+    rungs = {}
+    for num_nodes in RUNGS:
+        weights = powerlaw_degree_sequence(num_nodes, AVERAGE_DEGREE)
+        rung_started = time.perf_counter()
+        edges, generate_seconds = _timed(lambda: chung_lu_edges(weights, rng=1))
+        raw, assemble_seconds = _timed(
+            lambda: CSRGraph.from_edge_array(edges, num_nodes=num_nodes)
+        )
+        graph, lcc_seconds = _timed(lambda: largest_connected_component_csr(raw))
+        labeled, label_seconds = _timed(
+            lambda: graph.with_labels(
+                label_array=zipf_label_array(
+                    graph.num_nodes, num_labels=150, exponent=1.1, rng=2
+                )
+            )
+        )
+        engine = BatchedWalkEngine(labeled, rng=3)
+        fleet, walk_seconds = _timed(
+            lambda: engine.run_fleet(FLEET_WALKERS, FLEET_STEPS)
+        )
+        end_to_end = time.perf_counter() - rung_started
+        assert fleet.num_walkers == FLEET_WALKERS
+        assert labeled.count_target_edges(1, 2) > 0  # labeled and walkable
+
+        entry = {
+            "requested_nodes": num_nodes,
+            "num_nodes": labeled.num_nodes,
+            "num_edges": labeled.num_edges,
+            "indices_dtype": str(labeled.indices.dtype),
+            "adjacency_bytes": int(
+                labeled.indices.nbytes + labeled.indptr.nbytes
+            ),
+            "generate_seconds": round(generate_seconds, 4),
+            "assemble_seconds": round(assemble_seconds, 4),
+            "lcc_seconds": round(lcc_seconds, 4),
+            "label_seconds": round(label_seconds, 4),
+            "fleet_walk": {
+                "walkers": FLEET_WALKERS,
+                "steps_per_walker": FLEET_STEPS,
+                "seconds": round(walk_seconds, 4),
+                "steps_per_second": round(FLEET_WALKERS * FLEET_STEPS / walk_seconds),
+            },
+            "end_to_end_seconds": round(end_to_end, 4),
+        }
+
+        if num_nodes <= NX_LIMIT:
+            # The dict path the CSR plane replaces: networkx Chung–Lu +
+            # per-node conversion + dict flood-fill cleaning.
+            reference, nx_seconds = _timed(
+                lambda: chung_lu_osn([float(w) for w in weights], rng=1)
+            )
+            csr_seconds = generate_seconds + assemble_seconds + lcc_seconds
+            entry["networkx_path_seconds"] = round(nx_seconds, 4)
+            entry["generation_speedup_vs_networkx"] = round(nx_seconds / csr_seconds, 1)
+            assert reference.num_nodes > 0
+            if num_nodes >= 100_000:
+                # Acceptance floor: ≥20× at the 10⁵ rung.
+                assert entry["generation_speedup_vs_networkx"] >= 20, entry
+        rungs[str(num_nodes)] = entry
+    _RESULTS["rungs"] = rungs
+
+
+def test_prefix_reuse_sweep_speedup():
+    """Figure-1-shaped sweep: reuse='prefix' vs reuse='none' (fleet)."""
+    num_nodes = min(RUNGS)
+    weights = powerlaw_degree_sequence(num_nodes, AVERAGE_DEGREE)
+    graph = largest_connected_component_csr(
+        CSRGraph.from_edge_array(chung_lu_edges(weights, rng=4), num_nodes=num_nodes)
+    )
+    graph = graph.with_labels(
+        label_array=zipf_label_array(graph.num_nodes, num_labels=60, exponent=1.0, rng=5)
+    )
+    pairs = select_target_pairs(graph, count=6)
+    repetitions = max(20, bench_support.DEFAULT_REPETITIONS)
+    burn_in = 100
+
+    def run(reuse, execution, seed):
+        started = time.perf_counter()
+        points = frequency_sweep(
+            graph,
+            pairs,
+            budget_fraction=0.05,
+            repetitions=repetitions,
+            burn_in=burn_in,
+            seed=seed,
+            execution=execution,
+            reuse=reuse,
+        )
+        return points, time.perf_counter() - started
+
+    # Warm the shared caches (masks, incident counts) before timing.
+    frequency_sweep(
+        graph, pairs[:1], budget_fraction=0.01, repetitions=2,
+        burn_in=5, seed=0, reuse="prefix",
+    )
+    fresh_points, fresh_seconds = min(
+        (run("none", "fleet", seed) for seed in (6, 7)), key=lambda pair: pair[1]
+    )
+    prefix_points, prefix_seconds = min(
+        (run("prefix", "sequential", seed) for seed in (8, 9)), key=lambda pair: pair[1]
+    )
+    speedup = fresh_seconds / prefix_seconds
+
+    series = []
+    for fresh_point, prefix_point in zip(fresh_points, prefix_points):
+        assert fresh_point.target_pair == prefix_point.target_pair
+        series.append(
+            {
+                "pair": [str(label) for label in fresh_point.target_pair],
+                "relative_count": round(fresh_point.relative_count, 6),
+                "nrmse_reuse_none": {
+                    name: round(value, 4)
+                    for name, value in fresh_point.nrmse_by_algorithm.items()
+                },
+                "nrmse_reuse_prefix": {
+                    name: round(value, 4)
+                    for name, value in prefix_point.nrmse_by_algorithm.items()
+                },
+            }
+        )
+    _RESULTS["prefix_reuse_sweep"] = {
+        "num_nodes": graph.num_nodes,
+        "num_pairs": len(pairs),
+        "repetitions": repetitions,
+        "budget_fraction": 0.05,
+        "reuse_none_fleet_seconds": round(fresh_seconds, 4),
+        "reuse_prefix_seconds": round(prefix_seconds, 4),
+        "speedup": round(speedup, 2),
+        "points": series,
+        "equivalence": "KS-tested in tests/integration/test_prefix_equivalence.py",
+    }
+    # Acceptance floor: ≥3× vs the strongest fresh-walk baseline (fleet).
+    assert speedup >= 3, f"prefix-reuse sweep speedup {speedup:.2f}x below 3x"
+
+
+def test_write_scale_json():
+    """Persist the ladder (runs last: pytest executes in file order)."""
+    assert "rungs" in _RESULTS, "rung test did not run"
+    payload = {
+        "average_degree": AVERAGE_DEGREE,
+        "generator": "chung_lu_csr (power-law expected degrees, exponent 2.5)",
+        "rungs": _RESULTS["rungs"],
+    }
+    if "prefix_reuse_sweep" in _RESULTS:
+        payload["prefix_reuse_sweep"] = _RESULTS["prefix_reuse_sweep"]
+    bench_support.write_json("BENCH_scale.json", payload)

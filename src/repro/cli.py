@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.bounds import compute_all_bounds
-from repro.core.samplers.csr_backend import BACKENDS, EXECUTIONS
+from repro.core.samplers.csr_backend import BACKENDS, EXECUTIONS, REUSES
 from repro.core.pipeline import available_algorithms, estimate_target_edge_count
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments.config import ExperimentConfig
@@ -104,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for cell-level parallelism (same table for any "
         "worker count; default: 1)",
     )
+    table.add_argument(
+        "--reuse",
+        choices=REUSES,
+        default="none",
+        help="'prefix' reads every budget column off one max-budget fleet "
+        "per proposed algorithm (O(max budget) walking)",
+    )
+    table.add_argument(
+        "--representation",
+        choices=("dict", "csr"),
+        default="dict",
+        help="dataset substrate; 'csr' synthesises array-natively (paper "
+        "scale), runs the proposed algorithms only and needs "
+        "--execution fleet or --reuse prefix",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
     figure.add_argument("number", type=int, choices=[1, 2])
@@ -129,6 +144,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for point-level parallelism (same series for "
         "any worker count; default: 1)",
+    )
+    figure.add_argument(
+        "--reuse",
+        choices=REUSES,
+        default="none",
+        help="'prefix' classifies every target pair off one shared fleet "
+        "per algorithm (the walk is label-agnostic)",
+    )
+    figure.add_argument(
+        "--representation",
+        choices=("dict", "csr"),
+        default="dict",
+        help="dataset substrate; 'csr' synthesises array-natively (paper "
+        "scale) and needs --execution fleet or --reuse prefix",
     )
 
     bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
@@ -240,6 +269,8 @@ def _command_table(args) -> int:
         scale=scale,
         backend=args.backend,
         execution=args.execution,
+        reuse=args.reuse,
+        representation=args.representation,
         n_jobs=n_jobs,
         pinned=pinned,
     )
@@ -267,6 +298,8 @@ def _command_figure(args) -> int:
         scale=scale,
         backend=args.backend,
         execution=args.execution,
+        reuse=args.reuse,
+        representation=args.representation,
         n_jobs=n_jobs,
         pinned=pinned,
     )

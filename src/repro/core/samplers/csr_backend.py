@@ -66,6 +66,12 @@ BACKENDS: Tuple[str, ...] = ("python", "csr")
 #: one vectorized walker fleet.
 EXECUTIONS: Tuple[str, ...] = ("sequential", "fleet")
 
+#: Walk-reuse choices for the sweep harness: fresh walks per cell, or
+#: one max-budget fleet whose prefixes serve every smaller budget point
+#: (and whose trajectories serve every target pair of a frequency
+#: sweep) — O(max budget) walking instead of O(Σ budgets).
+REUSES: Tuple[str, ...] = ("none", "prefix")
+
 
 def validate_backend(backend: str) -> str:
     """Return *backend* or raise the shared unknown-backend error."""
@@ -83,6 +89,15 @@ def validate_execution(execution: str) -> str:
             f"unknown execution {execution!r}; available: {', '.join(EXECUTIONS)}"
         )
     return execution
+
+
+def validate_reuse(reuse: str) -> str:
+    """Return *reuse* or raise the shared unknown-reuse error."""
+    if reuse not in REUSES:
+        raise ConfigurationError(
+            f"unknown reuse {reuse!r}; available: {', '.join(REUSES)}"
+        )
+    return reuse
 
 
 def validate_backend_and_kernel(backend: str, kernel) -> str:
@@ -332,7 +347,7 @@ def run_csr_sampler(
 # ----------------------------------------------------------------------
 # fleet execution: every repetition of a table cell as one walker fleet
 # ----------------------------------------------------------------------
-def _run_fleet_walk(
+def run_fleet_walk(
     csr: CSRGraph,
     k: int,
     repetitions: int,
@@ -414,29 +429,23 @@ def _exploration_charges(
     return np.bincount(distinct // span, minlength=num_walkers).astype(np.int64)
 
 
-def sample_edges_fleet(
+def classify_edge_fleet(
     csr: CSRGraph,
+    fleet,
     t1: Label,
     t2: Label,
-    k: int,
-    repetitions: int,
-    burn_in: int = 0,
-    rng: RandomSource = None,
-    kernel: KernelLike = "simple",
     budget: Optional[int] = None,
     known_num_nodes: Optional[int] = None,
     known_num_edges: Optional[int] = None,
 ) -> EdgeSampleBatch:
-    """NeighborSample for *repetitions* independent trials in one fleet.
+    """NeighborSample classification of an already-walked fleet.
 
-    One walker per trial, advanced with vectorized numpy steps (burn-in
-    included); the result is the array-native
-    :class:`~repro.core.samplers.base.EdgeSampleBatch` — per-trial
-    source/destination/target-flag rows — plus a per-trial charged-call
-    ledger with the same distinct-page semantics as running each trial
-    through its own caching :class:`RestrictedGraphAPI`.
+    Separating the walk (:class:`~repro.walks.batched.FleetWalkResult`)
+    from its classification is what the prefix-reuse sweep engine is
+    built on: one fleet can be classified against many target pairs and
+    truncated (:meth:`FleetWalkResult.prefix`) to many budgets — the
+    walk is label-agnostic, only this step reads the masks.
     """
-    fleet = _run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
     sources = fleet.sources
     dests = fleet.collected
     m1 = csr.label_mask(t1)
@@ -462,27 +471,23 @@ def sample_edges_fleet(
     )
 
 
-def explore_nodes_fleet(
+def classify_node_fleet(
     csr: CSRGraph,
+    fleet,
     t1: Label,
     t2: Label,
-    k: int,
-    repetitions: int,
-    burn_in: int = 0,
-    rng: RandomSource = None,
-    kernel: KernelLike = "simple",
     budget: Optional[int] = None,
     known_num_nodes: Optional[int] = None,
     known_num_edges: Optional[int] = None,
 ) -> NodeSampleBatch:
-    """NeighborExploration for *repetitions* independent trials in one fleet.
+    """NeighborExploration classification of an already-walked fleet.
 
     ``T(u)`` comes from the precomputed vectorized incident counts; the
     per-trial charged-call ledger adds the pages of the neighbors each
-    trial explores around its labeled sampled nodes, exactly like the
-    reference sampler running through a fresh caching wrapper.
+    trial explores around its labeled sampled nodes — recomputed per
+    classification because which nodes get explored depends on the
+    target pair.
     """
-    fleet = _run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
     collected = fleet.collected
     m1 = csr.label_mask(t1)
     m2 = csr.label_mask(t2)
@@ -508,13 +513,78 @@ def explore_nodes_fleet(
     )
 
 
+def sample_edges_fleet(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    repetitions: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    budget: Optional[int] = None,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+) -> EdgeSampleBatch:
+    """NeighborSample for *repetitions* independent trials in one fleet.
+
+    One walker per trial, advanced with vectorized numpy steps (burn-in
+    included); the result is the array-native
+    :class:`~repro.core.samplers.base.EdgeSampleBatch` — per-trial
+    source/destination/target-flag rows — plus a per-trial charged-call
+    ledger with the same distinct-page semantics as running each trial
+    through its own caching :class:`RestrictedGraphAPI`.
+    """
+    fleet = run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
+    return classify_edge_fleet(
+        csr, fleet, t1, t2,
+        budget=budget,
+        known_num_nodes=known_num_nodes,
+        known_num_edges=known_num_edges,
+    )
+
+
+def explore_nodes_fleet(
+    csr: CSRGraph,
+    t1: Label,
+    t2: Label,
+    k: int,
+    repetitions: int,
+    burn_in: int = 0,
+    rng: RandomSource = None,
+    kernel: KernelLike = "simple",
+    budget: Optional[int] = None,
+    known_num_nodes: Optional[int] = None,
+    known_num_edges: Optional[int] = None,
+) -> NodeSampleBatch:
+    """NeighborExploration for *repetitions* independent trials in one fleet.
+
+    ``T(u)`` comes from the precomputed vectorized incident counts; the
+    per-trial charged-call ledger adds the pages of the neighbors each
+    trial explores around its labeled sampled nodes, exactly like the
+    reference sampler running through a fresh caching wrapper.
+    """
+    fleet = run_fleet_walk(csr, k, repetitions, burn_in, rng, kernel)
+    return classify_node_fleet(
+        csr, fleet, t1, t2,
+        budget=budget,
+        known_num_nodes=known_num_nodes,
+        known_num_edges=known_num_edges,
+    )
+
+
 __all__ = [
     "BACKENDS",
     "EXECUTIONS",
+    "REUSES",
     "validate_backend",
     "validate_execution",
+    "validate_reuse",
+    "run_fleet_walk",
     "sample_edges_csr",
     "explore_nodes_csr",
+    "classify_edge_fleet",
+    "classify_node_fleet",
     "sample_edges_fleet",
     "explore_nodes_fleet",
     "run_csr_sampler",

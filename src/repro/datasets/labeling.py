@@ -12,6 +12,15 @@ The paper uses three kinds of node labels (§5.1):
 
 The three functions below reproduce those models on synthetic graphs.
 All labels are integers, as in the paper.
+
+Each in-place dict labeler has a vectorized twin
+(:func:`binary_label_array`, :func:`zipf_label_array`,
+:func:`degree_bucket_label_array`) that draws labels for *all* nodes in
+one numpy pass and returns the one-label-per-node array a
+:class:`~repro.graph.csr.CSRGraph` carries — the labeling path of the
+million-node CSR data plane.  The degree-bucket twin is bit-for-bit
+identical to the dict labeler (it is deterministic); the random models
+match in distribution (same laws, numpy instead of stdlib draws).
 """
 
 from __future__ import annotations
@@ -19,9 +28,11 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 from repro.graph.labeled_graph import LabeledGraph, Node
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
 from repro.utils.validation import check_fraction, check_positive, check_positive_int
 
 #: A synthetic stand-in for the paper's Table 3 (label id -> Slovak location).
@@ -194,13 +205,86 @@ def location_name(label: int) -> str:
     return POKEC_LOCATIONS.get(label, f"synthetic kraj, okres {label}")
 
 
+# ----------------------------------------------------------------------
+# vectorized array labelers (the CSR-native data plane)
+# ----------------------------------------------------------------------
+def binary_label_array(
+    num_nodes: int,
+    label_one_probability: float = 0.5,
+    labels: Tuple[int, int] = (1, 2),
+    rng: RandomSource = None,
+) -> np.ndarray:
+    """Gender model for a whole graph in one draw: an ``(n,)`` label array.
+
+    The vectorized twin of :func:`assign_binary_labels` with independent
+    assignment (``homophily=0``); the homophilous variant is inherently
+    sequential (each node may copy an already-labeled neighbor) and
+    stays on the dict path.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_fraction(label_one_probability, "label_one_probability")
+    generator = ensure_numpy_rng(rng)
+    first, second = labels
+    return np.where(
+        generator.random(num_nodes) < label_one_probability, first, second
+    ).astype(np.int64)
+
+
+def zipf_label_array(
+    num_nodes: int,
+    num_labels: int = 200,
+    exponent: float = 1.2,
+    rng: RandomSource = None,
+    label_offset: int = 1,
+) -> np.ndarray:
+    """Location model for a whole graph in one draw: an ``(n,)`` label array.
+
+    The vectorized twin of :func:`assign_zipf_labels`: one uniform draw
+    per node, inverted through the cumulative Zipf weights with a single
+    ``searchsorted`` (the dict path's per-node binary search, batched).
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    generator = ensure_numpy_rng(rng)
+    weights = np.asarray(zipf_weights(num_labels, exponent))
+    cumulative = np.cumsum(weights / weights.sum())
+    drawn = np.searchsorted(cumulative, generator.random(num_nodes), side="left")
+    np.minimum(drawn, num_labels - 1, out=drawn)  # guard float rounding at 1.0
+    return (drawn + label_offset).astype(np.int64)
+
+
+def degree_bucket_label_array(
+    degrees: np.ndarray,
+    thresholds: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Degree-bucket model on a degree array: an ``(n,)`` label array.
+
+    Bit-for-bit identical to :func:`assign_degree_bucket_labels` (the
+    model is deterministic): bucket ``b`` holds degrees in
+    ``[thresholds[b], thresholds[b+1])``, computed for all nodes with
+    one ``searchsorted``.  Degrees below every threshold get bucket 0,
+    like the dict labeler.
+    """
+    degrees = np.asarray(degrees)
+    if thresholds is None:
+        max_degree = int(degrees.max()) if degrees.size else 1
+        thresholds = default_degree_thresholds(max(1, max_degree))
+    thresholds = sorted(set(int(t) for t in thresholds))
+    if not thresholds or thresholds[0] < 1:
+        raise ConfigurationError("degree thresholds must start at 1 or above")
+    buckets = np.searchsorted(np.asarray(thresholds), degrees, side="right") - 1
+    return np.maximum(buckets, 0).astype(np.int64)
+
+
 __all__ = [
     "POKEC_LOCATIONS",
     "binary_fraction_for_cross_edge_share",
     "assign_binary_labels",
+    "binary_label_array",
     "zipf_weights",
     "assign_zipf_labels",
+    "zipf_label_array",
     "default_degree_thresholds",
     "assign_degree_bucket_labels",
+    "degree_bucket_label_array",
     "location_name",
 ]

@@ -15,9 +15,12 @@ instead, load it with :mod:`repro.graph.io` and bypass this registry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import DatasetError
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import (
     count_target_edges,
@@ -25,7 +28,7 @@ from repro.graph.statistics import (
     summarize_graph,
     GraphSummary,
 )
-from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng, ensure_rng
 from repro.utils.validation import check_positive
 
 from repro.datasets.labeling import (
@@ -33,8 +36,18 @@ from repro.datasets.labeling import (
     assign_degree_bucket_labels,
     assign_zipf_labels,
     binary_fraction_for_cross_edge_share,
+    binary_label_array,
+    degree_bucket_label_array,
+    zipf_label_array,
 )
-from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.datasets.synthetic import (
+    chung_lu_csr,
+    powerlaw_cluster_osn,
+    powerlaw_degree_sequence,
+)
+
+#: Graph substrates :func:`load_dataset` can synthesise.
+REPRESENTATIONS: Tuple[str, ...] = ("dict", "csr")
 
 
 @dataclass(frozen=True)
@@ -78,19 +91,47 @@ class DatasetSpec:
 
 @dataclass
 class Dataset:
-    """A generated dataset: graph + labels + selected target pairs."""
+    """A generated dataset: graph + labels + selected target pairs.
+
+    ``graph`` is either the dict :class:`LabeledGraph`
+    (``representation="dict"``, the reference substrate) or an
+    array-native :class:`CSRGraph` (``representation="csr"``, the
+    million-node scale path, which never materialises per-node Python
+    objects).  :meth:`to_labeled_graph` is the lazy escape hatch from
+    the latter back to the former.
+    """
 
     spec: DatasetSpec
-    graph: LabeledGraph
+    graph: Union[LabeledGraph, CSRGraph]
     target_pairs: List[Tuple[Label, Label]]
     target_counts: Dict[Tuple[Label, Label], int]
     seed: int
     scale: float
+    _labeled: Optional[LabeledGraph] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         """Registry name of the underlying spec."""
         return self.spec.name
+
+    @property
+    def representation(self) -> str:
+        """Which substrate :attr:`graph` uses (``"dict"`` or ``"csr"``)."""
+        return "csr" if isinstance(self.graph, CSRGraph) else "dict"
+
+    def to_labeled_graph(self) -> LabeledGraph:
+        """The dict-of-sets view of this dataset's graph (lazy, cached).
+
+        For a dict dataset this is :attr:`graph` itself; a CSR dataset
+        is converted once (a Python ``O(|V| + |E|)`` loop) and the
+        result cached, so the ``backend="python"`` equivalence suites
+        can audit the same topology and labels the CSR arrays encode.
+        """
+        if isinstance(self.graph, LabeledGraph):
+            return self.graph
+        if self._labeled is None:
+            self._labeled = self.graph.to_labeled_graph()
+        return self._labeled
 
     def summary(self) -> GraphSummary:
         """Table 1-style summary of the generated graph."""
@@ -247,7 +288,44 @@ def select_target_pairs(
     return pairs
 
 
-_CACHE: Dict[Tuple[str, int, float], Dataset] = {}
+_CACHE: Dict[Tuple[str, int, float, str], Dataset] = {}
+
+
+def _synthesize_csr(spec: DatasetSpec, seed: int, num_nodes: int, edges_per_node: int) -> CSRGraph:
+    """CSR-native synthesis of one dataset stand-in (no dict graph).
+
+    Topology is a Chung–Lu graph over a power-law expected-degree
+    sequence with the spec's average degree — the vectorized stand-in
+    for the Holme–Kim generator of the dict path (same heavy-tailed
+    degree law; no tunable clustering, which none of the estimators
+    read).  Labels come from the array labelers.
+    """
+    nprng = ensure_numpy_rng(derive_seed(seed, spec.name, "csr-topology"))
+    weights = powerlaw_degree_sequence(num_nodes, 2.0 * edges_per_node)
+    graph = chung_lu_csr(weights, rng=nprng)
+
+    label_rng = ensure_numpy_rng(derive_seed(seed, spec.name, "csr-labels"))
+    if spec.label_model == "gender":
+        if float(spec.label_params.get("homophily", 0.0)):
+            raise DatasetError(
+                "the homophilous gender model is sequential; use "
+                "representation='dict' for specs with homophily > 0"
+            )
+        cross_share = spec.label_params.get("cross_share", 0.42)
+        probability = binary_fraction_for_cross_edge_share(cross_share)
+        labels = binary_label_array(graph.num_nodes, probability, rng=label_rng)
+    elif spec.label_model == "location":
+        labels = zipf_label_array(
+            graph.num_nodes,
+            num_labels=int(spec.label_params.get("num_labels", 150)),
+            exponent=float(spec.label_params.get("exponent", 1.1)),
+            rng=label_rng,
+        )
+    elif spec.label_model == "degree":
+        labels = degree_bucket_label_array(np.asarray(graph.degrees))
+    else:
+        raise DatasetError(f"unknown label model {spec.label_model!r}")
+    return graph.with_labels(label_array=labels)
 
 
 def load_dataset(
@@ -255,6 +333,7 @@ def load_dataset(
     seed: int = 0,
     scale: float = 1.0,
     use_cache: bool = True,
+    representation: str = "dict",
 ) -> Dataset:
     """Generate (or fetch from cache) one dataset stand-in.
 
@@ -268,26 +347,44 @@ def load_dataset(
         Multiplier on the spec's node count; 1.0 reproduces the default
         laptop-scale size, smaller values speed up tests.
     use_cache:
-        Datasets are deterministic in ``(name, seed, scale)``, so they
-        are cached in-process by default.
+        Datasets are deterministic in ``(name, seed, scale,
+        representation)``, so they are cached in-process by default.
+    representation:
+        ``"dict"`` (default) builds the reference :class:`LabeledGraph`
+        via networkx; ``"csr"`` assembles a :class:`CSRGraph` with the
+        vectorized generator/labeler pipeline — orders of magnitude
+        faster and the only practical substrate at paper scale
+        (``scale`` large enough for ≥10⁶ nodes).  The two substrates
+        sample the same dataset *shape* (degree law, label model,
+        target-pair selection) but draw from different random streams,
+        so their graphs are statistically, not bitwise, alike.
     """
     if name not in DATASET_SPECS:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {', '.join(DATASET_SPECS)}"
         )
+    if representation not in REPRESENTATIONS:
+        raise DatasetError(
+            f"unknown representation {representation!r}; "
+            f"available: {', '.join(REPRESENTATIONS)}"
+        )
     check_positive(scale, "scale")
-    key = (name, int(seed), float(scale))
+    key = (name, int(seed), float(scale), representation)
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
     spec = DATASET_SPECS[name]
-    rng = ensure_rng(seed)
     num_nodes = max(64, int(round(spec.num_nodes * scale)))
     edges_per_node = min(spec.edges_per_node, max(2, num_nodes // 4))
-    graph = powerlaw_cluster_osn(
-        num_nodes, edges_per_node, spec.triangle_probability, rng=rng
-    )
-    _apply_labels(graph, spec, rng)
+    graph: Union[LabeledGraph, CSRGraph]
+    if representation == "csr":
+        graph = _synthesize_csr(spec, int(seed), num_nodes, edges_per_node)
+    else:
+        rng = ensure_rng(seed)
+        graph = powerlaw_cluster_osn(
+            num_nodes, edges_per_node, spec.triangle_probability, rng=rng
+        )
+        _apply_labels(graph, spec, rng)
 
     if spec.label_model == "gender":
         pairs: List[Tuple[Label, Label]] = [(1, 2)]
@@ -317,6 +414,7 @@ __all__ = [
     "DatasetSpec",
     "Dataset",
     "DATASET_SPECS",
+    "REPRESENTATIONS",
     "dataset_names",
     "select_target_pairs",
     "load_dataset",

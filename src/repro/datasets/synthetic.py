@@ -15,17 +15,30 @@ and Erdős–Rényi variants exist for tests and sensitivity studies.  All
 generators return cleaned :class:`LabeledGraph` instances (largest
 connected component, no self-loops or multi-edges) with empty label
 sets — labels are layered on by :mod:`repro.datasets.labeling`.
+
+The ``*_csr`` twins (:func:`chung_lu_csr`, :func:`barabasi_albert_csr`,
+:func:`erdos_renyi_csr`) are the million-node scale path: they emit
+numpy edge arrays (:func:`chung_lu_edges` and friends) and assemble a
+:class:`~repro.graph.csr.CSRGraph` directly — no networkx object, no
+dict graph, no per-node Python loop — then keep the largest component
+with the CSR-native cleaner.  They sample the same random-graph *laws*
+as their networkx counterparts (enforced statistically by the
+degree-distribution KS suite) but draw from a numpy generator, so the
+two paths are not bit-identical.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 import networkx as nx
 
 from repro.exceptions import ConfigurationError, DatasetError
-from repro.graph.cleaning import largest_connected_component
+from repro.graph.cleaning import largest_connected_component, largest_connected_component_csr
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import LabeledGraph
 from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
-from repro.utils.validation import check_positive_int, check_probability
+from repro.utils.validation import check_positive, check_positive_int, check_probability
 
 
 def _from_networkx_cleaned(graph: nx.Graph) -> LabeledGraph:
@@ -112,10 +125,202 @@ def chung_lu_osn(
     return _from_networkx_cleaned(graph)
 
 
+# ----------------------------------------------------------------------
+# CSR-native vectorized generators (the million-node scale path)
+# ----------------------------------------------------------------------
+def powerlaw_degree_sequence(
+    num_nodes: int,
+    average_degree: float,
+    exponent: float = 2.5,
+    max_degree: int | None = None,
+) -> np.ndarray:
+    """Deterministic power-law expected-degree sequence for Chung–Lu.
+
+    Weights follow ``w_i ∝ (i + i₀)^(−1/(γ−1))`` — the standard
+    construction whose realised degree distribution has tail exponent
+    ``γ`` — rescaled so the mean equals *average_degree* and capped at
+    *max_degree* (default ``√(n·avg)``, the classic cap that keeps
+    Chung–Lu edge probabilities below one).  Deterministic by design:
+    the randomness of a Chung–Lu graph lives in the edge draws, not the
+    weights, so two seeds share the same expected-degree profile.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive(average_degree, "average_degree")
+    if exponent <= 2.0:
+        raise ConfigurationError(
+            f"exponent must exceed 2 for a finite mean degree, got {exponent}"
+        )
+    ranks = np.arange(num_nodes, dtype=np.float64)
+    weights = (ranks + 1.0) ** (-1.0 / (exponent - 1.0))
+    weights *= average_degree * num_nodes / weights.sum()
+    cap = float(max_degree) if max_degree is not None else np.sqrt(average_degree * num_nodes)
+    np.minimum(weights, cap, out=weights)
+    # Re-normalise after the cap so the mean degree stays on target.
+    weights *= average_degree * num_nodes / weights.sum()
+    return weights
+
+
+def chung_lu_edges(degree_sequence, rng: RandomSource = None) -> np.ndarray:
+    """Numpy edge array of a Chung–Lu expected-degree graph.
+
+    The Norros–Reittu sampling form: ``S/2`` candidate edges whose
+    endpoints are drawn independently proportionally to the weights
+    (one ``searchsorted`` over the cumulative weights — no Python
+    loop).  Self-loops and duplicates survive here and are collapsed by
+    :meth:`CSRGraph.from_edge_array`, exactly like the reference
+    ``nx.expected_degree_graph`` path collapses them in the dict
+    cleaner.
+    """
+    weights = np.asarray(list(degree_sequence), dtype=np.float64)
+    if weights.size == 0:
+        raise ConfigurationError("degree_sequence must be non-empty")
+    if (weights < 0).any():
+        raise ConfigurationError("degree_sequence entries must be non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ConfigurationError("degree_sequence must have positive total weight")
+    nprng = ensure_numpy_rng(rng)
+    num_edges = int(round(total / 2.0))
+    cumulative = np.cumsum(weights)
+    endpoints = np.searchsorted(
+        cumulative, nprng.random(2 * num_edges) * total, side="right"
+    )
+    # cumsum (sequential) can land a hair below sum() (pairwise); a draw
+    # in that float gap would index one past the end.
+    np.minimum(endpoints, weights.size - 1, out=endpoints)
+    return endpoints.reshape(num_edges, 2).astype(np.int64)
+
+
+def chung_lu_csr(
+    degree_sequence,
+    rng: RandomSource = None,
+    keep_largest_component: bool = True,
+) -> CSRGraph:
+    """Chung–Lu graph assembled directly into a :class:`CSRGraph`.
+
+    The CSR-native twin of :func:`chung_lu_osn`: edge endpoints are
+    drawn in one vectorized pass, the adjacency is assembled with array
+    sorts, and the largest component is kept by the CSR BFS cleaner —
+    the whole pipeline allocates no per-node Python objects, which is
+    what makes the ≥10⁶-node rungs of the scale ladder runnable.
+    """
+    weights = np.asarray(list(degree_sequence), dtype=np.float64)
+    edges = chung_lu_edges(weights, rng=rng)
+    csr = CSRGraph.from_edge_array(edges, num_nodes=int(weights.size))
+    return largest_connected_component_csr(csr) if keep_largest_component else csr
+
+
+def barabasi_albert_edges(
+    num_nodes: int, edges_per_node: int, rng: RandomSource = None
+) -> np.ndarray:
+    """Numpy edge array of a Barabási–Albert preferential-attachment graph.
+
+    Vectorized Batagelj–Brandes: edge ``e`` attaches node ``m + e // m``
+    to a uniform draw from the endpoint multiset of all earlier edges —
+    which is exactly preferential attachment.  Because every *source*
+    endpoint is known in closed form, the uniform draws become pointer
+    chains into the edge list that are resolved by repeated numpy
+    indexing (expected O(log) rounds), so no Python-level edge loop is
+    needed.  Draws are with replacement; the rare duplicate edge is
+    collapsed by :meth:`CSRGraph.from_edge_array`, mirroring the dict
+    cleaner on the networkx path.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_positive_int(edges_per_node, "edges_per_node")
+    if edges_per_node >= num_nodes:
+        raise ConfigurationError("edges_per_node must be smaller than num_nodes")
+    nprng = ensure_numpy_rng(rng)
+    m = edges_per_node
+    total_edges = m * (num_nodes - m)
+    # Sources in closed form: node m starts with a star over 0..m-1,
+    # every later node t contributes m edges with source t.
+    edge_index = np.arange(total_edges, dtype=np.int64)
+    sources = m + edge_index // m
+    dests = np.empty(total_edges, dtype=np.int64)
+    dests[:m] = np.arange(m)  # the seed star
+    if total_edges > m:
+        # Edge e >= m picks position r_e uniform over the endpoints of
+        # all *completed* nodes' edges (M[2i] = source_i, M[2i+1] =
+        # dest_i, i < m·⌊e/m⌋) — the reference generator also extends
+        # its repeated-nodes pool only after a node's batch, which keeps
+        # targets strictly below the attaching node (no self-loops).
+        pool = 2 * m * (edge_index[m:] // m)
+        pointers = (nprng.random(total_edges - m) * pool).astype(np.int64)
+        np.minimum(pointers, pool - 1, out=pointers)
+        unresolved = edge_index[m:]
+        position = pointers
+        while unresolved.size:
+            is_source = (position & 1) == 0
+            referenced = position >> 1
+            dests[unresolved[is_source]] = m + referenced[is_source] // m
+            # Odd positions reference an earlier *destination*; the seed
+            # star's destinations are known, later ones chain onward.
+            chased_idx = unresolved[~is_source]
+            chased_ref = referenced[~is_source]
+            in_star = chased_ref < m
+            dests[chased_idx[in_star]] = chased_ref[in_star]
+            unresolved = chased_idx[~in_star]
+            position = pointers[chased_ref[~in_star] - m]
+    return np.stack([sources, dests], axis=1)
+
+
+def barabasi_albert_csr(
+    num_nodes: int,
+    edges_per_node: int,
+    rng: RandomSource = None,
+    keep_largest_component: bool = True,
+) -> CSRGraph:
+    """Barabási–Albert graph assembled directly into a :class:`CSRGraph`."""
+    edges = barabasi_albert_edges(num_nodes, edges_per_node, rng=rng)
+    csr = CSRGraph.from_edge_array(edges, num_nodes=num_nodes)
+    return largest_connected_component_csr(csr) if keep_largest_component else csr
+
+
+def erdos_renyi_edges(
+    num_nodes: int, edge_probability: float, rng: RandomSource = None
+) -> np.ndarray:
+    """Numpy edge array of a sparse Erdős–Rényi ``G(n, p)`` graph.
+
+    Draws ``Binomial(n(n−1)/2, p)`` candidate edges as uniform ordered
+    pairs with distinct endpoints (each unordered pair is hit with the
+    correct uniform probability); the vanishing fraction of duplicate
+    pairs is collapsed downstream.  Intended for the sparse regime the
+    tests and benches use — dense ``p`` would be quadratic anyway.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    check_probability(edge_probability, "edge_probability")
+    nprng = ensure_numpy_rng(rng)
+    possible = num_nodes * (num_nodes - 1) // 2
+    count = int(nprng.binomial(possible, edge_probability)) if possible else 0
+    u = nprng.integers(0, num_nodes, size=count, dtype=np.int64)
+    v = nprng.integers(0, num_nodes - 1, size=count, dtype=np.int64)
+    v += v >= u  # uniform over the n−1 endpoints distinct from u
+    return np.stack([u, v], axis=1)
+
+
+def erdos_renyi_csr(
+    num_nodes: int,
+    edge_probability: float,
+    rng: RandomSource = None,
+    keep_largest_component: bool = True,
+) -> CSRGraph:
+    """Erdős–Rényi graph assembled directly into a :class:`CSRGraph`."""
+    edges = erdos_renyi_edges(num_nodes, edge_probability, rng=rng)
+    csr = CSRGraph.from_edge_array(edges, num_nodes=num_nodes)
+    return largest_connected_component_csr(csr) if keep_largest_component else csr
+
+
 __all__ = [
     "powerlaw_cluster_osn",
     "barabasi_albert_osn",
     "erdos_renyi_osn",
     "small_world_osn",
     "chung_lu_osn",
+    "powerlaw_degree_sequence",
+    "chung_lu_edges",
+    "chung_lu_csr",
+    "barabasi_albert_edges",
+    "barabasi_albert_csr",
+    "erdos_renyi_edges",
+    "erdos_renyi_csr",
 ]

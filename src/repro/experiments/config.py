@@ -13,7 +13,11 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.samplers.csr_backend import validate_backend, validate_execution
+from repro.core.samplers.csr_backend import (
+    validate_backend,
+    validate_execution,
+    validate_reuse,
+)
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_fraction, check_positive_int
 
@@ -65,6 +69,18 @@ class ExperimentConfig:
         (one repetition at a time through a fresh API wrapper) or
         ``"fleet"`` (all repetitions of a table cell as one vectorized
         walker fleet; the EX-* baselines keep the sequential loop).
+    reuse:
+        Sweep walk reuse for the proposed algorithms: ``"none"`` (fresh
+        walks per cell) or ``"prefix"`` (one max-budget fleet per
+        algorithm; smaller budget columns and — in frequency sweeps —
+        other target pairs are classified off its trajectory prefixes).
+    representation:
+        Dataset substrate: ``"dict"`` (reference networkx/dict
+        synthesis) or ``"csr"`` (array-native synthesis, the only
+        practical choice at paper scale).  ``"csr"`` runs the proposed
+        algorithms only and needs ``execution="fleet"`` or
+        ``reuse="prefix"`` — the sequential loop simulates the
+        restricted API over the dict substrate.
     n_jobs:
         Worker processes for cell-level parallelism; per-cell seeds are
         pre-derived so any worker count reproduces the same tables.
@@ -86,6 +102,8 @@ class ExperimentConfig:
     burn_in: Optional[int] = None
     backend: str = "python"
     execution: str = "sequential"
+    reuse: str = "none"
+    representation: str = "dict"
     n_jobs: int = 1
     pinned: Tuple[str, ...] = ()
 
@@ -94,6 +112,22 @@ class ExperimentConfig:
         check_positive_int(self.n_jobs, "n_jobs")
         validate_backend(self.backend)
         validate_execution(self.execution)
+        validate_reuse(self.reuse)
+        if self.representation not in ("dict", "csr"):
+            raise ConfigurationError(
+                f"unknown representation {self.representation!r}; "
+                "available: dict, csr"
+            )
+        if (
+            self.representation == "csr"
+            and self.execution != "fleet"
+            and self.reuse != "prefix"
+        ):
+            raise ConfigurationError(
+                "representation='csr' has no dict graph for the sequential "
+                "restricted-API loop; combine it with execution='fleet' or "
+                "reuse='prefix'"
+            )
         if not self.sample_fractions:
             raise ConfigurationError("sample_fractions must not be empty")
         for fraction in self.sample_fractions:

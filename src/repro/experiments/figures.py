@@ -111,7 +111,12 @@ def run_paper_figure(
     if repetitions is None:
         repetitions = config.repetitions
 
-    dataset = load_dataset(definition.dataset, seed=config.seed, scale=config.scale)
+    dataset = load_dataset(
+        definition.dataset,
+        seed=config.seed,
+        scale=config.scale,
+        representation=config.representation,
+    )
     pairs = select_target_pairs(dataset.graph, count=definition.num_pairs)
     points = frequency_sweep(
         dataset.graph,
@@ -123,6 +128,7 @@ def run_paper_figure(
         backend=config.backend,
         execution=config.execution,
         n_jobs=config.n_jobs,
+        reuse=config.reuse,
     )
     return PaperFigureResult(definition=definition, points=points, config=config)
 

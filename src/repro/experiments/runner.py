@@ -8,13 +8,20 @@ Two entry points:
   budget, returning an :class:`NRMSETable` whose rows mirror Tables 4–17
   of the paper.
 
-Two orthogonal performance knobs:
+Three orthogonal performance knobs:
 
 * ``execution="fleet"`` runs *all repetitions of a cell at once* as one
   vectorized walker fleet over the shared CSR arrays (one walker per
   repetition, per-walker budget ledgers, array-native estimators) —
   the paper's proposed algorithms only; the EX-* baselines fall back to
   the sequential loop.
+* ``reuse="prefix"`` exploits that a budget-``b₁`` crawl from a given
+  seed is a literal prefix of a budget-``b₂ > b₁`` crawl from the same
+  seed: one max-budget fleet per (pair, algorithm) and every smaller
+  budget column is classified and estimated off trajectory/ledger
+  prefixes (:func:`run_trials_prefix`) — sweep walking cost drops from
+  O(Σ budgets) to O(max budget).  Proposed algorithms only; baselines
+  keep fresh walks per cell.
 * ``n_jobs > 1`` distributes whole cells across worker processes.
   Per-cell seeds are derived with :func:`derive_seed` before
   submission, so the resulting table is identical for any worker count
@@ -31,10 +38,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
+    classify_edge_fleet,
+    classify_node_fleet,
     explore_nodes_fleet,
+    run_fleet_walk,
     sample_edges_fleet,
     validate_backend,
     validate_execution,
+    validate_reuse,
 )
 from repro.exceptions import ConfigurationError, ExperimentError
 from repro.graph.api import RestrictedGraphAPI
@@ -184,6 +195,13 @@ def run_trials(
             true_count,
             csr,
         )
+    if isinstance(graph, CSRGraph):
+        raise ConfigurationError(
+            "the sequential execution path simulates the restricted API over "
+            "the dict graph; pass graph.to_labeled_graph() (or a dict-"
+            "representation dataset), or run a proposed algorithm with "
+            "execution='fleet'"
+        )
     outcome = TrialOutcome(
         algorithm=algorithm_name, sample_size=sample_size, true_count=true_count
     )
@@ -243,6 +261,84 @@ def _run_trials_fleet(
     )
 
 
+def run_trials_prefix(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    runner: AlgorithmRunner,
+    algorithm_name: str,
+    sample_sizes: Sequence[int],
+    repetitions: int,
+    burn_in: int,
+    seed: RandomSource = None,
+    true_count: Optional[int] = None,
+    csr: Optional[CSRGraph] = None,
+) -> List[TrialOutcome]:
+    """Every budget column of one algorithm from a single max-budget fleet.
+
+    The prefix-reuse engine: a budget-``b`` crawl from a given seed *is*
+    the first ``b`` collected steps of a longer crawl from the same
+    seed, so one fleet at ``max(sample_sizes)`` steps serves every
+    column — smaller budgets are read off trajectory prefixes
+    (:meth:`FleetWalkResult.prefix`), classified against the label masks
+    and pushed through the estimator's ``estimate_batch``, with the
+    per-walker distinct-page ledgers recomputed per prefix so the
+    charged-call accounting matches a fleet run to exactly that budget.
+    Walk cost is O(max budget) instead of O(Σ budgets).
+
+    Within one call the columns are nested (the budget-``b₁`` estimates
+    are computed from a prefix of the budget-``b₂`` walks), exactly as
+    if one crawler kept crawling and re-estimated at checkpoints;
+    per-column estimate *distributions* are unchanged (KS-checked
+    against ``reuse="none"``), only the across-column correlation
+    differs from independently re-walked cells.
+
+    Only :class:`ProposedRunner` algorithms vectorize this way; anything
+    else raises :class:`ConfigurationError` (the harness falls back to
+    per-cell walks for those).
+    """
+    if not isinstance(runner, ProposedRunner):
+        raise ConfigurationError(
+            f"prefix reuse needs a vectorizable ProposedRunner; "
+            f"{algorithm_name!r} is not one — run it with reuse='none'"
+        )
+    if not sample_sizes:
+        raise ConfigurationError("sample_sizes must not be empty")
+    for sample_size in sample_sizes:
+        check_positive_int(sample_size, "sample_size")
+    check_positive_int(repetitions, "repetitions")
+    if true_count is None:
+        true_count = count_target_edges(graph, t1, t2)
+    if true_count <= 0:
+        raise ExperimentError(
+            f"the target pair ({t1!r}, {t2!r}) has no target edges; NRMSE is undefined"
+        )
+    shared_csr = ensure_same_graph(csr, graph) if csr is not None else csr_view(graph)
+    fleet = run_fleet_walk(
+        shared_csr,
+        max(sample_sizes),
+        repetitions,
+        burn_in,
+        ensure_numpy_rng(seed),
+        "simple",
+    )
+    classify = classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
+    outcomes: List[TrialOutcome] = []
+    for sample_size in sample_sizes:
+        batch = classify(shared_csr, fleet.prefix(sample_size), t1, t2)
+        estimates = runner.estimator_factory().estimate_batch(batch)
+        outcomes.append(
+            TrialOutcome(
+                algorithm=algorithm_name,
+                sample_size=sample_size,
+                true_count=true_count,
+                estimates=[float(value) for value in estimates],
+                api_calls=[int(calls) for calls in batch.api_calls],
+            )
+        )
+    return outcomes
+
+
 def compare_algorithms(
     graph: LabeledGraph,
     t1: Label,
@@ -257,6 +353,7 @@ def compare_algorithms(
     backend: str = "python",
     execution: str = "sequential",
     n_jobs: int = 1,
+    reuse: str = "none",
 ) -> NRMSETable:
     """Reproduce one NRMSE table: every algorithm at every budget.
 
@@ -297,17 +394,30 @@ def compare_algorithms(
         registry suites (tuned or not) qualify; hand-written closures
         do not and must run with ``n_jobs=1`` (a clear
         :class:`ConfigurationError` is raised otherwise).
+    reuse:
+        ``"none"`` (default) walks every cell fresh; ``"prefix"`` runs
+        one max-budget fleet per proposed algorithm and reads all
+        smaller budget columns off trajectory prefixes
+        (:func:`run_trials_prefix`) — O(max budget) walking for the
+        whole row.  The EX-* baselines keep fresh per-cell walks (and
+        the ``n_jobs`` pool) either way.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
     validate_execution(execution)
+    validate_reuse(reuse)
     if algorithms is None:
-        algorithms = build_algorithm_suite(graph)
+        if isinstance(graph, CSRGraph):
+            # The EX-* baselines need the dict substrate (line-graph
+            # statistics); a CSR-native run gets the proposed suite.
+            algorithms = build_algorithm_suite(include_baselines=False)
+        else:
+            algorithms = build_algorithm_suite(graph)
     if burn_in is None:
         burn_in = recommended_burn_in(graph, rng=seed)
     true_count = count_target_edges(graph, t1, t2)
     # Freeze the CSR arrays once for the whole table, not once per cell.
-    needs_csr = backend == "csr" or execution == "fleet"
+    needs_csr = backend == "csr" or execution == "fleet" or reuse == "prefix"
     shared_csr = csr_view(graph) if needs_csr else None
 
     sample_sizes = [max(1, math.ceil(fraction * graph.num_nodes)) for fraction in sample_fractions]
@@ -318,6 +428,34 @@ def compare_algorithms(
         sample_sizes=sample_sizes,
         sample_fractions=list(sample_fractions),
     )
+    outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    prefix_names = [
+        name
+        for name in algorithms
+        if reuse == "prefix" and isinstance(algorithms[name], ProposedRunner)
+    ]
+    total_cells = len(algorithms) * len(sample_sizes)
+    done = 0
+    for name in prefix_names:
+        row = run_trials_prefix(
+            graph,
+            t1,
+            t2,
+            algorithms[name],
+            name,
+            sample_sizes,
+            repetitions,
+            burn_in,
+            seed=_derive_group_seed(seed, name),
+            true_count=true_count,
+            csr=shared_csr,
+        )
+        for column, outcome in enumerate(row):
+            outcomes[(name, column)] = outcome
+            done += 1
+            if progress is not None:
+                progress(name, outcome.sample_size, done / total_cells)
+
     cells = [
         CellTask(
             algorithm=name,
@@ -333,18 +471,31 @@ def compare_algorithms(
             execution=execution,
         )
         for name in algorithms
+        if name not in prefix_names
         for column, sample_size in enumerate(sample_sizes)
     ]
-    if n_jobs > 1:
-        outcomes = run_cells_parallel(graph, algorithms, cells, n_jobs, progress)
+    if cells and n_jobs > 1:
+
+        def pool_progress(algorithm: str, sample_size: int, _fraction: float) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(algorithm, sample_size, done / total_cells)
+
+        outcomes.update(
+            run_cells_parallel(
+                graph, algorithms, cells, n_jobs,
+                pool_progress if progress is not None else None,
+            )
+        )
     else:
-        outcomes = {}
-        for done, cell in enumerate(cells, start=1):
+        for cell in cells:
             outcomes[(cell.algorithm, cell.column)] = run_cell(
                 graph, algorithms[cell.algorithm], cell, shared_csr
             )
+            done += 1
             if progress is not None:
-                progress(cell.algorithm, cell.sample_size, done / len(cells))
+                progress(cell.algorithm, cell.sample_size, done / total_cells)
     for name in algorithms:
         table.cells[name] = [
             outcomes[(name, column)] for column in range(len(sample_sizes))
@@ -355,6 +506,11 @@ def compare_algorithms(
 def _derive_cell_seed(seed: RandomSource, algorithm: str, column: int) -> int:
     """Deterministic per-cell seed so tables are reproducible cell-by-cell."""
     return derive_seed(seed, algorithm, column)
+
+
+def _derive_group_seed(seed: RandomSource, algorithm: str) -> int:
+    """Deterministic seed for one algorithm's whole prefix-reuse fleet."""
+    return derive_seed(seed, algorithm, "prefix")
 
 
 # ----------------------------------------------------------------------
@@ -488,4 +644,10 @@ def run_cells_parallel(
     return outcomes
 
 
-__all__ = ["TrialOutcome", "NRMSETable", "run_trials", "compare_algorithms"]
+__all__ = [
+    "TrialOutcome",
+    "NRMSETable",
+    "run_trials",
+    "run_trials_prefix",
+    "compare_algorithms",
+]

@@ -12,11 +12,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.samplers.csr_backend import validate_backend, validate_execution
+from repro.core.pipeline import ProposedRunner
+from repro.core.samplers.csr_backend import (
+    classify_edge_fleet,
+    classify_node_fleet,
+    run_fleet_walk,
+    validate_backend,
+    validate_execution,
+    validate_reuse,
+)
 from repro.graph.csr import csr_view
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
-from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
@@ -44,11 +52,14 @@ def sample_size_sweep(
     backend: str = "python",
     execution: str = "sequential",
     n_jobs: int = 1,
+    reuse: str = "none",
 ) -> NRMSETable:
     """NRMSE of every algorithm as the budget grows — one paper table.
 
     Thin wrapper over :func:`repro.experiments.runner.compare_algorithms`
-    kept for symmetry with :func:`frequency_sweep`.
+    kept for symmetry with :func:`frequency_sweep`.  ``reuse="prefix"``
+    walks one max-budget fleet per proposed algorithm and reads every
+    smaller budget off its prefixes.
     """
     return compare_algorithms(
         graph,
@@ -63,6 +74,7 @@ def sample_size_sweep(
         backend=backend,
         execution=execution,
         n_jobs=n_jobs,
+        reuse=reuse,
     )
 
 
@@ -87,13 +99,16 @@ def frequency_sweep(
     backend: str = "python",
     execution: str = "sequential",
     n_jobs: int = 1,
+    reuse: str = "none",
 ) -> List[FrequencyPoint]:
     """NRMSE vs relative target-edge count at a fixed budget (Figures 1–2).
 
     Parameters
     ----------
     graph:
-        The labeled graph.
+        The labeled graph — dict :class:`LabeledGraph` or array-native
+        :class:`~repro.graph.csr.CSRGraph` (the latter requires
+        ``execution="fleet"`` or ``reuse="prefix"``).
     target_pairs:
         The label pairs to evaluate; Figures 1–2 use many pairs spanning
         the frequency range (see
@@ -114,18 +129,29 @@ def frequency_sweep(
         Worker processes for (pair, algorithm) cell parallelism.  Seeds
         are pre-derived per cell, so any worker count produces the same
         series.
+    reuse:
+        ``"none"`` (default) walks every (pair, algorithm) point fresh.
+        ``"prefix"`` exploits that the walk is label-agnostic: one
+        max-budget fleet per proposed algorithm serves *every* target
+        pair of the sweep (classification against the label masks is
+        all that differs per pair), so the sweep's walking cost is
+        O(budget) instead of O(pairs × budget).  Per-point estimate
+        distributions are unchanged (KS-checked); points of one
+        algorithm become correlated across pairs, which NRMSE — a
+        per-point statistic — never reads.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
     validate_execution(execution)
+    validate_reuse(reuse)
     if algorithms is None:
-        suite = build_algorithm_suite(graph, include_baselines=False)
+        suite = build_algorithm_suite(include_baselines=False)
         algorithms = {name: suite[name] for name in PAPER_ALGORITHM_ORDER}
     if burn_in is None:
         burn_in = recommended_burn_in(graph, rng=seed)
     sample_size = max(1, math.ceil(budget_fraction * graph.num_nodes))
     # Freeze the CSR arrays once for the whole sweep, not once per point.
-    needs_csr = backend == "csr" or execution == "fleet"
+    needs_csr = backend == "csr" or execution == "fleet" or reuse == "prefix"
     shared_csr = csr_view(graph) if needs_csr else None
 
     # Ground truths up front: they define which pairs are plottable and
@@ -138,6 +164,36 @@ def frequency_sweep(
             # (the paper only plots pairs that exist in the graph).
             continue
         plottable.append((pair_index, (t1, t2), true_count))
+
+    outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    prefix_names = [
+        name
+        for name in algorithms
+        if reuse == "prefix" and isinstance(algorithms[name], ProposedRunner)
+    ]
+    for name in prefix_names:
+        runner = algorithms[name]
+        fleet = run_fleet_walk(
+            shared_csr,
+            sample_size,
+            repetitions,
+            burn_in,
+            ensure_numpy_rng(derive_seed(seed, name, "prefix-frequency")),
+            "simple",
+        )
+        classify = (
+            classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
+        )
+        for pair_index, (t1, t2), true_count in plottable:
+            batch = classify(shared_csr, fleet, t1, t2)
+            estimates = runner.estimator_factory().estimate_batch(batch)
+            outcomes[(name, pair_index)] = TrialOutcome(
+                algorithm=name,
+                sample_size=sample_size,
+                true_count=true_count,
+                estimates=[float(value) for value in estimates],
+                api_calls=[int(calls) for calls in batch.api_calls],
+            )
 
     cells = [
         CellTask(
@@ -155,12 +211,11 @@ def frequency_sweep(
         )
         for pair_index, (t1, t2), true_count in plottable
         for name in algorithms
+        if name not in prefix_names
     ]
-    outcomes: Dict[Tuple[str, int], TrialOutcome]
-    if n_jobs > 1:
-        outcomes = run_cells_parallel(graph, algorithms, cells, n_jobs, None)
+    if cells and n_jobs > 1:
+        outcomes.update(run_cells_parallel(graph, algorithms, cells, n_jobs, None))
     else:
-        outcomes = {}
         for cell in cells:
             outcomes[(cell.algorithm, cell.column)] = run_cell(
                 graph, algorithms[cell.algorithm], cell, shared_csr

@@ -124,7 +124,12 @@ def run_paper_table(
         )
     config = config.apply_environment()
 
-    dataset = load_dataset(definition.dataset, seed=config.seed, scale=config.scale)
+    dataset = load_dataset(
+        definition.dataset,
+        seed=config.seed,
+        scale=config.scale,
+        representation=config.representation,
+    )
     if config.target_pair_index >= len(dataset.target_pairs):
         raise ExperimentError(
             f"dataset {definition.dataset!r} produced only "
@@ -132,9 +137,12 @@ def run_paper_table(
             f"index {config.target_pair_index} is out of range"
         )
     t1, t2 = dataset.target_pairs[config.target_pair_index]
+    # The EX-* baselines need the dict substrate (line-graph maximum
+    # degree); a CSR-native run reproduces the proposed-algorithm rows.
+    include_baselines = config.include_baselines and dataset.representation == "dict"
     suite = build_algorithm_suite(
-        dataset.graph,
-        include_baselines=config.include_baselines,
+        dataset.graph if include_baselines else None,
+        include_baselines=include_baselines,
         algorithms=config.algorithms,
     )
     table = compare_algorithms(
@@ -150,6 +158,7 @@ def run_paper_table(
         backend=config.backend,
         execution=config.execution,
         n_jobs=config.n_jobs,
+        reuse=config.reuse,
     )
     return PaperTableResult(definition=definition, table=table, config=config)
 

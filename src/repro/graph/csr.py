@@ -1,15 +1,31 @@
-"""Compressed-sparse-row (CSR) view of a :class:`LabeledGraph`.
+"""Compressed-sparse-row (CSR) graph substrate.
 
-The dict-of-sets substrate in :mod:`repro.graph.labeled_graph` is ideal
-for incremental construction and honest restricted-API simulation, but
-every walk step pays a Python-level set lookup plus a neighbor-list
-copy.  :class:`CSRGraph` freezes the adjacency into two numpy integer
-arrays (``indptr`` / ``indices``) and the node labels into boolean masks
-so the vectorized walk backend (:mod:`repro.walks.batched`) and the CSR
-samplers (:mod:`repro.core.samplers.csr_backend`) can advance walkers
-and classify samples with array arithmetic.
+Historically :class:`CSRGraph` was only a frozen *view* of a
+:class:`~repro.graph.labeled_graph.LabeledGraph`; since the
+million-node scale path it is a first-class data plane of its own:
+synthetic generators and the numpy edge-list loader assemble it
+directly from edge arrays (:meth:`CSRGraph.from_edge_array`) without
+ever materialising the dict-of-sets graph, and the experiment layer can
+run fleets straight on it.  The dict graph remains the reference
+substrate for the restricted-API simulation; :meth:`to_labeled_graph`
+is the (lazy, Python-loop) escape hatch back to it.
 
-Two properties are load-bearing for backend equivalence:
+Representation notes:
+
+* ``indptr`` is always ``int64``; ``indices`` is stored as ``int32``
+  whenever ``num_nodes < 2**31`` — half the adjacency footprint at
+  LiveJournal scale.  The dtype is invisible to the walk engines (node
+  positions are upcast to ``int64`` on the fly) and does not change any
+  random draw, so exact-RNG replay equivalence is preserved.
+* ``node_ids=None`` declares the identity mapping (node ``i`` *is*
+  index ``i``), which is what the CSR-native generators produce; no
+  per-node Python objects are allocated in that case.
+* labels can be per-node *sets* (the dict-graph view) or one integer
+  per node in a numpy ``label_array`` (the vectorized labelers), with
+  the same mask/query API on top of either.
+
+Two properties are load-bearing for backend equivalence with a dict
+graph the view was frozen from:
 
 * node index ``i`` corresponds to the ``i``-th node of the graph's
   iteration order, which is also the order
@@ -25,7 +41,7 @@ step for step from the same seed (see
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 from weakref import WeakKeyDictionary
 
 import numpy as np
@@ -33,42 +49,102 @@ import numpy as np
 from repro.exceptions import GraphError, NodeNotFoundError
 from repro.graph.labeled_graph import Label, LabeledGraph, Node
 
+#: Nodes beyond which ``indices`` must fall back to int64.
+_INT32_LIMIT = 2**31
+
+#: Largest node count whose directed pair codes (``u·n + v``) fit int64:
+#: ``floor(sqrt(2**63)) - 1``.
+_PAIR_CODE_NODE_LIMIT = 3_037_000_498
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of an integer array.
+
+    ``np.sort`` plus an adjacent-inequality pass — semantically
+    ``np.unique`` without its (surprisingly expensive) extra machinery;
+    on the multi-million-element code arrays of the CSR builders this is
+    an order of magnitude faster.
+    """
+    if values.size == 0:
+        return values
+    ordered = np.sort(values)
+    flags = np.empty(ordered.size, dtype=bool)
+    flags[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=flags[1:])
+    return ordered[flags]
+
+
+def indices_dtype(num_nodes: int) -> np.dtype:
+    """Smallest integer dtype that can index *num_nodes* nodes.
+
+    ``int32`` halves the adjacency footprint for every real-world OSN
+    (LiveJournal: 4.8M nodes, 85.6M directed entries); graphs beyond
+    ``2**31`` nodes keep ``int64``.
+    """
+    return np.dtype(np.int32 if num_nodes < _INT32_LIMIT else np.int64)
+
 
 class CSRGraph:
-    """Immutable numpy CSR adjacency plus per-label boolean masks.
+    """Immutable numpy CSR adjacency plus per-node labels.
 
     Parameters
     ----------
     node_ids:
         Original node identifiers; index ``i`` in every array refers to
-        ``node_ids[i]``.
+        ``node_ids[i]``.  ``None`` declares the identity mapping
+        (node ``i`` is its own identifier) without allocating anything.
     indptr:
         ``int64`` array of length ``n + 1``; the neighbors of node ``i``
         are ``indices[indptr[i]:indptr[i + 1]]``.
     indices:
-        ``int64`` array of neighbor indices (length ``2|E|``).
+        Array of neighbor indices (length ``2|E|``); stored as ``int32``
+        when the node count allows it.
     label_sets:
-        One label set per node, aligned with *node_ids*.
+        One label set per node, aligned with the node indices.  Mutually
+        exclusive with *label_array*; omit both for an unlabeled graph.
+    label_array:
+        One integer label per node as a numpy array (the vectorized
+        labelers' output) — far cheaper than a million frozensets.
     """
 
     def __init__(
         self,
-        node_ids: Sequence[Node],
+        node_ids: Optional[Sequence[Node]],
         indptr: np.ndarray,
         indices: np.ndarray,
-        label_sets: Sequence[Iterable[Label]],
+        label_sets: Optional[Sequence[Iterable[Label]]] = None,
+        *,
+        label_array: Optional[np.ndarray] = None,
     ) -> None:
-        self.node_ids: List[Node] = list(node_ids)
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        self._label_sets: List[FrozenSet[Label]] = [frozenset(s) for s in label_sets]
-        n = len(self.node_ids)
-        if self.indptr.shape != (n + 1,):
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise GraphError("indptr must be a non-empty 1-d array")
+        n = int(self.indptr.size - 1)
+        if node_ids is None:
+            self._node_ids: Optional[Union[np.ndarray, List[Node]]] = None
+        elif isinstance(node_ids, np.ndarray):
+            self._node_ids = np.ascontiguousarray(node_ids)
+        else:
+            self._node_ids = list(node_ids)
+        if self._node_ids is not None and len(self._node_ids) != n:
             raise GraphError(
-                f"indptr must have length num_nodes + 1 = {n + 1}, got {self.indptr.shape}"
+                f"indptr must have length num_nodes + 1 = {len(self._node_ids) + 1}, "
+                f"got {self.indptr.shape}"
             )
-        if len(self._label_sets) != n:
+        self._num_nodes = n
+        self.indices = np.ascontiguousarray(indices, dtype=indices_dtype(n))
+        if label_sets is not None and label_array is not None:
+            raise GraphError("pass label_sets or label_array, not both")
+        self._label_sets: Optional[List[FrozenSet[Label]]] = (
+            None if label_sets is None else [frozenset(s) for s in label_sets]
+        )
+        self._label_array: Optional[np.ndarray] = (
+            None if label_array is None else np.ascontiguousarray(label_array)
+        )
+        if self._label_sets is not None and len(self._label_sets) != n:
             raise GraphError("label_sets must provide one entry per node")
+        if self._label_array is not None and self._label_array.shape != (n,):
+            raise GraphError("label_array must provide one entry per node")
         if n and (self.indptr[0] != 0 or self.indptr[-1] != self.indices.size):
             raise GraphError("indptr must start at 0 and end at len(indices)")
         if self.indices.size and (
@@ -76,7 +152,7 @@ class CSRGraph:
         ):
             raise GraphError("indices contains out-of-range node indices")
         self.degrees = np.diff(self.indptr)
-        self._index_of: Dict[Node, int] = {nid: i for i, nid in enumerate(self.node_ids)}
+        self._index_of: Optional[Dict[Node, int]] = None
         self._mask_cache: Dict[Label, np.ndarray] = {}
         self._incident_cache: Dict[Tuple[Label, Label], np.ndarray] = {}
         self._target_count_cache: Dict[Tuple[Label, Label], int] = {}
@@ -103,13 +179,120 @@ class CSRGraph:
         label_sets = [graph.labels_of(nid) for nid in node_ids]
         return cls(node_ids, indptr, indices, label_sets)
 
+    @classmethod
+    def from_edge_array(
+        cls,
+        edges: np.ndarray,
+        num_nodes: Optional[int] = None,
+        node_ids: Optional[Sequence[Node]] = None,
+        label_array: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """Assemble a simple undirected CSR graph from a raw edge array.
+
+        The paper's preprocessing (§5.1) in pure array arithmetic:
+        *edges* is an ``(m, 2)`` integer array of endpoint indices in
+        ``[0, num_nodes)``; self-loops are dropped, parallel edges (in
+        either direction) are collapsed, and the adjacency is
+        symmetrised.  Rows come out sorted by neighbor index — a
+        deterministic order that becomes the graph's reference order.
+        Isolated indices keep empty rows (run the component cleaner to
+        drop them).  ``O(|E| log |E|)`` in numpy, no Python loop.
+        """
+        edges = np.ascontiguousarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise GraphError(f"edges must have shape (m, 2), got {edges.shape}")
+        if num_nodes is None:
+            num_nodes = int(edges.max()) + 1 if edges.size else 0
+        if num_nodes > _PAIR_CODE_NODE_LIMIT:
+            raise GraphError(
+                f"from_edge_array supports up to {_PAIR_CODE_NODE_LIMIT} nodes "
+                "(directed pair codes must fit int64)"
+            )
+        if edges.size:
+            if int(edges.min()) < 0 or int(edges.max()) >= num_nodes:
+                raise GraphError("edge endpoints out of range [0, num_nodes)")
+        u, v = edges[:, 0], edges[:, 1]
+        keep = u != v
+        u, v = u[keep], v[keep]
+        # One int64 code per *directed* pair (n < 2**31 keeps n² < 2**62):
+        # symmetrise first, then a single sort both deduplicates parallel
+        # edges (in either direction) and lands every row in neighbor
+        # order.  src/dst fall back out of the codes by divmod, so no
+        # argsort/gather is needed.
+        codes = np.concatenate([u * np.int64(num_nodes) + v, v * np.int64(num_nodes) + u])
+        codes = sorted_unique(codes)
+        src, dst = codes // num_nodes, codes % num_nodes
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(src, minlength=num_nodes), out=indptr[1:])
+        return cls(node_ids, indptr, dst, label_array=label_array)
+
+    def with_labels(
+        self,
+        label_array: Optional[np.ndarray] = None,
+        label_sets: Optional[Sequence[Iterable[Label]]] = None,
+    ) -> "CSRGraph":
+        """Return a graph sharing this adjacency but carrying new labels.
+
+        CSR graphs are immutable, so labeling is re-wrapping: the
+        ``indptr`` / ``indices`` buffers are shared (no copy), only the
+        label storage and the derived caches are fresh.
+        """
+        return CSRGraph(
+            self._node_ids,
+            self.indptr,
+            self.indices,
+            label_sets,
+            label_array=label_array,
+        )
+
+    def to_labeled_graph(self) -> LabeledGraph:
+        """Materialise the dict-of-sets reference graph (escape hatch).
+
+        Node insertion order follows the CSR index order and labels are
+        carried over, so ``csr_view(csr.to_labeled_graph())`` indexes
+        nodes identically to this graph (adjacency-row *order* may
+        differ — the dict substrate stores neighbor sets).  This is a
+        Python-level ``O(|V| + |E|)`` loop by design: it exists so the
+        ``backend="python"`` equivalence suites can audit a CSR-native
+        dataset, not as a hot path.
+        """
+        graph = LabeledGraph()
+        ids = self.node_id_list()
+        for i, nid in enumerate(ids):
+            graph.add_node(nid, self.labels_of(i))
+        indptr, indices, _ = self.adjacency_lists()
+        for i, nid in enumerate(ids):
+            for j in indices[indptr[i] : indptr[i + 1]]:
+                if i < j:
+                    graph.add_edge(nid, ids[j])
+        return graph
+
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property
+    def node_ids(self) -> Sequence[Node]:
+        """Original node identifiers, indexable by dense node index.
+
+        The identity mapping is represented as a :class:`range` — O(1)
+        memory, supports indexing/len/iteration like the explicit list.
+        """
+        if self._node_ids is None:
+            return range(self._num_nodes)
+        return self._node_ids
+
+    def node_id_list(self) -> List[Node]:
+        """Node identifiers as a plain Python list (ints, not numpy scalars)."""
+        if self._node_ids is None:
+            return list(range(self._num_nodes))
+        if isinstance(self._node_ids, np.ndarray):
+            return self._node_ids.tolist()
+        return list(self._node_ids)
+
+    @property
     def num_nodes(self) -> int:
         """Number of nodes, ``|V|``."""
-        return len(self.node_ids)
+        return self._num_nodes
 
     @property
     def num_edges(self) -> int:
@@ -117,10 +300,17 @@ class CSRGraph:
         return int(self.indices.size // 2)
 
     def __len__(self) -> int:
-        return len(self.node_ids)
+        return self._num_nodes
 
     def index_of(self, node: Node) -> int:
         """Dense index of an original node identifier."""
+        if self._node_ids is None:
+            index = int(node) if isinstance(node, (int, np.integer)) else -1
+            if not 0 <= index < self._num_nodes or index != node:
+                raise NodeNotFoundError(node)
+            return index
+        if self._index_of is None:
+            self._index_of = {nid: i for i, nid in enumerate(self.node_ids)}
         try:
             return self._index_of[node]
         except KeyError:
@@ -136,17 +326,45 @@ class CSRGraph:
 
     def labels_of(self, index: int) -> FrozenSet[Label]:
         """Label set of node *index*."""
-        return self._label_sets[index]
+        if self._label_sets is not None:
+            return self._label_sets[index]
+        if self._label_array is not None:
+            return frozenset((self._label_array[index].item(),))
+        return frozenset()
+
+    def label_array(self) -> Optional[np.ndarray]:
+        """The one-label-per-node array, or ``None`` for set-labeled graphs."""
+        return self._label_array
+
+    def all_labels(self) -> set:
+        """Union of every node's labels (Table 1 reporting)."""
+        if self._label_array is not None:
+            return set(np.unique(self._label_array).tolist())
+        if self._label_sets is not None:
+            result: set = set()
+            for labels in self._label_sets:
+                result.update(labels)
+            return result
+        return set()
 
     def label_mask(self, label: Label) -> np.ndarray:
         """Boolean array: ``mask[i]`` iff node ``i`` carries *label* (cached)."""
         mask = self._mask_cache.get(label)
         if mask is None:
-            mask = np.fromiter(
-                (label in labels for labels in self._label_sets),
-                dtype=bool,
-                count=len(self._label_sets),
-            )
+            if self._label_array is not None:
+                mask = np.asarray(self._label_array == label)
+                if mask.shape != (self._num_nodes,):
+                    # Incomparable label type: nothing matches.
+                    mask = np.zeros(self._num_nodes, dtype=bool)
+                mask = mask.astype(bool, copy=False)
+            elif self._label_sets is not None:
+                mask = np.fromiter(
+                    (label in labels for labels in self._label_sets),
+                    dtype=bool,
+                    count=len(self._label_sets),
+                )
+            else:
+                mask = np.zeros(self._num_nodes, dtype=bool)
             mask.setflags(write=False)
             self._mask_cache[label] = mask
         return mask
@@ -190,7 +408,7 @@ class CSRGraph:
         lengths = self.degrees[node_indices]
         total = int(lengths.sum())
         if total == 0:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=self.indices.dtype)
         starts = self.indptr[node_indices]
         # positions[j] = starts[row of j] + offset of j within its row
         offsets = np.arange(total, dtype=np.int64) - np.repeat(
@@ -264,11 +482,19 @@ def ensure_same_graph(csr: CSRGraph, graph: LabeledGraph) -> CSRGraph:
     a given graph (wrapper adoption, fleet cells): a view of a different
     graph would silently sample the wrong arrays.  Returns *csr*.
     """
-    if (
-        csr.num_nodes != graph.num_nodes
-        or csr.num_edges != graph.num_edges
-        or (csr.num_nodes and csr.node_ids[0] not in graph)
-    ):
+    if isinstance(graph, CSRGraph):
+        if csr is graph:
+            return csr
+        matches = (
+            csr.num_nodes == graph.num_nodes and csr.num_edges == graph.num_edges
+        )
+    else:
+        matches = (
+            csr.num_nodes == graph.num_nodes
+            and csr.num_edges == graph.num_edges
+            and (csr.num_nodes == 0 or csr.node_ids[0] in graph)
+        )
+    if not matches:
         from repro.exceptions import ConfigurationError
 
         raise ConfigurationError(
@@ -281,7 +507,7 @@ def ensure_same_graph(csr: CSRGraph, graph: LabeledGraph) -> CSRGraph:
 _CSR_VIEWS: "WeakKeyDictionary[LabeledGraph, Tuple[int, CSRGraph]]" = WeakKeyDictionary()
 
 
-def csr_view(graph: LabeledGraph) -> CSRGraph:
+def csr_view(graph: Union[LabeledGraph, CSRGraph]) -> CSRGraph:
     """Return a frozen CSR view of *graph*, cached across callers.
 
     Freezing is O(|V| + |E|) Python-level work, so the ground-truth
@@ -289,7 +515,8 @@ def csr_view(graph: LabeledGraph) -> CSRGraph:
     share one view per graph instead of re-freezing.  The cache is keyed
     weakly (graphs are collectable) and validated against
     :attr:`LabeledGraph.version`, so mutating the graph after a freeze
-    transparently produces a fresh view.
+    transparently produces a fresh view.  A :class:`CSRGraph` is its own
+    view and passes through untouched.
     """
     if isinstance(graph, CSRGraph):
         return graph
@@ -305,4 +532,4 @@ def csr_view(graph: LabeledGraph) -> CSRGraph:
     return csr
 
 
-__all__ = ["CSRGraph", "csr_view", "ensure_same_graph"]
+__all__ = ["CSRGraph", "csr_view", "ensure_same_graph", "indices_dtype", "sorted_unique"]

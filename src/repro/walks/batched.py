@@ -430,6 +430,31 @@ class FleetWalkResult:
         """Per-walker distinct pages downloaded (independent crawlers)."""
         return per_walker_distinct_counts(self.trajectories)
 
+    def prefix(self, num_steps: int) -> "FleetWalkResult":
+        """The fleet truncated to its first *num_steps* collected steps.
+
+        The foundation of the prefix-reuse sweep engine: a budget-``b``
+        crawl from a given seed *is* the first ``b`` collected steps of
+        a longer crawl from the same seed, so every smaller budget point
+        of a sweep can be read off one max-budget fleet.  The returned
+        result shares the trajectory buffer (a view, not a copy); its
+        ledgers (:meth:`charged_calls`) are recomputed over the
+        truncated trajectories and therefore match what a fleet run to
+        exactly ``num_steps`` would have charged.
+        """
+        check_positive_int(num_steps, "num_steps")
+        if num_steps > self.num_steps:
+            raise ConfigurationError(
+                f"prefix of {num_steps} steps exceeds the fleet's "
+                f"{self.num_steps} collected steps"
+            )
+        if num_steps == self.num_steps:
+            return self
+        return FleetWalkResult(
+            trajectories=self.trajectories[:, : self.burn_in + num_steps + 1],
+            burn_in=self.burn_in,
+        )
+
 
 class BatchedWalkEngine:
     """Advance ``N`` independent walkers with one numpy step at a time.

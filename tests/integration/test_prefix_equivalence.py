@@ -1,0 +1,107 @@
+"""Statistical equivalence of prefix-reuse sweeps and fresh-walk sweeps.
+
+``reuse="prefix"`` changes *which* walks serve a sweep cell (prefixes
+of one max-budget fleet instead of independently re-walked fleets) but
+must not change the per-cell estimate law: a budget-``b`` prefix of a
+stationary walk is distributed exactly like a budget-``b`` walk.  The
+slow tier verifies this with two-sample Kolmogorov–Smirnov tests per
+algorithm and budget, plus an NRMSE sanity band, mirroring the fleet
+equivalence suite.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.experiments.algorithms import PAPER_ALGORITHM_ORDER, build_algorithm_suite
+from repro.experiments.runner import compare_algorithms
+from repro.experiments.sweeps import frequency_sweep
+from repro.graph.statistics import count_target_edges
+
+NUM_TRIALS = 60
+BURN_IN = 25
+FRACTIONS = (0.02, 0.05)
+
+#: Reject equivalence only on overwhelming evidence (as in the fleet suite).
+KS_ALPHA = 0.005
+
+
+@pytest.mark.slow
+class TestPrefixTableEquivalence:
+    @pytest.fixture(scope="class")
+    def suite(self, gender_osn):
+        return build_algorithm_suite(gender_osn, include_baselines=False)
+
+    @pytest.fixture(scope="class")
+    def tables(self, gender_osn, suite):
+        fresh = compare_algorithms(
+            gender_osn, 1, 2, FRACTIONS, NUM_TRIALS,
+            algorithms=suite, burn_in=BURN_IN, seed=11,
+            execution="fleet", reuse="none",
+        )
+        prefix = compare_algorithms(
+            gender_osn, 1, 2, FRACTIONS, NUM_TRIALS,
+            algorithms=suite, burn_in=BURN_IN, seed=22, reuse="prefix",
+        )
+        return fresh, prefix
+
+    @pytest.mark.parametrize("algorithm", PAPER_ALGORITHM_ORDER)
+    @pytest.mark.parametrize("column", range(len(FRACTIONS)))
+    def test_estimate_distributions_match(self, gender_osn, tables, algorithm, column):
+        fresh, prefix = tables
+        fresh_estimates = np.asarray(fresh.cells[algorithm][column].estimates)
+        prefix_estimates = np.asarray(prefix.cells[algorithm][column].estimates)
+        statistic, p_value = stats.ks_2samp(fresh_estimates, prefix_estimates)
+        assert p_value > KS_ALPHA, (
+            f"{algorithm} column {column}: KS statistic {statistic:.3f} "
+            f"(p={p_value:.4f}) — prefix estimates are not distributed like "
+            "fresh-walk estimates"
+        )
+        truth = count_target_edges(gender_osn, 1, 2)
+        mean_gap = abs(fresh_estimates.mean() - prefix_estimates.mean())
+        assert mean_gap < 0.2 * truth
+
+    @pytest.mark.parametrize("algorithm", PAPER_ALGORITHM_ORDER)
+    def test_ledger_distributions_match(self, tables, algorithm):
+        fresh, prefix = tables
+        fresh_calls = np.asarray(fresh.cells[algorithm][0].api_calls)
+        prefix_calls = np.asarray(prefix.cells[algorithm][0].api_calls)
+        _, p_value = stats.ks_2samp(fresh_calls, prefix_calls)
+        assert p_value > KS_ALPHA
+
+
+@pytest.mark.slow
+class TestPrefixFrequencySweepEquivalence:
+    def test_per_point_estimates_match(self, rare_label_osn):
+        from repro.datasets.registry import select_target_pairs
+
+        pairs = select_target_pairs(rare_label_osn, count=3)
+        fresh = frequency_sweep(
+            rare_label_osn, pairs, budget_fraction=0.05, repetitions=NUM_TRIALS,
+            burn_in=BURN_IN, seed=33, execution="fleet", reuse="none",
+        )
+        prefix = frequency_sweep(
+            rare_label_osn, pairs, budget_fraction=0.05, repetitions=NUM_TRIALS,
+            burn_in=BURN_IN, seed=44, reuse="prefix",
+        )
+        assert [point.target_pair for point in fresh] == [
+            point.target_pair for point in prefix
+        ]
+        for fresh_point, prefix_point in zip(fresh, prefix):
+            for algorithm in ("NeighborSample-HH", "NeighborExploration-HH"):
+                gap = abs(
+                    fresh_point.nrmse_by_algorithm[algorithm]
+                    - prefix_point.nrmse_by_algorithm[algorithm]
+                )
+                # NRMSE is a ratio statistic over 60 trials; allow the
+                # Monte-Carlo band either estimate carries itself.
+                scale = max(
+                    fresh_point.nrmse_by_algorithm[algorithm],
+                    prefix_point.nrmse_by_algorithm[algorithm],
+                    0.05,
+                )
+                assert gap <= 0.75 * scale, (
+                    f"{algorithm} at pair {fresh_point.target_pair}: NRMSE "
+                    f"{fresh_point.nrmse_by_algorithm[algorithm]:.3f} (fresh) vs "
+                    f"{prefix_point.nrmse_by_algorithm[algorithm]:.3f} (prefix)"
+                )

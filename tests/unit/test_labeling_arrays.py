@@ -1,0 +1,96 @@
+"""Vectorized array labelers vs the in-place dict labelers.
+
+The degree-bucket model is deterministic, so the two paths must agree
+bit for bit on the same degrees.  The random models (binary gender,
+Zipf locations) are checked for the statistical properties the
+estimators actually read: label fractions, cross-edge shares, and the
+popularity ordering of the Zipf tail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.labeling import (
+    assign_binary_labels,
+    assign_degree_bucket_labels,
+    assign_zipf_labels,
+    binary_fraction_for_cross_edge_share,
+    binary_label_array,
+    degree_bucket_label_array,
+    zipf_label_array,
+    zipf_weights,
+)
+from repro.datasets.synthetic import chung_lu_csr, powerlaw_degree_sequence
+from repro.exceptions import ConfigurationError
+
+
+class TestDegreeBucketsBitForBit:
+    def test_matches_dict_labeler_on_same_graph(self, rare_label_osn):
+        graph = rare_label_osn.copy()
+        assign_degree_bucket_labels(graph)
+        degrees = np.array([graph.degree(node) for node in graph.nodes()])
+        array = degree_bucket_label_array(degrees)
+        for position, node in enumerate(graph.nodes()):
+            assert graph.labels_of(node) == frozenset((int(array[position]),))
+
+    def test_matches_with_custom_thresholds(self):
+        degrees = np.array([1, 2, 3, 7, 8, 20])
+        thresholds = [1, 4, 8]
+        array = degree_bucket_label_array(degrees, thresholds)
+        assert array.tolist() == [0, 0, 0, 1, 2, 2]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            degree_bucket_label_array(np.array([1, 2]), thresholds=[0, 2])
+
+
+class TestBinaryLabelArray:
+    def test_fraction_within_tolerance(self):
+        probability = binary_fraction_for_cross_edge_share(0.424)
+        labels = binary_label_array(200_000, probability, rng=1)
+        observed = float((labels == 1).mean())
+        assert observed == pytest.approx(probability, abs=0.005)
+
+    def test_cross_edge_share_on_graph(self):
+        graph = chung_lu_csr(powerlaw_degree_sequence(5000, 12.0), rng=2)
+        probability = binary_fraction_for_cross_edge_share(0.424)
+        labeled = graph.with_labels(
+            label_array=binary_label_array(graph.num_nodes, probability, rng=3)
+        )
+        share = labeled.count_target_edges(1, 2) / labeled.num_edges
+        assert share == pytest.approx(0.424, abs=0.03)
+
+    def test_custom_label_values(self):
+        labels = binary_label_array(100, 0.5, labels=(10, 20), rng=4)
+        assert set(np.unique(labels).tolist()) <= {10, 20}
+
+    def test_deterministic_per_seed(self):
+        assert np.array_equal(
+            binary_label_array(500, 0.3, rng=7), binary_label_array(500, 0.3, rng=7)
+        )
+
+
+class TestZipfLabelArray:
+    def test_range_and_offset(self):
+        labels = zipf_label_array(10_000, num_labels=50, exponent=1.2, rng=5)
+        assert labels.min() >= 1 and labels.max() <= 50
+
+    def test_popularity_matches_weights(self):
+        num_labels = 20
+        labels = zipf_label_array(400_000, num_labels=num_labels, exponent=1.0, rng=6)
+        counts = np.bincount(labels, minlength=num_labels + 1)[1:]
+        weights = np.asarray(zipf_weights(num_labels, 1.0))
+        expected = weights / weights.sum() * labels.size
+        assert np.abs(counts - expected).max() < 6 * np.sqrt(expected.max())
+
+    def test_head_labels_dominate_like_dict_path(self, rare_label_osn):
+        graph = rare_label_osn.copy()
+        assign_zipf_labels(graph, num_labels=30, exponent=1.1, rng=8)
+        dict_counts = np.zeros(31)
+        for node in graph.nodes():
+            dict_counts[next(iter(graph.labels_of(node)))] += 1
+        array = zipf_label_array(graph.num_nodes, num_labels=30, exponent=1.1, rng=9)
+        array_counts = np.bincount(array, minlength=31)
+        # both paths put the most mass on label 1 (the Zipf head)
+        assert dict_counts.argmax() == 1
+        assert array_counts.argmax() == 1

@@ -1,0 +1,157 @@
+"""CSR-native generators: shapes, determinism, and statistical laws.
+
+The fast tier pins structural invariants (cleaned output, reproducible
+seeds, expected edge counts); the slow tier runs the degree-sequence
+Kolmogorov–Smirnov comparisons against the networkx reference
+generators — the two paths draw from different random streams but must
+sample the same random-graph laws.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    barabasi_albert_csr,
+    barabasi_albert_edges,
+    barabasi_albert_osn,
+    chung_lu_csr,
+    chung_lu_edges,
+    chung_lu_osn,
+    erdos_renyi_csr,
+    erdos_renyi_edges,
+    erdos_renyi_osn,
+    powerlaw_degree_sequence,
+)
+from repro.exceptions import ConfigurationError
+from repro.graph.cleaning import largest_component_mask
+from repro.graph.csr import CSRGraph
+
+KS_ALPHA = 0.005
+"""Reject law equivalence only on overwhelming evidence."""
+
+
+def degrees_of(graph) -> np.ndarray:
+    if isinstance(graph, CSRGraph):
+        return np.asarray(graph.degrees)
+    return np.asarray([graph.degree(node) for node in graph.nodes()])
+
+
+class TestPowerlawDegreeSequence:
+    def test_mean_and_monotonicity(self):
+        weights = powerlaw_degree_sequence(5000, 12.0)
+        assert weights.mean() == pytest.approx(12.0, rel=1e-6)
+        assert (np.diff(weights) <= 1e-12).all()  # non-increasing
+
+    def test_cap_applies(self):
+        weights = powerlaw_degree_sequence(5000, 12.0, max_degree=40)
+        # Capping then re-normalising may exceed the cap only marginally.
+        assert weights.max() <= 40 * 1.5
+
+    def test_rejects_shallow_exponent(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_degree_sequence(100, 5.0, exponent=2.0)
+
+
+class TestChungLuCSR:
+    def test_connected_and_cleaned(self):
+        graph = chung_lu_csr(powerlaw_degree_sequence(2000, 10.0), rng=1)
+        assert int(np.asarray(graph.degrees).min()) >= 1
+        mask = largest_component_mask(graph.indptr, graph.indices)
+        assert mask.all()
+
+    def test_deterministic_per_seed(self):
+        weights = powerlaw_degree_sequence(500, 8.0)
+        first = chung_lu_csr(weights, rng=9)
+        second = chung_lu_csr(weights, rng=9)
+        assert np.array_equal(first.indptr, second.indptr)
+        assert np.array_equal(first.indices, second.indices)
+        assert not np.array_equal(
+            first.indices, chung_lu_csr(weights, rng=10).indices
+        )
+
+    def test_average_degree_close_to_target(self):
+        graph = chung_lu_csr(powerlaw_degree_sequence(5000, 14.0), rng=2)
+        average = 2 * graph.num_edges / graph.num_nodes
+        # Dedupe and self-loop removal shave a few percent off.
+        assert 0.8 * 14.0 <= average <= 14.0 * 1.05
+
+    def test_edge_array_shape(self):
+        edges = chung_lu_edges([3.0, 3.0, 3.0, 3.0], rng=0)
+        assert edges.ndim == 2 and edges.shape[1] == 2
+        assert edges.shape[0] == 6  # sum(w)/2
+
+    def test_rejects_degenerate_weights(self):
+        with pytest.raises(ConfigurationError):
+            chung_lu_edges([], rng=0)
+        with pytest.raises(ConfigurationError):
+            chung_lu_edges([0.0, 0.0], rng=0)
+        with pytest.raises(ConfigurationError):
+            chung_lu_edges([1.0, -1.0], rng=0)
+
+
+class TestBarabasiAlbertCSR:
+    def test_structure(self):
+        graph = barabasi_albert_csr(2000, 4, rng=3)
+        assert graph.num_nodes == 2000  # BA graphs are connected by construction
+        # m edges per new node minus the rare collapsed duplicates
+        assert graph.num_edges <= 4 * (2000 - 4)
+        assert graph.num_edges >= int(0.97 * 4 * (2000 - 4))
+
+    def test_edges_reference_only_earlier_nodes(self):
+        edges = barabasi_albert_edges(300, 3, rng=4)
+        assert (edges[:, 1] < edges[:, 0]).all()
+
+    def test_deterministic_per_seed(self):
+        first = barabasi_albert_edges(400, 2, rng=5)
+        second = barabasi_albert_edges(400, 2, rng=5)
+        assert np.array_equal(first, second)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_csr(5, 5, rng=0)
+
+
+class TestErdosRenyiCSR:
+    def test_edge_count_near_expectation(self):
+        n, p = 3000, 0.004
+        graph = erdos_renyi_csr(n, p, rng=6, keep_largest_component=False)
+        expected = p * n * (n - 1) / 2
+        assert abs(graph.num_edges - expected) < 5 * np.sqrt(expected)
+
+    def test_endpoints_distinct(self):
+        edges = erdos_renyi_edges(100, 0.05, rng=7)
+        assert (edges[:, 0] != edges[:, 1]).all()
+
+    def test_probability_validated(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_csr(10, 1.5, rng=0)
+
+
+@pytest.mark.slow
+class TestDegreeLawEquivalence:
+    """KS tests: CSR-native generators vs their networkx twins."""
+
+    def test_chung_lu(self):
+        from scipy import stats
+
+        weights = powerlaw_degree_sequence(4000, 10.0)
+        vector = chung_lu_csr(weights, rng=11)
+        reference = chung_lu_osn([float(w) for w in weights], rng=11)
+        _, p_value = stats.ks_2samp(degrees_of(vector), degrees_of(reference))
+        assert p_value > KS_ALPHA
+
+    def test_barabasi_albert(self):
+        from scipy import stats
+
+        vector = barabasi_albert_csr(4000, 4, rng=12)
+        reference = barabasi_albert_osn(4000, 4, rng=12)
+        _, p_value = stats.ks_2samp(degrees_of(vector), degrees_of(reference))
+        assert p_value > KS_ALPHA
+
+    def test_erdos_renyi(self):
+        from scipy import stats
+
+        vector = erdos_renyi_csr(4000, 0.003, rng=13)
+        reference = erdos_renyi_osn(4000, 0.003, rng=13)
+        _, p_value = stats.ks_2samp(degrees_of(vector), degrees_of(reference))
+        assert p_value > KS_ALPHA
