@@ -14,6 +14,15 @@ A second test times a Figure-1-shaped frequency sweep with
 series side by side; the statistical KS equivalence of the two modes is
 enforced by ``tests/integration/test_prefix_equivalence.py``.
 
+A third test (``bench_baselines``) times every EX-* baseline's scalar
+reference path (sequential Python line-graph walks) against the
+vectorized line-graph fleet, asserting the ≥5× acceptance floor, and —
+when the ladder includes a ≥10⁵ rung — runs a full **ten-algorithm**
+``compare_algorithms`` table CSR-natively with ``execution="fleet"``,
+recording its wall-clock and NRMSE rows (the statistical equivalence of
+the fleet baselines is enforced by
+``tests/integration/test_baseline_fleet_equivalence.py``).
+
 Everything lands in ``benchmarks/results/BENCH_scale.json``.  CI runs
 the 10⁴ rung (see ``.github/workflows/ci.yml``) and uploads the JSON as
 an artifact; the committed file is a full-ladder run including the
@@ -198,6 +207,115 @@ def test_prefix_reuse_sweep_speedup():
     assert speedup >= 3, f"prefix-reuse sweep speedup {speedup:.2f}x below 3x"
 
 
+def _ladder_graph(num_nodes, seed):
+    """One labeled LCC Chung–Lu rung, shared by the baseline benches."""
+    weights = powerlaw_degree_sequence(num_nodes, AVERAGE_DEGREE)
+    graph = largest_connected_component_csr(
+        CSRGraph.from_edge_array(chung_lu_edges(weights, rng=seed), num_nodes=num_nodes)
+    )
+    return graph.with_labels(
+        label_array=zipf_label_array(
+            graph.num_nodes, num_labels=40, exponent=1.0, rng=seed + 1
+        )
+    )
+
+
+def test_baseline_fleet_speedup():
+    """bench_baselines: vectorized EX-* line fleets vs the scalar kernels."""
+    from repro.experiments.algorithms import build_algorithm_suite
+    from repro.experiments.runner import run_trials
+
+    graph = _ladder_graph(min(RUNGS), seed=10)
+    dict_graph = graph.to_labeled_graph()  # scalar reference substrate
+    suite = build_algorithm_suite(dict_graph)
+    repetitions, k, burn_in = 6, 400, 50
+
+    baselines = {}
+    floor = []
+    for name in ("EX-MHRW", "EX-MDRW", "EX-RCMH", "EX-GMD", "EX-RW"):
+        args = dict(sample_size=k, repetitions=repetitions, burn_in=burn_in)
+        scalar, scalar_seconds = _timed(
+            lambda: run_trials(
+                dict_graph, 1, 2, suite[name], name, **args, seed=20,
+                execution="sequential",
+            )
+        )
+        fleet, fleet_seconds = _timed(
+            lambda: run_trials(
+                graph, 1, 2, suite[name], name, **args, seed=21,
+                execution="fleet",
+            )
+        )
+        assert len(fleet.estimates) == len(scalar.estimates) == repetitions
+        speedup = scalar_seconds / fleet_seconds
+        steps = repetitions * (burn_in + k)
+        baselines[name] = {
+            "scalar_seconds": round(scalar_seconds, 4),
+            "fleet_seconds": round(fleet_seconds, 4),
+            "speedup": round(speedup, 1),
+            "scalar_steps_per_second": round(steps / scalar_seconds),
+            "fleet_steps_per_second": round(steps / fleet_seconds),
+        }
+        if name != "EX-RW":  # the acceptance floor names the four EX-* kernels
+            floor.append(speedup)
+
+    _RESULTS["bench_baselines"] = {
+        "num_nodes": graph.num_nodes,
+        "repetitions": repetitions,
+        "sample_size": k,
+        "burn_in": burn_in,
+        "baselines": baselines,
+        "equivalence": (
+            "KS-tested in tests/integration/test_baseline_fleet_equivalence.py"
+        ),
+    }
+    # Acceptance floor: every vectorized EX-* kernel >= 5x its scalar twin.
+    assert min(floor) >= 5, f"EX-* fleet speedups below 5x: {baselines}"
+
+
+def test_ten_algorithm_table_at_scale():
+    """Full ten-algorithm CSR-native fleet table at the >=10^5 rung."""
+    from repro.experiments.algorithms import build_algorithm_suite
+    from repro.experiments.runner import compare_algorithms
+
+    rungs = [rung for rung in RUNGS if rung >= 100_000]
+    if not rungs:
+        pytest.skip("ladder has no >=10^5 rung (CI runs 10^4 only)")
+    graph = _ladder_graph(min(rungs), seed=30)
+    suite, suite_seconds = _timed(lambda: build_algorithm_suite(graph))
+    assert len(suite) == 10
+    table, table_seconds = _timed(
+        lambda: compare_algorithms(
+            graph, 1, 2,
+            sample_fractions=(0.01, 0.05),
+            repetitions=bench_support.DEFAULT_REPETITIONS,
+            algorithms=suite,
+            burn_in=200,
+            seed=31,
+            execution="fleet",
+        )
+    )
+    best_name, best_nrmse = table.best_algorithm()
+    _RESULTS["ten_algorithm_table"] = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "representation": "csr",
+        "execution": "fleet",
+        "repetitions": bench_support.DEFAULT_REPETITIONS,
+        "sample_fractions": [0.01, 0.05],
+        "suite_build_seconds": round(suite_seconds, 4),
+        "table_seconds": round(table_seconds, 4),
+        "best_algorithm_at_5pct": best_name,
+        "best_nrmse_at_5pct": round(best_nrmse, 4),
+        "nrmse_rows": {
+            name: [round(value, 4) for value in table.nrmse_row(name)]
+            for name in table.algorithms()
+        },
+    }
+    # The paper's headline claim should survive the CSR-native rerun.
+    assert not best_name.startswith("EX-"), _RESULTS["ten_algorithm_table"]
+
+
 def test_write_scale_json():
     """Persist the ladder (runs last: pytest executes in file order)."""
     assert "rungs" in _RESULTS, "rung test did not run"
@@ -206,6 +324,7 @@ def test_write_scale_json():
         "generator": "chung_lu_csr (power-law expected degrees, exponent 2.5)",
         "rungs": _RESULTS["rungs"],
     }
-    if "prefix_reuse_sweep" in _RESULTS:
-        payload["prefix_reuse_sweep"] = _RESULTS["prefix_reuse_sweep"]
+    for key in ("prefix_reuse_sweep", "bench_baselines", "ten_algorithm_table"):
+        if key in _RESULTS:
+            payload[key] = _RESULTS[key]
     bench_support.write_json("BENCH_scale.json", payload)

@@ -17,8 +17,16 @@ from repro.baselines.adaptations import (
     make_baseline,
     BASELINE_NAMES,
 )
+from repro.baselines.fleet import (
+    classify_line_fleet,
+    reweighted_estimates,
+    run_baseline_fleet,
+)
 
 __all__ = [
+    "classify_line_fleet",
+    "reweighted_estimates",
+    "run_baseline_fleet",
     "LineGraphBaseline",
     "ExReweightedBaseline",
     "ExMetropolisHastingsBaseline",

@@ -36,13 +36,17 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
+import numpy as np
+
 from repro.core.estimators.base import EstimateResult
 from repro.exceptions import ConfigurationError, EstimationError
 from repro.graph.api import RestrictedGraphAPI
+from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.line_graph import LineGraphAPI
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.walks.batched import KernelSpec
 from repro.walks.engine import RandomWalk
 from repro.walks.kernels import (
     GeneralMaximumDegreeKernel,
@@ -53,9 +57,36 @@ from repro.walks.kernels import (
     TransitionKernel,
 )
 
+#: Arcs per chunk of the vectorized line-degree scan (bounds the int64
+#: temporaries to a few dozen MB regardless of graph size).
+_LINE_DEGREE_CHUNK = 1 << 22
+
 
 def line_graph_max_degree(graph: LabeledGraph) -> int:
-    """Exact maximum degree of ``G'``: ``max over edges (d(u) + d(v) − 2)``."""
+    """Exact maximum degree of ``G'``: ``max over edges (d(u) + d(v) − 2)``.
+
+    Works on both substrates: the dict :class:`LabeledGraph` (reference
+    edge loop) and the array-native :class:`CSRGraph`, where the scan
+    runs vectorized over arc chunks — the form the CSR-native
+    experiment harness uses to grant the MD/GMD baselines their oracle
+    parameter at million-node scale.
+    """
+    if isinstance(graph, CSRGraph):
+        degrees = graph.degrees
+        indptr = graph.indptr
+        indices = graph.indices
+        worst = 0
+        for start in range(0, indices.size, _LINE_DEGREE_CHUNK):
+            stop = min(start + _LINE_DEGREE_CHUNK, indices.size)
+            # Arc -> source node, recovered from indptr per chunk so no
+            # full-length 2|E| temporary is ever materialised.
+            sources = (
+                np.searchsorted(indptr, np.arange(start, stop), side="right") - 1
+            )
+            chunk = degrees[sources] + degrees[indices[start:stop]]
+            if chunk.size:
+                worst = max(worst, int(chunk.max()))
+        return max(0, worst - 2)
     worst = 0
     for u, v in graph.edges():
         worst = max(worst, graph.degree(u) + graph.degree(v) - 2)
@@ -71,6 +102,18 @@ class LineGraphBaseline(ABC):
     @abstractmethod
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         """Create the walk kernel this baseline uses on ``G'``."""
+
+    @abstractmethod
+    def csr_kernel_spec(self) -> KernelSpec:
+        """The kernel as a :class:`~repro.walks.batched.KernelSpec`.
+
+        Consumed by the vectorized fleet path
+        (:mod:`repro.baselines.fleet`): the spec drives
+        :class:`~repro.walks.line_batched.BatchedLineWalkEngine` and the
+        stationary weights of the re-weighted estimator.  For the
+        MD/GMD baselines ``max_degree`` is the line-graph maximum
+        degree this instance was constructed with.
+        """
 
     def estimate(
         self,
@@ -124,6 +167,9 @@ class ExReweightedBaseline(LineGraphBaseline):
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         return SimpleRandomWalkKernel()
 
+    def csr_kernel_spec(self) -> KernelSpec:
+        return KernelSpec("simple")
+
 
 class ExMetropolisHastingsBaseline(LineGraphBaseline):
     """EX-MHRW: Metropolis–Hastings walk on ``G'`` (uniform stationary law)."""
@@ -132,6 +178,9 @@ class ExMetropolisHastingsBaseline(LineGraphBaseline):
 
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         return MetropolisHastingsKernel()
+
+    def csr_kernel_spec(self) -> KernelSpec:
+        return KernelSpec("mhrw")
 
 
 class ExMaximumDegreeBaseline(LineGraphBaseline):
@@ -151,6 +200,9 @@ class ExMaximumDegreeBaseline(LineGraphBaseline):
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         return MaximumDegreeKernel(self.line_max_degree)
 
+    def csr_kernel_spec(self) -> KernelSpec:
+        return KernelSpec("mdrw", max_degree=self.line_max_degree)
+
 
 class ExRejectionControlledMHBaseline(LineGraphBaseline):
     """EX-RCMH: rejection-controlled MH walk on ``G'``, knob ``alpha ∈ [0, 0.3]``."""
@@ -162,6 +214,9 @@ class ExRejectionControlledMHBaseline(LineGraphBaseline):
 
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         return RejectionControlledMHKernel(alpha=self.alpha)
+
+    def csr_kernel_spec(self) -> KernelSpec:
+        return KernelSpec("rcmh", alpha=self.alpha)
 
 
 class ExGeneralMaximumDegreeBaseline(LineGraphBaseline):
@@ -177,6 +232,9 @@ class ExGeneralMaximumDegreeBaseline(LineGraphBaseline):
 
     def build_kernel(self, line_api: LineGraphAPI) -> TransitionKernel:
         return GeneralMaximumDegreeKernel(self.line_max_degree, delta=self.delta)
+
+    def csr_kernel_spec(self) -> KernelSpec:
+        return KernelSpec("gmd", max_degree=self.line_max_degree, delta=self.delta)
 
 
 #: Table 2 abbreviations of the baselines, in the order used by the tables.

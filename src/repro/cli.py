@@ -95,7 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=EXECUTIONS,
         default="sequential",
         help="run each cell's repetitions one at a time or as one vectorized "
-        "walker fleet (proposed algorithms only)",
+        "walker fleet (all ten algorithms; EX-* run line-graph fleets)",
     )
     table.add_argument(
         "--jobs",
@@ -109,14 +109,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=REUSES,
         default="none",
         help="'prefix' reads every budget column off one max-budget fleet "
-        "per proposed algorithm (O(max budget) walking)",
+        "per algorithm, EX-* baselines included (O(max budget) walking)",
     )
     table.add_argument(
         "--representation",
         choices=("dict", "csr"),
         default="dict",
         help="dataset substrate; 'csr' synthesises array-natively (paper "
-        "scale), runs the proposed algorithms only and needs "
+        "scale), reproduces all ten algorithm rows and needs "
         "--execution fleet or --reuse prefix",
     )
 

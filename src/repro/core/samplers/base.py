@@ -193,6 +193,16 @@ class EdgeSampleBatch:
     node *indices* (``node_ids[i]`` maps back to the original
     identifiers).  ``api_calls`` has one charged-call count per trial —
     each trial is an independent crawler with its own page cache.
+
+    ``weights`` carries the per-sample (unnormalised) stationary
+    weights when the fleet walked a *non*-degree-stationary kernel —
+    the importance weights a re-weighted estimator must divide by.  It
+    is ``None`` for the simple/non-backtracking walks (whose weights
+    are the degrees, already carried).  The EX-* baseline path reuses
+    this container for its line-graph samples: each "edge sample" is a
+    line node of ``G'`` (an edge of ``G``), ``weights`` holds the
+    kernel's stationary weights on ``G'``, and
+    :func:`repro.baselines.fleet.reweighted_estimates` consumes them.
     """
 
     sources: np.ndarray
@@ -204,6 +214,7 @@ class EdgeSampleBatch:
     api_calls: Optional[np.ndarray] = None
     node_ids: Optional[Sequence[Node]] = None
     trajectories: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
 
     @property
     def num_trials(self) -> int:
@@ -237,6 +248,7 @@ class EdgeSampleBatch:
             api_calls=self.api_calls,
             node_ids=self.node_ids,
             trajectories=self.trajectories,
+            weights=None if self.weights is None else self.weights[:, keep],
         )
 
     def sample_set(self, trial: int) -> EdgeSampleSet:
@@ -267,9 +279,12 @@ class EdgeSampleBatch:
 class NodeSampleBatch:
     """NeighborExploration output for a whole fleet: one numpy row per trial.
 
-    Same conventions as :class:`EdgeSampleBatch`; ``incident_target_edges``
-    is already zeroed for unlabeled samples (mirroring the reference
-    sampler, which only explores labeled nodes).
+    Same conventions as :class:`EdgeSampleBatch` (``weights`` included:
+    per-sample stationary weights when the fleet walked a
+    non-degree-stationary kernel, ``None`` otherwise);
+    ``incident_target_edges`` is already zeroed for unlabeled samples
+    (mirroring the reference sampler, which only explores labeled
+    nodes).
     """
 
     nodes: np.ndarray
@@ -282,6 +297,7 @@ class NodeSampleBatch:
     api_calls: Optional[np.ndarray] = None
     node_ids: Optional[Sequence[Node]] = None
     trajectories: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
 
     @property
     def num_trials(self) -> int:
@@ -311,6 +327,7 @@ class NodeSampleBatch:
             api_calls=self.api_calls,
             node_ids=self.node_ids,
             trajectories=self.trajectories,
+            weights=None if self.weights is None else self.weights[:, keep],
         )
 
     def sample_set(self, trial: int) -> NodeSampleSet:

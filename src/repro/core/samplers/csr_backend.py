@@ -26,6 +26,18 @@ Fidelity guarantees:
   retrieval, which the distinct-page model cannot reproduce.  Only the
   aggregate count is reproduced: the per-node call breakdown
   (:attr:`APICallCounter.per_node`) is not tracked on this path.
+
+Kernel support: every kernel of :mod:`repro.walks.kernels` is accepted
+— the degree-stationary walks the proposed algorithms use *and* the
+EX-* accept/reject kernels (``mhrw`` / ``mdrw`` / ``rcmh`` / ``gmd``),
+which :class:`~repro.walks.batched.BatchedWalkEngine` applies as one
+vectorized accept mask per step.  When a fleet walks a
+non-degree-stationary kernel, the returned batches carry per-sample
+stationary ``weights`` so re-weighted estimators can
+importance-correct; the MH-family proposal probes are folded into the
+per-trial ledgers.  (The EX-* baselines themselves walk the *line
+graph* — their fleet path lives in :mod:`repro.baselines.fleet` on top
+of :class:`~repro.walks.line_batched.BatchedLineWalkEngine`.)
 """
 
 from __future__ import annotations
@@ -34,18 +46,20 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.exceptions import APIBudgetExceededError, ConfigurationError
+from repro.exceptions import APIBudgetExceededError, ConfigurationError, WalkError
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, Node
 from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
 from repro.utils.validation import check_non_negative_int, check_positive_int
 from repro.walks.batched import (
     BatchedWalkEngine,
+    DEGREE_STATIONARY_KERNELS,
     KernelLike,
     charge_distinct_pages,
     csr_walk,
     draw_start_index,
-    resolve_csr_kernel,
+    kernel_stationary_weights,
+    resolve_kernel_spec,
 )
 
 from repro.core.samplers.base import (
@@ -56,7 +70,6 @@ from repro.core.samplers.base import (
     NodeSampleBatch,
     NodeSampleSet,
 )
-
 #: Walk-backend choices, shared by the samplers, the pipeline, the
 #: experiment config and the CLI.
 BACKENDS: Tuple[str, ...] = ("python", "csr")
@@ -103,11 +116,12 @@ def validate_reuse(reuse: str) -> str:
 def validate_backend_and_kernel(backend: str, kernel) -> str:
     """Backend validation plus, for ``"csr"``, an eager kernel check.
 
-    Shared by both sampler constructors so an unvectorizable kernel
-    fails at construction time, not mid-sample.
+    Shared by both sampler constructors so an unknown or
+    under-parameterized kernel (e.g. a bare ``"mdrw"`` name without its
+    ``max_degree``) fails at construction time, not mid-sample.
     """
     if validate_backend(backend) == "csr":
-        resolve_csr_kernel(kernel)
+        resolve_kernel_spec(kernel)
     return backend
 
 
@@ -116,10 +130,19 @@ def _run_walk(
     total_steps: int,
     start_node: Optional[Node],
     rng: RandomSource,
-    kernel_name: str,
+    kernel_name,
     exact_rng: bool,
-) -> np.ndarray:
-    """Walk ``total_steps`` steps; return start + every position (len + 1)."""
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Walk ``total_steps`` steps; return ``(positions, downloaded_pages)``.
+
+    *positions* is the start plus every position (length + 1);
+    *downloaded_pages* lists the pages the reference crawler fetches,
+    in fetch order — the positions themselves plus, for MH-family
+    kernels, each step's probed proposal interleaved right after the
+    position it was proposed from (``degree(proposal)`` fires between
+    consecutive ``neighbors(current)`` calls), so budget-crossing
+    accounting stays faithful even for rejected proposals.
+    """
     # Normalise the rng up front so the start draw and the walk consume
     # one generator (draw_start_index mirrors RestrictedGraphAPI.random_node
     # in exact mode).
@@ -128,8 +151,17 @@ def _run_walk(
         start = draw_start_index(csr, generator, exact_rng=exact_rng)
     else:
         start = csr.index_of(start_node)
-    path = csr_walk(csr, total_steps, start, generator, kernel_name, exact_rng=exact_rng)
-    return np.concatenate(([start], path))
+    path, probes = csr_walk(
+        csr, total_steps, start, generator, kernel_name,
+        exact_rng=exact_rng, return_probes=True,
+    )
+    full = np.concatenate(([start], path))
+    if probes is None:
+        return full, full
+    pages = np.empty(full.size + probes.size, dtype=np.int64)
+    pages[0::2] = full
+    pages[1::2] = probes
+    return full, pages
 
 
 def _charge_pages(
@@ -175,22 +207,33 @@ def sample_edges_csr(
     the edges traversed during the last ``k`` of ``burn_in + k`` steps,
     each classified as target / non-target via the label masks.
     *page_filter* marks pages already downloaded (free revisits); it is
-    updated in place.
+    updated in place.  Charged-call parity holds for every kernel: an
+    MH-family walk's probed proposals are charged in reference fetch
+    order, rejected ones included.
     """
     check_positive_int(k, "k")
     check_non_negative_int(burn_in, "burn_in")
-    kernel_name = resolve_csr_kernel(kernel)
-    full = _run_walk(csr, burn_in + k, start_node, rng, kernel_name, exact_rng)
+    spec = resolve_kernel_spec(kernel)
+    full, pages = _run_walk(csr, burn_in + k, start_node, rng, spec, exact_rng)
 
     sources = full[burn_in : burn_in + k]
     dests = full[burn_in + 1 :]
+    loops = np.flatnonzero(sources == dests)
+    if loops.size:
+        # Accept/reject kernels can stay in place; NeighborSample needs a
+        # traversed edge per collected step — same error as the reference.
+        raise WalkError(
+            "NeighborSample requires a kernel that traverses an edge at "
+            f"every step, but step {int(loops[0])} was a self-loop"
+        )
     m1 = csr.label_mask(t1)
     m2 = csr.label_mask(t2)
     is_target = (m1[sources] & m2[dests]) | (m2[sources] & m1[dests])
 
-    # Every page the reference crawler downloads belongs to an occupied
-    # node (classification endpoints are walk nodes, hence cache hits).
-    charged = _charge_pages(full, budget, page_filter)
+    # Every page the reference crawler downloads is a walk position or —
+    # for MH-family kernels — a probed proposal; classification
+    # endpoints are walk nodes, hence cache hits.
+    charged = _charge_pages(pages, budget, page_filter)
 
     ids = csr.node_ids
     sample_set = EdgeSampleSet(
@@ -239,8 +282,8 @@ def explore_nodes_csr(
     """
     check_positive_int(k, "k")
     check_non_negative_int(burn_in, "burn_in")
-    kernel_name = resolve_csr_kernel(kernel)
-    full = _run_walk(csr, burn_in + k, start_node, rng, kernel_name, exact_rng)
+    spec = resolve_kernel_spec(kernel)
+    full, walk_pages = _run_walk(csr, burn_in + k, start_node, rng, spec, exact_rng)
 
     collected = full[burn_in + 1 :]
     m1 = csr.label_mask(t1)
@@ -253,9 +296,9 @@ def explore_nodes_csr(
         explored = [
             csr.indices[csr.indptr[i] : csr.indptr[i + 1]] for i in labeled
         ]
-        pages = np.concatenate([full] + explored)
+        pages = np.concatenate([walk_pages] + explored)
     else:
-        pages = full
+        pages = walk_pages
     charged = _charge_pages(pages, budget, page_filter)
 
     ids = csr.node_ids
@@ -362,7 +405,7 @@ def run_fleet_walk(
     return engine.run_fleet(repetitions, k, burn_in=burn_in)
 
 
-def _enforce_fleet_budget(charges: np.ndarray, budget: Optional[int]) -> None:
+def enforce_fleet_budget(charges: np.ndarray, budget: Optional[int]) -> None:
     """Per-walker budget check, mirroring :meth:`APICallCounter.charge`.
 
     Each walker stands for one repetition crawling through its own
@@ -429,6 +472,23 @@ def _exploration_charges(
     return np.bincount(distinct // span, minlength=num_walkers).astype(np.int64)
 
 
+def _fleet_weights(csr: CSRGraph, fleet, nodes: np.ndarray) -> Optional[np.ndarray]:
+    """Per-sample stationary weights for non-degree-stationary fleets.
+
+    The spec comes off the fleet itself
+    (:attr:`~repro.walks.batched.FleetWalkResult.kernel`), so
+    classification can never be handed a kernel that disagrees with the
+    walk.  ``None`` for the simple / non-backtracking walks (their
+    weights are the degrees, which the batches already carry); for the
+    accept/reject kernels the importance weights a re-weighted
+    estimator divides by.
+    """
+    spec = getattr(fleet, "kernel", None)
+    if spec is None or spec.name in DEGREE_STATIONARY_KERNELS:
+        return None
+    return kernel_stationary_weights(spec, csr.degrees[nodes])
+
+
 def classify_edge_fleet(
     csr: CSRGraph,
     fleet,
@@ -445,18 +505,33 @@ def classify_edge_fleet(
     built on: one fleet can be classified against many target pairs and
     truncated (:meth:`FleetWalkResult.prefix`) to many budgets — the
     walk is label-agnostic, only this step reads the masks.
+
+    When the fleet was walked with a non-degree-stationary
+    (EX-*-style) kernel — read off :attr:`FleetWalkResult.kernel`, so
+    no mismatched spec can be injected — the batch carries the
+    per-sample stationary ``weights`` of the *source* nodes, the
+    importance weights a re-weighted estimator needs.
     """
     sources = fleet.sources
     dests = fleet.collected
+    loops = np.flatnonzero((sources == dests).any(axis=1))
+    if loops.size:
+        # Accept/reject kernels can stay in place; NeighborSample needs
+        # a traversed edge per collected step — same error the scalar
+        # paths raise (walker index reported instead of step index).
+        raise WalkError(
+            "NeighborSample requires a kernel that traverses an edge at "
+            f"every step, but walker {int(loops[0])} self-looped"
+        )
     m1 = csr.label_mask(t1)
     m2 = csr.label_mask(t2)
     is_target = (m1[sources] & m2[dests]) | (m2[sources] & m1[dests])
 
     # As on the sequential CSR path, every page a NeighborSample crawler
-    # downloads belongs to a walk position, so the ledger is the
-    # per-walker distinct count of the full trajectory.
+    # downloads belongs to a walk position — plus, for MH-family
+    # kernels, the probed proposals, which the fleet's ledger includes.
     charges = fleet.charged_calls()
-    _enforce_fleet_budget(charges, budget)
+    enforce_fleet_budget(charges, budget)
 
     return EdgeSampleBatch(
         sources=sources,
@@ -468,6 +543,7 @@ def classify_edge_fleet(
         api_calls=charges,
         node_ids=csr.node_ids,
         trajectories=fleet.trajectories,
+        weights=_fleet_weights(csr, fleet, sources),
     )
 
 
@@ -486,7 +562,10 @@ def classify_node_fleet(
     per-trial charged-call ledger adds the pages of the neighbors each
     trial explores around its labeled sampled nodes — recomputed per
     classification because which nodes get explored depends on the
-    target pair.
+    target pair.  When the fleet walked a non-degree-stationary kernel
+    (:attr:`FleetWalkResult.kernel`) the batch also carries the
+    collected nodes' stationary ``weights`` (see
+    :func:`classify_edge_fleet`).
     """
     collected = fleet.collected
     m1 = csr.label_mask(t1)
@@ -496,8 +575,15 @@ def classify_node_fleet(
         has_label, csr.target_incident_counts(t1, t2)[collected], 0
     ).astype(np.int64)
 
-    charges = _exploration_charges(csr, fleet.trajectories, collected, has_label)
-    _enforce_fleet_budget(charges, budget)
+    # MH-family kernels probed their proposals' pages too; folding the
+    # probe columns into the page matrix charges them alongside the
+    # trajectory (the ledger helper only cares that each row lists the
+    # walker's downloaded pages).
+    pages = fleet.trajectories
+    if getattr(fleet, "probed", None) is not None:
+        pages = np.concatenate([pages, fleet.probed], axis=1)
+    charges = _exploration_charges(csr, pages, collected, has_label)
+    enforce_fleet_budget(charges, budget)
 
     return NodeSampleBatch(
         nodes=collected,
@@ -510,6 +596,7 @@ def classify_node_fleet(
         api_calls=charges,
         node_ids=csr.node_ids,
         trajectories=fleet.trajectories,
+        weights=_fleet_weights(csr, fleet, collected),
     )
 
 

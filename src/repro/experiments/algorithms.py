@@ -9,7 +9,9 @@ The five proposed algorithms come straight from
 :data:`repro.core.pipeline.ALGORITHMS`; the five EX-* baselines need the
 graph because the MD/GMD walks require the maximum degree of the line
 graph ``G'`` (an oracle parameter, granted to the baselines as in the
-paper's favourable setting).
+paper's favourable setting).  Both substrates work: on a
+:class:`~repro.graph.csr.CSRGraph` the oracle parameter is computed
+vectorized, so full ten-algorithm suites build at million-node scale.
 """
 
 from __future__ import annotations
@@ -52,11 +54,15 @@ ALL_ALGORITHM_ORDER: List[str] = PAPER_ALGORITHM_ORDER + [
 class BaselineRunner:
     """Picklable runner wrapping one EX-* baseline instance.
 
-    The EX-* baselines walk MH/MD-style kernels that the CSR backend
-    does not vectorize; they always run the reference engine and accept
-    the backend selector only for harness uniformity.  Carrying the
-    baseline object (tuning knobs included) keeps tuned suites intact
-    across the ``n_jobs`` process boundary.
+    Called directly (the sequential path) it runs the reference
+    line-graph engine and accepts the backend selector only for
+    harness uniformity.  Under ``execution="fleet"`` /
+    ``reuse="prefix"`` the harness reads the wrapped baseline off this
+    runner and vectorizes it as an implicit line-graph fleet
+    (:mod:`repro.baselines.fleet`).  Carrying the baseline object
+    (tuning knobs included) keeps tuned suites intact across the
+    ``n_jobs`` process boundary and lets the fleet path honor the same
+    ``alpha`` / ``delta`` / line-max-degree configuration.
     """
 
     baseline: object
@@ -81,8 +87,10 @@ def build_algorithm_suite(
     Parameters
     ----------
     graph:
-        The full graph; required when *include_baselines* is true (the
-        MD/GMD baselines need the exact line-graph maximum degree).
+        The full graph — dict :class:`LabeledGraph` or array-native
+        :class:`~repro.graph.csr.CSRGraph`; required when
+        *include_baselines* is true (the MD/GMD baselines need the
+        exact line-graph maximum degree, computed vectorized on CSR).
     include_baselines:
         Include the EX-* adaptations alongside the proposed algorithms.
     algorithms:

@@ -60,27 +60,32 @@ class ExperimentConfig:
         Explicit walk burn-in; ``None`` derives it from the graph's
         mixing time.
     backend:
-        Walk backend for the proposed algorithms: ``"python"`` (the
-        dict-based reference engine) or ``"csr"`` (the vectorized numpy
-        backend; the EX-* baselines keep the reference engine either
-        way).
+        Walk backend for the *sequential* proposed algorithms:
+        ``"python"`` (the dict-based reference engine) or ``"csr"``
+        (the vectorized numpy backend).  The EX-* baselines ignore the
+        selector — sequentially they run the reference line-graph
+        engine; under ``execution="fleet"`` / ``reuse="prefix"`` they
+        run vectorized line-graph fleets.
     execution:
-        Trial execution for the proposed algorithms: ``"sequential"``
-        (one repetition at a time through a fresh API wrapper) or
-        ``"fleet"`` (all repetitions of a table cell as one vectorized
-        walker fleet; the EX-* baselines keep the sequential loop).
+        Trial execution: ``"sequential"`` (one repetition at a time
+        through a fresh API wrapper) or ``"fleet"`` (all repetitions of
+        a table cell as one vectorized walker fleet — NS/NE fleets for
+        the proposed algorithms, implicit line-graph fleets for the
+        EX-* baselines, so all ten rows vectorize).
     reuse:
-        Sweep walk reuse for the proposed algorithms: ``"none"`` (fresh
-        walks per cell) or ``"prefix"`` (one max-budget fleet per
-        algorithm; smaller budget columns and — in frequency sweeps —
-        other target pairs are classified off its trajectory prefixes).
+        Sweep walk reuse: ``"none"`` (fresh walks per cell) or
+        ``"prefix"`` (one max-budget fleet per registry algorithm,
+        proposed and EX-* alike; smaller budget columns and — in
+        frequency sweeps — other target pairs are classified off its
+        trajectory prefixes, rejection probes included in the EX-*
+        ledgers).
     representation:
         Dataset substrate: ``"dict"`` (reference networkx/dict
         synthesis) or ``"csr"`` (array-native synthesis, the only
-        practical choice at paper scale).  ``"csr"`` runs the proposed
-        algorithms only and needs ``execution="fleet"`` or
-        ``reuse="prefix"`` — the sequential loop simulates the
-        restricted API over the dict substrate.
+        practical choice at paper scale).  ``"csr"`` needs
+        ``execution="fleet"`` or ``reuse="prefix"`` — the sequential
+        loop simulates the restricted API over the dict substrate —
+        and then reproduces the full ten-algorithm tables.
     n_jobs:
         Worker processes for cell-level parallelism; per-cell seeds are
         pre-derived so any worker count reproduces the same tables.

@@ -12,16 +12,20 @@ Three orthogonal performance knobs:
 
 * ``execution="fleet"`` runs *all repetitions of a cell at once* as one
   vectorized walker fleet over the shared CSR arrays (one walker per
-  repetition, per-walker budget ledgers, array-native estimators) —
-  the paper's proposed algorithms only; the EX-* baselines fall back to
-  the sequential loop.
+  repetition, per-walker budget ledgers, array-native estimators).
+  Every registry algorithm vectorizes: the proposed algorithms through
+  the NS/NE fleet samplers, the EX-* baselines through the implicit
+  line-graph fleet (:mod:`repro.baselines.fleet`); only hand-written
+  runner callables fall back to the sequential loop.
 * ``reuse="prefix"`` exploits that a budget-``b₁`` crawl from a given
   seed is a literal prefix of a budget-``b₂ > b₁`` crawl from the same
   seed: one max-budget fleet per (pair, algorithm) and every smaller
   budget column is classified and estimated off trajectory/ledger
   prefixes (:func:`run_trials_prefix`) — sweep walking cost drops from
-  O(Σ budgets) to O(max budget).  Proposed algorithms only; baselines
-  keep fresh walks per cell.
+  O(Σ budgets) to O(max budget).  Applies to the proposed algorithms
+  *and* the EX-* baselines (whose prefixes keep the rejected-proposal
+  probes in the ledgers); hand-written runners keep fresh walks per
+  cell.
 * ``n_jobs > 1`` distributes whole cells across worker processes.
   Per-cell seeds are derived with :func:`derive_seed` before
   submission, so the resulting table is identical for any worker count
@@ -36,6 +40,11 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.baselines.fleet import (
+    classify_line_fleet,
+    reweighted_estimates,
+    run_baseline_fleet,
+)
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
     classify_edge_fleet,
@@ -56,7 +65,11 @@ from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng, spawn_r
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
-from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite
+from repro.experiments.algorithms import (
+    AlgorithmRunner,
+    BaselineRunner,
+    build_algorithm_suite,
+)
 from repro.experiments.metrics import nrmse
 
 
@@ -165,11 +178,44 @@ def run_trials(
     Fleet estimates are distributionally equivalent to sequential ones
     (enforced by the KS equivalence suite) but not bit-identical — the
     random streams are consumed walker-by-step instead of
-    trial-by-trial.  Any :class:`ProposedRunner` vectorizes — its own
-    sampler kind and estimator configuration are honored, custom or
-    registry alike; every other runner (notably the EX-* baselines,
-    whose MH/MD kernels are not vectorized) falls back to the
-    sequential loop, exactly like ``backend="csr"``.
+    trial-by-trial.  Any :class:`ProposedRunner` vectorizes through the
+    NS/NE fleet samplers — its own sampler kind and estimator
+    configuration are honored, custom or registry alike.  Any
+    :class:`~repro.experiments.algorithms.BaselineRunner` (the EX-*
+    rows) vectorizes through the implicit line-graph fleet
+    (:mod:`repro.baselines.fleet`) with its own ``alpha`` / ``delta`` /
+    line-max-degree knobs.  Only hand-written runner callables fall
+    back to the sequential loop, exactly like ``backend="csr"``.
+
+    Support matrix (``execution`` × walk reuse × graph representation)
+    — ``reuse`` lives on :func:`run_trials_prefix` /
+    :func:`compare_algorithms`, but the combinations are decided here:
+
+    ========== ========== ============== =================================
+    execution  reuse      representation behavior
+    ========== ========== ============== =================================
+    sequential none       dict           reference path, all runners
+    sequential none       csr            **raises** ``ConfigurationError``
+                                         (no dict graph to simulate the
+                                         restricted API over)
+    sequential prefix     dict / csr     registry runners go through
+                                         :func:`run_trials_prefix`
+                                         fleets; hand-written runners
+                                         keep sequential cells (dict
+                                         only — csr raises for them)
+    fleet      none       dict / csr     registry runners vectorize
+                                         (NS/NE fleet or line fleet);
+                                         hand-written runners fall back
+                                         to sequential (csr raises)
+    fleet      prefix     dict / csr     prefix fleets for registry
+                                         runners; remaining cells as
+                                         ``fleet``/``none``
+    ========== ========== ============== =================================
+
+    ``backend`` is orthogonal: it selects the per-walk engine of the
+    *sequential* proposed algorithms (``"csr"`` still requires the dict
+    graph for the wrapper).  :class:`ExperimentConfig` enforces the
+    same matrix eagerly for whole experiment runs.
     """
     check_positive_int(sample_size, "sample_size")
     check_positive_int(repetitions, "repetitions")
@@ -195,11 +241,25 @@ def run_trials(
             true_count,
             csr,
         )
+    if execution == "fleet" and isinstance(runner, BaselineRunner):
+        return _run_trials_fleet_baseline(
+            graph,
+            t1,
+            t2,
+            runner,
+            algorithm_name,
+            sample_size,
+            repetitions,
+            burn_in,
+            seed,
+            true_count,
+            csr,
+        )
     if isinstance(graph, CSRGraph):
         raise ConfigurationError(
             "the sequential execution path simulates the restricted API over "
             "the dict graph; pass graph.to_labeled_graph() (or a dict-"
-            "representation dataset), or run a proposed algorithm with "
+            "representation dataset), or run a registry algorithm with "
             "execution='fleet'"
         )
     outcome = TrialOutcome(
@@ -261,6 +321,48 @@ def _run_trials_fleet(
     )
 
 
+def _run_trials_fleet_baseline(
+    graph: LabeledGraph,
+    t1: Label,
+    t2: Label,
+    runner: BaselineRunner,
+    algorithm_name: str,
+    sample_size: int,
+    repetitions: int,
+    burn_in: int,
+    seed: RandomSource,
+    true_count: int,
+    csr: Optional[CSRGraph],
+) -> TrialOutcome:
+    """One EX-* (algorithm, budget) cell as a single line-graph fleet.
+
+    The kernel spec — ``alpha`` / ``delta`` / line-max-degree included —
+    comes off the wrapped baseline instance, so tuned suites vectorize
+    with their own configuration.  Estimates and per-trial ledgers are
+    distributionally equivalent to the sequential
+    :meth:`LineGraphBaseline.estimate` loop (KS-enforced).
+    """
+    shared_csr = ensure_same_graph(csr, graph) if csr is not None else csr_view(graph)
+    baseline = runner.baseline
+    fleet = run_baseline_fleet(
+        shared_csr,
+        baseline,
+        sample_size,
+        repetitions,
+        burn_in=burn_in,
+        rng=ensure_numpy_rng(seed),
+    )
+    batch = classify_line_fleet(shared_csr, fleet, t1, t2)
+    estimates = reweighted_estimates(batch)
+    return TrialOutcome(
+        algorithm=algorithm_name,
+        sample_size=sample_size,
+        true_count=true_count,
+        estimates=[float(value) for value in estimates],
+        api_calls=[int(calls) for calls in batch.api_calls],
+    )
+
+
 def run_trials_prefix(
     graph: LabeledGraph,
     t1: Label,
@@ -293,14 +395,21 @@ def run_trials_prefix(
     against ``reuse="none"``), only the across-column correlation
     differs from independently re-walked cells.
 
-    Only :class:`ProposedRunner` algorithms vectorize this way; anything
-    else raises :class:`ConfigurationError` (the harness falls back to
-    per-cell walks for those).
+    Both registry runner kinds vectorize this way:
+    :class:`ProposedRunner` cells come off one NS/NE fleet,
+    :class:`~repro.experiments.algorithms.BaselineRunner` (EX-*) cells
+    off one implicit line-graph fleet — whose prefixes keep the
+    rejected-proposal probes in the per-trial ledgers, so a truncated
+    MH-family crawl charges exactly what a fresh crawl to that budget
+    would.  Hand-written runner callables raise
+    :class:`ConfigurationError` (the harness falls back to per-cell
+    walks for those).
     """
-    if not isinstance(runner, ProposedRunner):
+    if not isinstance(runner, (ProposedRunner, BaselineRunner)):
         raise ConfigurationError(
-            f"prefix reuse needs a vectorizable ProposedRunner; "
-            f"{algorithm_name!r} is not one — run it with reuse='none'"
+            f"prefix reuse needs a vectorizable registry runner "
+            f"(ProposedRunner or BaselineRunner); {algorithm_name!r} is "
+            "not one — run it with reuse='none'"
         )
     if not sample_sizes:
         raise ConfigurationError("sample_sizes must not be empty")
@@ -314,26 +423,47 @@ def run_trials_prefix(
             f"the target pair ({t1!r}, {t2!r}) has no target edges; NRMSE is undefined"
         )
     shared_csr = ensure_same_graph(csr, graph) if csr is not None else csr_view(graph)
-    fleet = run_fleet_walk(
-        shared_csr,
-        max(sample_sizes),
-        repetitions,
-        burn_in,
-        ensure_numpy_rng(seed),
-        "simple",
-    )
-    classify = classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
+    if isinstance(runner, BaselineRunner):
+        baseline = runner.baseline
+        fleet = run_baseline_fleet(
+            shared_csr,
+            baseline,
+            max(sample_sizes),
+            repetitions,
+            burn_in=burn_in,
+            rng=ensure_numpy_rng(seed),
+        )
+        def estimate_prefix(sample_size: int):
+            batch = classify_line_fleet(shared_csr, fleet.prefix(sample_size), t1, t2)
+            return reweighted_estimates(batch), batch.api_calls
+
+    else:
+        fleet = run_fleet_walk(
+            shared_csr,
+            max(sample_sizes),
+            repetitions,
+            burn_in,
+            ensure_numpy_rng(seed),
+            "simple",
+        )
+        classify = (
+            classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
+        )
+
+        def estimate_prefix(sample_size: int):
+            batch = classify(shared_csr, fleet.prefix(sample_size), t1, t2)
+            return runner.estimator_factory().estimate_batch(batch), batch.api_calls
+
     outcomes: List[TrialOutcome] = []
     for sample_size in sample_sizes:
-        batch = classify(shared_csr, fleet.prefix(sample_size), t1, t2)
-        estimates = runner.estimator_factory().estimate_batch(batch)
+        estimates, api_calls = estimate_prefix(sample_size)
         outcomes.append(
             TrialOutcome(
                 algorithm=algorithm_name,
                 sample_size=sample_size,
                 true_count=true_count,
                 estimates=[float(value) for value in estimates],
-                api_calls=[int(calls) for calls in batch.api_calls],
+                api_calls=[int(calls) for calls in api_calls],
             )
         )
     return outcomes
@@ -377,14 +507,16 @@ def compare_algorithms(
     progress:
         Optional callback ``(algorithm, sample_size, fraction_done)``.
     backend:
-        Walk backend for the proposed algorithms (``"python"`` or
-        ``"csr"``).  The EX-* baselines always run the reference engine
-        (their MH/MD kernels are not vectorized) and simply ignore the
-        selector.
+        Walk backend for the *sequential* proposed algorithms
+        (``"python"`` or ``"csr"``).  The EX-* baselines ignore the
+        selector: sequentially they run the reference line-graph
+        engine, and under ``execution="fleet"`` / ``reuse="prefix"``
+        they run the vectorized line-graph fleet.
     execution:
         ``"sequential"`` (one repetition at a time) or ``"fleet"`` (all
-        repetitions of a cell as one vectorized walker fleet; see
-        :func:`run_trials`).
+        repetitions of a cell as one vectorized walker fleet — NS/NE
+        fleets for the proposed algorithms, line-graph fleets for the
+        EX-* baselines; see :func:`run_trials`).
     n_jobs:
         Number of worker processes for cell-level parallelism.  Every
         cell's seed is derived with :func:`derive_seed` *before*
@@ -396,20 +528,20 @@ def compare_algorithms(
         :class:`ConfigurationError` is raised otherwise).
     reuse:
         ``"none"`` (default) walks every cell fresh; ``"prefix"`` runs
-        one max-budget fleet per proposed algorithm and reads all
-        smaller budget columns off trajectory prefixes
-        (:func:`run_trials_prefix`) — O(max budget) walking for the
-        whole row.  The EX-* baselines keep fresh per-cell walks (and
-        the ``n_jobs`` pool) either way.
+        one max-budget fleet per registry algorithm — proposed and
+        EX-* alike — and reads all smaller budget columns off
+        trajectory prefixes (:func:`run_trials_prefix`) — O(max
+        budget) walking for the whole row.  Hand-written runners keep
+        fresh per-cell walks (and the ``n_jobs`` pool) either way.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
     validate_execution(execution)
     validate_reuse(reuse)
     if algorithms is None:
-        if isinstance(graph, CSRGraph):
-            # The EX-* baselines need the dict substrate (line-graph
-            # statistics); a CSR-native run gets the proposed suite.
+        if isinstance(graph, CSRGraph) and execution != "fleet" and reuse != "prefix":
+            # Without a vectorized execution mode a CSR-native run has
+            # no engine for the baselines' line-graph walks.
             algorithms = build_algorithm_suite(include_baselines=False)
         else:
             algorithms = build_algorithm_suite(graph)
@@ -432,7 +564,8 @@ def compare_algorithms(
     prefix_names = [
         name
         for name in algorithms
-        if reuse == "prefix" and isinstance(algorithms[name], ProposedRunner)
+        if reuse == "prefix"
+        and isinstance(algorithms[name], (ProposedRunner, BaselineRunner))
     ]
     total_cells = len(algorithms) * len(sample_sizes)
     done = 0

@@ -12,6 +12,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.baselines.fleet import (
+    classify_line_fleet,
+    reweighted_estimates,
+    run_baseline_fleet,
+)
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
     classify_edge_fleet,
@@ -28,7 +33,12 @@ from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
-from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite, PAPER_ALGORITHM_ORDER
+from repro.experiments.algorithms import (
+    AlgorithmRunner,
+    BaselineRunner,
+    build_algorithm_suite,
+    PAPER_ALGORITHM_ORDER,
+)
 from repro.experiments.runner import (
     CellTask,
     NRMSETable,
@@ -132,13 +142,15 @@ def frequency_sweep(
     reuse:
         ``"none"`` (default) walks every (pair, algorithm) point fresh.
         ``"prefix"`` exploits that the walk is label-agnostic: one
-        max-budget fleet per proposed algorithm serves *every* target
+        max-budget fleet per registry algorithm serves *every* target
         pair of the sweep (classification against the label masks is
         all that differs per pair), so the sweep's walking cost is
-        O(budget) instead of O(pairs × budget).  Per-point estimate
-        distributions are unchanged (KS-checked); points of one
-        algorithm become correlated across pairs, which NRMSE — a
-        per-point statistic — never reads.
+        O(budget) instead of O(pairs × budget).  This covers the EX-*
+        baselines too — their line-graph fleet is equally
+        label-agnostic, only the target-node classification reads the
+        masks.  Per-point estimate distributions are unchanged
+        (KS-checked); points of one algorithm become correlated across
+        pairs, which NRMSE — a per-point statistic — never reads.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
@@ -169,30 +181,42 @@ def frequency_sweep(
     prefix_names = [
         name
         for name in algorithms
-        if reuse == "prefix" and isinstance(algorithms[name], ProposedRunner)
+        if reuse == "prefix"
+        and isinstance(algorithms[name], (ProposedRunner, BaselineRunner))
     ]
     for name in prefix_names:
         runner = algorithms[name]
-        fleet = run_fleet_walk(
-            shared_csr,
-            sample_size,
-            repetitions,
-            burn_in,
-            ensure_numpy_rng(derive_seed(seed, name, "prefix-frequency")),
-            "simple",
-        )
-        classify = (
-            classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
-        )
+        fleet_rng = ensure_numpy_rng(derive_seed(seed, name, "prefix-frequency"))
+        if isinstance(runner, BaselineRunner):
+            fleet = run_baseline_fleet(
+                shared_csr, runner.baseline, sample_size, repetitions,
+                burn_in=burn_in, rng=fleet_rng,
+            )
+
+            def classify_point(t1, t2, fleet=fleet):
+                batch = classify_line_fleet(shared_csr, fleet, t1, t2)
+                return reweighted_estimates(batch), batch.api_calls
+
+        else:
+            fleet = run_fleet_walk(
+                shared_csr, sample_size, repetitions, burn_in, fleet_rng, "simple"
+            )
+            classify = (
+                classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
+            )
+
+            def classify_point(t1, t2, runner=runner, fleet=fleet, classify=classify):
+                batch = classify(shared_csr, fleet, t1, t2)
+                return runner.estimator_factory().estimate_batch(batch), batch.api_calls
+
         for pair_index, (t1, t2), true_count in plottable:
-            batch = classify(shared_csr, fleet, t1, t2)
-            estimates = runner.estimator_factory().estimate_batch(batch)
+            estimates, api_calls = classify_point(t1, t2)
             outcomes[(name, pair_index)] = TrialOutcome(
                 algorithm=name,
                 sample_size=sample_size,
                 true_count=true_count,
                 estimates=[float(value) for value in estimates],
-                api_calls=[int(calls) for calls in batch.api_calls],
+                api_calls=[int(calls) for calls in api_calls],
             )
 
     cells = [

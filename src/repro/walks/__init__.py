@@ -4,13 +4,20 @@ from repro.walks.engine import RandomWalk, WalkResult, NeighborProvider
 from repro.walks.batched import (
     BatchedWalkEngine,
     BatchedWalkResult,
+    FleetWalkResult,
+    KernelSpec,
     PageBudgetTracker,
+    BASELINE_CSR_KERNELS,
     SUPPORTED_CSR_KERNELS,
     charge_distinct_pages,
     csr_walk,
     draw_start_index,
+    kernel_move_probabilities,
+    kernel_stationary_weights,
     resolve_csr_kernel,
+    resolve_kernel_spec,
 )
+from repro.walks.line_batched import BatchedLineWalkEngine, LineFleetResult
 from repro.walks.kernels import (
     TransitionKernel,
     SimpleRandomWalkKernel,
@@ -35,12 +42,20 @@ __all__ = [
     "NeighborProvider",
     "BatchedWalkEngine",
     "BatchedWalkResult",
+    "FleetWalkResult",
+    "BatchedLineWalkEngine",
+    "LineFleetResult",
+    "KernelSpec",
     "PageBudgetTracker",
+    "BASELINE_CSR_KERNELS",
     "SUPPORTED_CSR_KERNELS",
     "charge_distinct_pages",
     "csr_walk",
     "draw_start_index",
+    "kernel_move_probabilities",
+    "kernel_stationary_weights",
     "resolve_csr_kernel",
+    "resolve_kernel_spec",
     "TransitionKernel",
     "SimpleRandomWalkKernel",
     "NonBacktrackingKernel",

@@ -10,21 +10,34 @@ Each kernel answers two questions:
 
 Kernels implemented
 -------------------
-=====================================  ==========================================
-Kernel                                 Stationary weight of node ``u``
-=====================================  ==========================================
-:class:`SimpleRandomWalkKernel`        ``d(u)``           (paper's own algorithms)
-:class:`NonBacktrackingKernel`         ``d(u)``           (Lee et al. [14])
-:class:`MetropolisHastingsKernel`      ``1``              (EX-MHRW baseline)
-:class:`MaximumDegreeKernel`           ``1``              (EX-MDRW baseline)
-:class:`RejectionControlledMHKernel`   ``d(u)**(1-α)``    (EX-RCMH baseline, Li et al.)
-:class:`GeneralMaximumDegreeKernel`    ``max(d(u), δ·d_max)`` (EX-GMD baseline, Li et al.)
-=====================================  ==========================================
+Every kernel has two engines: the object interface below, consumed one
+step at a time by the reference :class:`~repro.walks.engine.RandomWalk`,
+and a vectorized fleet twin in :mod:`repro.walks.batched` /
+:mod:`repro.walks.line_batched` (CSR name in the table), where the
+accept/reject kernels advance whole fleets with a single accept mask
+per step.  The EX-* baselines run these kernels on the *line graph*;
+their fleet execution walks it implicitly
+(:class:`~repro.walks.line_batched.BatchedLineWalkEngine`).
+
+=====================================  ========  ==========================================
+Kernel                                 CSR name  Stationary weight of node ``u``
+=====================================  ========  ==========================================
+:class:`SimpleRandomWalkKernel`        simple    ``d(u)``           (paper's own algorithms)
+:class:`NonBacktrackingKernel`         non_backtracking ``d(u)``    (Lee et al. [14])
+:class:`MetropolisHastingsKernel`      mhrw      ``1``              (EX-MHRW baseline)
+:class:`MaximumDegreeKernel`           mdrw      ``1``              (EX-MDRW baseline)
+:class:`RejectionControlledMHKernel`   rcmh      ``d(u)**(1-α)``    (EX-RCMH baseline, Li et al.)
+:class:`GeneralMaximumDegreeKernel`    gmd       ``max(d(u), δ·d_max)`` (EX-GMD baseline, Li et al.)
+=====================================  ========  ==========================================
 
 The maximum degree needed by the MD/GMD kernels is not available through
 a neighbor-list API; following common practice the caller supplies an
 upper bound (for the experiments we pass the true maximum degree, which
-is the most favourable setting for those baselines).
+is the most favourable setting for those baselines).  The vectorized
+engines receive a kernel as a :class:`~repro.walks.batched.KernelSpec`
+(or read the knobs off a kernel instance); exact-RNG replay of each
+kernel against this module's reference implementations is available via
+:func:`repro.walks.batched.csr_walk`.
 """
 
 from __future__ import annotations

@@ -135,12 +135,15 @@ class TestKernelResolution:
         assert resolve_csr_kernel("non_backtracking") == "non_backtracking"
         assert resolve_csr_kernel(SimpleRandomWalkKernel()) == "simple"
         assert resolve_csr_kernel(NonBacktrackingKernel()) == "non_backtracking"
+        # The EX-* accept/reject kernels are vectorized now.
+        assert resolve_csr_kernel("mhrw") == "mhrw"
+        assert resolve_csr_kernel(MetropolisHastingsKernel()) == "mhrw"
 
     def test_unsupported_rejected(self):
         with pytest.raises(ConfigurationError):
-            resolve_csr_kernel("mhrw")
+            resolve_csr_kernel("metropolis")
         with pytest.raises(ConfigurationError):
-            resolve_csr_kernel(MetropolisHastingsKernel())
+            resolve_csr_kernel(object())
 
 
 class TestStepForStepAgreement:
@@ -331,10 +334,16 @@ class TestCSRSamplerBehaviour:
 
     def test_unsupported_kernel_rejected_eagerly(self, gender_osn):
         api = RestrictedGraphAPI(gender_osn)
+
+        class UnknownKernel(SimpleRandomWalkKernel):
+            name = "no_such_kernel"
+
         with pytest.raises(ConfigurationError):
-            NeighborSampleSampler(
-                api, 1, 2, kernel=MetropolisHastingsKernel(), backend="csr"
-            )
+            NeighborSampleSampler(api, 1, 2, kernel=UnknownKernel(), backend="csr")
+        # MH kernels are vectorizable now; construction must succeed.
+        NeighborSampleSampler(
+            api, 1, 2, kernel=MetropolisHastingsKernel(), backend="csr"
+        )
 
     def test_independent_walks_not_supported(self, gender_osn):
         api = RestrictedGraphAPI(gender_osn)

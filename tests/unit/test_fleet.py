@@ -351,14 +351,37 @@ class TestFleetExecution:
         registry = EdgeHorvitzThompsonEstimator().estimate_batch(batch)
         assert fleet.estimates != [float(v) for v in registry]
 
-    def test_baselines_fall_back_to_sequential(self, gender_osn):
+    def test_baselines_run_as_line_graph_fleets(self, gender_osn):
+        """EX-* cells vectorize now: fleet execution must produce one
+        estimate and one independent ledger per repetition (the
+        distributional equivalence with the sequential line walk is
+        KS-enforced in tests/integration/test_baseline_fleet_equivalence.py)."""
+        suite = build_algorithm_suite(gender_osn, algorithms=["EX-RW", "EX-MHRW"])
+        args = dict(sample_size=25, repetitions=3, burn_in=10, seed=4)
+        for name in suite:
+            fleet = run_trials(
+                gender_osn, 1, 2, suite[name], name, **args, execution="fleet"
+            )
+            assert len(fleet.estimates) == 3
+            assert all(np.isfinite(fleet.estimates))
+            # Line crawls fetch both endpoints per visited edge, so each
+            # repetition's ledger must be positive and graph-bounded.
+            assert all(0 < calls <= gender_osn.num_nodes for calls in fleet.api_calls)
+
+    def test_handwritten_runners_fall_back_to_sequential(self, gender_osn):
+        """Only registry runners vectorize; a bare callable keeps the
+        sequential reference loop bit for bit."""
         suite = build_algorithm_suite(gender_osn, algorithms=["EX-RW"])
+
+        def handwritten(api, t1, t2, k, burn_in, rng, backend="python"):
+            return suite["EX-RW"](api, t1, t2, k, burn_in, rng)
+
         args = dict(sample_size=25, repetitions=3, burn_in=10, seed=4)
         sequential = run_trials(
-            gender_osn, 1, 2, suite["EX-RW"], "EX-RW", **args, execution="sequential"
+            gender_osn, 1, 2, handwritten, "custom", **args, execution="sequential"
         )
         fleet = run_trials(
-            gender_osn, 1, 2, suite["EX-RW"], "EX-RW", **args, execution="fleet"
+            gender_osn, 1, 2, handwritten, "custom", **args, execution="fleet"
         )
         assert fleet.estimates == sequential.estimates
         assert fleet.api_calls == sequential.api_calls
