@@ -23,14 +23,31 @@ recording its wall-clock and NRMSE rows (the statistical equivalence of
 the fleet baselines is enforced by
 ``tests/integration/test_baseline_fleet_equivalence.py``).
 
+A fourth test (``graph_store``) benches the buffer-backend plane: the
+same multi-process fleet table run with ``graph_store="ram"`` (the
+graph pickled into every worker) versus ``"shm"`` (one shared-memory
+segment, workers reattach O(1) handles), recording worker-spawn
+overhead per store and asserting — at the ≥10⁶ rung — that shm beats
+the pickling path; plus a subprocess peak-RSS comparison of a
+memory-mapped graph against a fully-loaded twin, asserting the mmap
+run's RSS delta stays under the graph's in-RAM footprint (the
+out-of-core claim).
+
 Everything lands in ``benchmarks/results/BENCH_scale.json``.  CI runs
-the 10⁴ rung (see ``.github/workflows/ci.yml``) and uploads the JSON as
-an artifact; the committed file is a full-ladder run including the
-≥10⁶-node rung.
+the 10⁴ rung (see ``.github/workflows/ci.yml``) with
+``-W error::ResourceWarning`` — a leaked shared-memory publication
+fails the build — and uploads the JSON as an artifact; the committed
+file is a full-ladder run including the ≥10⁶-node rung.
 """
 
+import json
 import os
+import resource
+import subprocess
+import sys
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -68,6 +85,11 @@ def _timed(fn):
     started = time.perf_counter()
     result = fn()
     return result, time.perf_counter() - started
+
+
+def _peak_rss_mb() -> float:
+    """This process's lifetime-peak resident set (Linux: ru_maxrss is KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def test_scale_ladder_rungs():
@@ -115,6 +137,10 @@ def test_scale_ladder_rungs():
                 "steps_per_second": round(FLEET_WALKERS * FLEET_STEPS / walk_seconds),
             },
             "end_to_end_seconds": round(end_to_end, 4),
+            # Lifetime-peak RSS after this rung (cumulative across rungs
+            # by getrusage semantics; the per-store deltas live in the
+            # graph_store bench).
+            "peak_rss_mb_cumulative": round(_peak_rss_mb(), 1),
         }
 
         if num_nodes <= NX_LIMIT:
@@ -316,6 +342,196 @@ def test_ten_algorithm_table_at_scale():
     assert not best_name.startswith("EX-"), _RESULTS["ten_algorithm_table"]
 
 
+#: Subprocess probe for the out-of-core RSS comparison: open the spilled
+#: sidecar either memory-mapped or fully loaded, run a modest fleet, and
+#: report this process's peak RSS.  A fresh interpreter per mode keeps
+#: the measurement honest (the parent's RSS peak is already polluted by
+#: graph synthesis).  VmHWM is read from /proc/self/status because
+#: getrusage's ru_maxrss survives execve on Linux — a forked-and-exec'd
+#: child would report the *parent's* gigabyte peak.
+_RSS_PROBE = """
+import json, sys
+from repro.graph.store import load_csr_npz
+from repro.walks.batched import BatchedWalkEngine
+payload = {"mode": sys.argv[2]}
+if sys.argv[2] != "baseline":  # baseline: imports only, so the deltas
+    graph = load_csr_npz(sys.argv[1], mmap=(sys.argv[2] == "mmap"))
+    fleet = BatchedWalkEngine(graph, rng=1).run_fleet(32, 150)
+    assert fleet.num_walkers == 32
+    payload["store"] = graph.store
+with open("/proc/self/status") as status:
+    for line in status:
+        if line.startswith("VmHWM:"):
+            payload["maxrss_bytes"] = int(line.split()[1]) * 1024
+print(json.dumps(payload))
+"""
+
+
+def _drop_page_cache(path: Path) -> None:
+    """Evict *path* from the page cache (models the true out-of-core regime).
+
+    Freshly written sidecars are fully cached, and the kernel's
+    fault-around maps every cached page it finds near a fault — a
+    hot-cache mmap probe would report the whole file resident no matter
+    how little the walk touches.  A graph genuinely past RAM is never
+    fully cached, so the probe measures that regime: sync (dirty pages
+    survive DONTNEED) and advise the cache away.
+    """
+    os.sync()
+    descriptor = os.open(str(path), os.O_RDONLY)
+    try:
+        os.posix_fadvise(descriptor, 0, 0, os.POSIX_FADV_DONTNEED)
+    finally:
+        os.close(descriptor)
+
+
+def _probe_rss(sidecar: Path, mode: str) -> int:
+    if mode != "baseline":
+        _drop_page_cache(sidecar)
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env.get('PYTHONPATH', '')}"
+    completed = subprocess.run(
+        [sys.executable, "-c", _RSS_PROBE, str(sidecar), mode],
+        capture_output=True, text=True, check=True, env=env,
+    )
+    return int(json.loads(completed.stdout)["maxrss_bytes"])
+
+
+def test_graph_store_fleets():
+    """Buffer backends at the top rung: shm vs pickled workers, mmap RSS."""
+    import multiprocessing
+    import pickle
+
+    from repro.experiments import runner as runner_module
+    from repro.experiments.algorithms import build_algorithm_suite
+    from repro.experiments.runner import CellTask
+    from repro.graph.store import publish_csr, save_csr_npz
+    from repro.utils.rng import derive_seed
+
+    num_nodes = max(RUNGS)
+    graph = _ladder_graph(num_nodes, seed=40)
+    inram_bytes = int(
+        graph.indptr.nbytes + graph.indices.nbytes + graph.label_array().nbytes
+    )
+    # Warm the derived caches like compare_algorithms would (the ground
+    # truth); the ram path ships them pickled, shm publishes them.
+    true_count = graph.count_target_edges(1, 2)
+    full_suite = build_algorithm_suite(include_baselines=False)
+    suite = {
+        name: full_suite[name]
+        for name in ("NeighborSample-HH", "NeighborExploration-HH")
+    }
+    suite_blob = pickle.dumps(suite)
+    graph_blob_mb = round(len(pickle.dumps(graph)) / 2**20, 1)
+
+    def make_cells(fractions, repetitions):
+        return [
+            CellTask(
+                algorithm=name,
+                column=column,
+                sample_size=max(1, int(fraction * graph.num_nodes)),
+                seed=derive_seed(42, name, column),
+                t1=1, t2=2,
+                repetitions=repetitions,
+                burn_in=50,
+                true_count=true_count,
+                backend="python",
+                execution="fleet",
+            )
+            for name in suite
+            for column, fraction in enumerate(fractions)
+        ]
+
+    # The comparison runs under the *spawn* start method — the default
+    # everywhere but today's Linux, and the only one where worker state
+    # is genuinely serialized (under fork, "ram" ships zero bytes: the
+    # workers inherit the parent heap copy-on-write, an accident of one
+    # platform that hides exactly the cost this bench measures).  An
+    # *eager* pool (multiprocessing.Pool) stands all four workers up on
+    # both sides; the lazy executor would let the pickling path quietly
+    # skip spawning workers it is too slow to feed.
+    ctx = multiprocessing.get_context("spawn")
+
+    def run_pool(store, cells):
+        publication = None
+        graph_ref = graph
+        started = time.perf_counter()
+        if store == "shm":
+            publication = publish_csr(graph, "shm")
+            graph_ref = publication.handle
+        try:
+            with ctx.Pool(
+                4,
+                initializer=runner_module._init_cell_worker,
+                initargs=(graph_ref, suite_blob, True),
+            ) as pool:
+                outcomes = pool.map(runner_module._run_cell_in_worker, cells)
+        finally:
+            if publication is not None:
+                publication.close()
+                publication.unlink()
+        return outcomes, time.perf_counter() - started
+
+    # Worker-spawn overhead: near-empty cells, so four worker start-ups
+    # plus the per-store graph transfer is essentially all that is
+    # measured (ram: 4 × the adjacency through a pipe; shm: one publish
+    # plus 4 O(1) handles).
+    spawn = {}
+    for store in ("ram", "shm"):
+        _, spawn_seconds = run_pool(store, make_cells((0.0002,), 2)[:1] * 4)
+        spawn[store] = round(spawn_seconds, 4)
+
+    cells = make_cells((0.002, 0.005), 8)
+    ram_outcomes, ram_seconds = run_pool("ram", cells)
+    shm_outcomes, shm_seconds = run_pool("shm", cells)
+    for ours, theirs in zip(shm_outcomes, ram_outcomes):
+        # The store moves bytes, never random draws.
+        assert ours.estimates == theirs.estimates
+
+    # Out-of-core: peak RSS of a memory-mapped run vs a fully-loaded twin,
+    # each in its own interpreter.
+    with tempfile.TemporaryDirectory(prefix="repro-mmap-bench-") as scratch:
+        sidecar = save_csr_npz(graph, Path(scratch) / "rung.npz")
+        baseline_rss = _probe_rss(sidecar, "baseline")
+        mmap_rss = _probe_rss(sidecar, "mmap")
+        inram_rss = _probe_rss(sidecar, "ram")
+
+    _RESULTS["graph_store"] = {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "graph_inram_mb": round(inram_bytes / 2**20, 1),
+        "graph_pickle_mb": graph_blob_mb,
+        "n_jobs": 4,
+        "start_method": "spawn",
+        "worker_spawn_overhead_seconds": spawn,
+        "fleet_table": {
+            "repetitions": 8,
+            "sample_fractions": [0.002, 0.005],
+            "ram_pickled_seconds": round(ram_seconds, 4),
+            "shm_handles_seconds": round(shm_seconds, 4),
+            "shm_speedup": round(ram_seconds / shm_seconds, 2),
+            "bit_identical_tables": True,
+        },
+        "mmap_peak_rss": {
+            "walkers": 32,
+            "steps_per_walker": 150,
+            "interpreter_baseline_mb": round(baseline_rss / 2**20, 1),
+            "mmap_mb": round(mmap_rss / 2**20, 1),
+            "fully_loaded_mb": round(inram_rss / 2**20, 1),
+            "mmap_delta_mb": round((mmap_rss - baseline_rss) / 2**20, 1),
+            "fully_loaded_delta_mb": round((inram_rss - baseline_rss) / 2**20, 1),
+        },
+    }
+    if num_nodes >= 1_000_000:
+        # Acceptance floors (10⁶ rung): shm multi-process beats the
+        # pickling path, and the mmap run's working set stays under the
+        # graph's in-RAM footprint.
+        assert shm_seconds < ram_seconds, _RESULTS["graph_store"]
+        assert mmap_rss < inram_rss, _RESULTS["graph_store"]
+        assert mmap_rss - baseline_rss < inram_bytes, _RESULTS["graph_store"]
+
+
 def test_write_scale_json():
     """Persist the ladder (runs last: pytest executes in file order)."""
     assert "rungs" in _RESULTS, "rung test did not run"
@@ -324,7 +540,12 @@ def test_write_scale_json():
         "generator": "chung_lu_csr (power-law expected degrees, exponent 2.5)",
         "rungs": _RESULTS["rungs"],
     }
-    for key in ("prefix_reuse_sweep", "bench_baselines", "ten_algorithm_table"):
+    for key in (
+        "prefix_reuse_sweep",
+        "bench_baselines",
+        "ten_algorithm_table",
+        "graph_store",
+    ):
         if key in _RESULTS:
             payload[key] = _RESULTS[key]
     bench_support.write_json("BENCH_scale.json", payload)

@@ -31,6 +31,7 @@ from repro.core.samplers.csr_backend import BACKENDS, EXECUTIONS, REUSES
 from repro.core.pipeline import available_algorithms, estimate_target_edge_count
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.experiments.config import ExperimentConfig
+from repro.graph.store import GRAPH_STORES
 from repro.experiments.figures import run_paper_figure
 from repro.experiments.reporting import (
     format_frequency_series,
@@ -119,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         "scale), reproduces all ten algorithm rows and needs "
         "--execution fleet or --reuse prefix",
     )
+    table.add_argument(
+        "--graph-store",
+        choices=GRAPH_STORES,
+        default="ram",
+        dest="graph_store",
+        help="CSR buffer store: 'shm' publishes one shared-memory segment "
+        "that --jobs workers reattach via O(1) handles; 'mmap' memory-maps "
+        "the dataset from an .npz sidecar (out-of-core); needs "
+        "--representation csr (identical tables either way)",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
     figure.add_argument("number", type=int, choices=[1, 2])
@@ -158,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         help="dataset substrate; 'csr' synthesises array-natively (paper "
         "scale) and needs --execution fleet or --reuse prefix",
+    )
+    figure.add_argument(
+        "--graph-store",
+        choices=GRAPH_STORES,
+        default="ram",
+        dest="graph_store",
+        help="CSR buffer store: 'shm' shares one segment across --jobs "
+        "workers; 'mmap' memory-maps the dataset (out-of-core); needs "
+        "--representation csr",
     )
 
     bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
@@ -271,6 +291,7 @@ def _command_table(args) -> int:
         execution=args.execution,
         reuse=args.reuse,
         representation=args.representation,
+        graph_store=args.graph_store,
         n_jobs=n_jobs,
         pinned=pinned,
     )
@@ -300,6 +321,7 @@ def _command_figure(args) -> int:
         execution=args.execution,
         reuse=args.reuse,
         representation=args.representation,
+        graph_store=args.graph_store,
         n_jobs=n_jobs,
         pinned=pinned,
     )

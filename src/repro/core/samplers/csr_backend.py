@@ -38,6 +38,14 @@ importance-correct; the MH-family proposal probes are folded into the
 per-trial ledgers.  (The EX-* baselines themselves walk the *line
 graph* — their fleet path lives in :mod:`repro.baselines.fleet` on top
 of :class:`~repro.walks.line_batched.BatchedLineWalkEngine`.)
+
+The fleet classification paths touch the graph only through gathers
+(label masks indexed by trajectories, ``gather_neighbors`` for the
+exploration ledgers) and the incident-count table — whose underlying
+whole-adjacency pass dispatches to the chunked-gather fallback on
+memory-mapped graphs (:meth:`CSRGraph.neighbor_mask_counts`) — so they
+run unchanged over shm/mmap-backed CSR buffers
+(:mod:`repro.graph.store`).
 """
 
 from __future__ import annotations

@@ -22,6 +22,12 @@ import numpy as np
 from repro.exceptions import DatasetError
 from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.store import (
+    GRAPH_STORES,
+    default_mmap_dir,
+    spill_csr_to_mmap,
+    validate_graph_store,
+)
 from repro.graph.statistics import (
     count_target_edges,
     edge_label_histogram,
@@ -288,7 +294,10 @@ def select_target_pairs(
     return pairs
 
 
-_CACHE: Dict[Tuple[str, int, float, str], Dataset] = {}
+#: Keyed by (name, seed, scale, representation, graph_store) — the store
+#: mode is part of the key so a memory-mapped open never aliases (or is
+#: aliased by) an in-RAM cache entry for the same dataset.
+_CACHE: Dict[Tuple[str, int, float, str, str], Dataset] = {}
 
 
 def _synthesize_csr(spec: DatasetSpec, seed: int, num_nodes: int, edges_per_node: int) -> CSRGraph:
@@ -334,6 +343,7 @@ def load_dataset(
     scale: float = 1.0,
     use_cache: bool = True,
     representation: str = "dict",
+    graph_store: str = "ram",
 ) -> Dataset:
     """Generate (or fetch from cache) one dataset stand-in.
 
@@ -358,6 +368,18 @@ def load_dataset(
         sample the same dataset *shape* (degree law, label model,
         target-pair selection) but draw from different random streams,
         so their graphs are statistically, not bitwise, alike.
+    graph_store:
+        Which buffer store backs a CSR dataset.  ``"ram"`` (default)
+        and ``"shm"`` keep the arrays in process RAM (``"shm"``
+        publication happens later, at the ``n_jobs`` plane);
+        ``"mmap"`` spills the synthesised arrays to an ``.npz`` sidecar
+        under :func:`repro.graph.store.default_mmap_dir` and reopens
+        them memory-mapped — the graph's adjacency pages in on demand
+        and the dataset pickles as an O(1) handle.  The spilled arrays
+        are bit-identical to the in-RAM ones (same synthesis streams),
+        so experiments agree exactly across stores.  The in-process
+        cache is keyed by the store mode, so a memory-mapped open never
+        aliases an in-RAM entry.
     """
     if name not in DATASET_SPECS:
         raise DatasetError(
@@ -368,8 +390,14 @@ def load_dataset(
             f"unknown representation {representation!r}; "
             f"available: {', '.join(REPRESENTATIONS)}"
         )
+    validate_graph_store(graph_store)
+    if graph_store != "ram" and representation != "csr":
+        raise DatasetError(
+            f"graph_store={graph_store!r} needs the array-native substrate; "
+            "pass representation='csr'"
+        )
     check_positive(scale, "scale")
-    key = (name, int(seed), float(scale), representation)
+    key = (name, int(seed), float(scale), representation, graph_store)
     if use_cache and key in _CACHE:
         return _CACHE[key]
 
@@ -379,6 +407,14 @@ def load_dataset(
     graph: Union[LabeledGraph, CSRGraph]
     if representation == "csr":
         graph = _synthesize_csr(spec, int(seed), num_nodes, edges_per_node)
+        if graph_store == "mmap":
+            # Spill-and-reattach: synthesis is deterministic in (name,
+            # seed, scale), but specs are test-tweakable, so the sidecar
+            # is rewritten (atomically) rather than trusted when present.
+            sidecar = default_mmap_dir() / (
+                f"{name}-seed{int(seed)}-scale{float(scale)}.npz"
+            )
+            graph = spill_csr_to_mmap(graph, sidecar)
     else:
         rng = ensure_rng(seed)
         graph = powerlaw_cluster_osn(

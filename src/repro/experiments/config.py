@@ -19,6 +19,7 @@ from repro.core.samplers.csr_backend import (
     validate_reuse,
 )
 from repro.exceptions import ConfigurationError
+from repro.graph.store import validate_graph_store
 from repro.utils.validation import check_fraction, check_positive_int
 
 #: 0.5% .. 5.0% of |V|, the x-axis of every NRMSE table in the paper.
@@ -86,6 +87,16 @@ class ExperimentConfig:
         ``execution="fleet"`` or ``reuse="prefix"`` — the sequential
         loop simulates the restricted API over the dict substrate —
         and then reproduces the full ten-algorithm tables.
+    graph_store:
+        Which buffer store backs the CSR graph and carries it to
+        ``n_jobs`` workers: ``"ram"`` (default, process-private arrays;
+        workers get a pickle each), ``"shm"`` (one shared-memory
+        segment, workers reattach an O(1) handle — cheap multi-process
+        tables at ≥10⁶ nodes), or ``"mmap"`` (the dataset itself is
+        memory-mapped from an ``.npz`` sidecar — out-of-core, peak RSS
+        well under the in-RAM footprint, and workers map the same
+        file).  Non-``"ram"`` stores require ``representation="csr"``;
+        results are bit-identical across all three stores.
     n_jobs:
         Worker processes for cell-level parallelism; per-cell seeds are
         pre-derived so any worker count reproduces the same tables.
@@ -109,6 +120,7 @@ class ExperimentConfig:
     execution: str = "sequential"
     reuse: str = "none"
     representation: str = "dict"
+    graph_store: str = "ram"
     n_jobs: int = 1
     pinned: Tuple[str, ...] = ()
 
@@ -118,6 +130,13 @@ class ExperimentConfig:
         validate_backend(self.backend)
         validate_execution(self.execution)
         validate_reuse(self.reuse)
+        validate_graph_store(self.graph_store)
+        if self.graph_store != "ram" and self.representation != "csr":
+            raise ConfigurationError(
+                f"graph_store={self.graph_store!r} stores CSR buffers "
+                "externally; the dict representation has none — combine it "
+                "with representation='csr'"
+            )
         if self.representation not in ("dict", "csr"):
             raise ConfigurationError(
                 f"unknown representation {self.representation!r}; "

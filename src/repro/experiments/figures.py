@@ -116,6 +116,7 @@ def run_paper_figure(
         seed=config.seed,
         scale=config.scale,
         representation=config.representation,
+        graph_store=config.graph_store,
     )
     pairs = select_target_pairs(dataset.graph, count=definition.num_pairs)
     points = frequency_sweep(
@@ -129,6 +130,7 @@ def run_paper_figure(
         execution=config.execution,
         n_jobs=config.n_jobs,
         reuse=config.reuse,
+        graph_store=config.graph_store,
     )
     return PaperFigureResult(definition=definition, points=points, config=config)
 

@@ -29,7 +29,14 @@ Three orthogonal performance knobs:
 * ``n_jobs > 1`` distributes whole cells across worker processes.
   Per-cell seeds are derived with :func:`derive_seed` before
   submission, so the resulting table is identical for any worker count
-  and scheduling order.
+  and scheduling order.  ``graph_store`` controls how the graph reaches
+  the workers: ``"ram"`` pickles it once per worker (the only option
+  for dict graphs), while ``"shm"`` / ``"mmap"`` publish the CSR
+  buffers once (shared-memory segment / memory-mapped sidecar) and ship
+  an O(1) :class:`~repro.graph.store.CSRHandle` that workers reattach
+  zero-copy — at the 10⁶-node rung the serialization this avoids dwarfs
+  the cell work itself.  The store never touches any random stream, so
+  tables are bit-identical across all three stores.
 """
 
 from __future__ import annotations
@@ -38,7 +45,7 @@ import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.baselines.fleet import (
     classify_line_fleet,
@@ -59,6 +66,7 @@ from repro.core.samplers.csr_backend import (
 from repro.exceptions import ConfigurationError, ExperimentError
 from repro.graph.api import RestrictedGraphAPI
 from repro.graph.csr import CSRGraph, csr_view, ensure_same_graph
+from repro.graph.store import CSRHandle, attach_csr, publish_csr, validate_graph_store
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
 from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng, spawn_rngs
@@ -484,6 +492,7 @@ def compare_algorithms(
     execution: str = "sequential",
     n_jobs: int = 1,
     reuse: str = "none",
+    graph_store: str = "ram",
 ) -> NRMSETable:
     """Reproduce one NRMSE table: every algorithm at every budget.
 
@@ -533,11 +542,21 @@ def compare_algorithms(
         trajectory prefixes (:func:`run_trials_prefix`) — O(max
         budget) walking for the whole row.  Hand-written runners keep
         fresh per-cell walks (and the ``n_jobs`` pool) either way.
+    graph_store:
+        How ``n_jobs > 1`` workers receive the graph: ``"ram"``
+        (default) pickles it once per worker; ``"shm"`` / ``"mmap"``
+        publish the CSR buffers once (shared-memory segment /
+        memory-mapped sidecar) and ship an O(1) reattach handle — the
+        cheap-parallelism path at million-node scale.  Requires a
+        :class:`CSRGraph`; irrelevant (and ignored) at ``n_jobs=1``.
+        Tables are bit-identical across stores: the store moves bytes,
+        never random draws.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
     validate_execution(execution)
     validate_reuse(reuse)
+    validate_graph_store(graph_store)
     if algorithms is None:
         if isinstance(graph, CSRGraph) and execution != "fleet" and reuse != "prefix":
             # Without a vectorized execution mode a CSR-native run has
@@ -619,6 +638,7 @@ def compare_algorithms(
             run_cells_parallel(
                 graph, algorithms, cells, n_jobs,
                 pool_progress if progress is not None else None,
+                graph_store=graph_store,
             )
         )
     else:
@@ -708,13 +728,30 @@ _WORKER_STATE: Dict[str, object] = {}
 
 
 def _init_cell_worker(
-    graph: LabeledGraph,
-    suite: Mapping[str, AlgorithmRunner],
+    graph_ref: Union[LabeledGraph, CSRGraph, CSRHandle],
+    suite_blob: bytes,
     needs_csr: bool,
+    cache_payload: Optional[Dict] = None,
 ) -> None:
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["suite"] = suite
-    _WORKER_STATE["csr"] = csr_view(graph) if needs_csr else None
+    """Materialise the per-worker state from what the parent shipped.
+
+    *graph_ref* is either the graph itself (``graph_store="ram"``, one
+    pickle per worker) or an O(1) :class:`CSRHandle` that reattaches
+    the published buffers zero-copy.  *suite_blob* is the suite pickled
+    **once** in the parent — the same bytes serve both the eager
+    picklability check and the transfer, so the suite is never
+    serialized twice.  *cache_payload* carries the parent's derived
+    label caches when the handle could not (a re-published graph keeps
+    its pre-existing handle), so workers never repeat the parent's
+    O(|E|) classification passes.
+    """
+    if isinstance(graph_ref, CSRHandle):
+        graph_ref = attach_csr(graph_ref)
+        if cache_payload is not None:
+            graph_ref.adopt_label_caches(cache_payload)
+    _WORKER_STATE["graph"] = graph_ref
+    _WORKER_STATE["suite"] = pickle.loads(suite_blob)
+    _WORKER_STATE["csr"] = csr_view(graph_ref) if needs_csr else None
 
 
 def _run_cell_in_worker(cell: CellTask) -> TrialOutcome:
@@ -733,6 +770,7 @@ def run_cells_parallel(
     cells: Sequence[CellTask],
     n_jobs: int,
     progress: Optional[Callable[[str, int, float], None]],
+    graph_store: str = "ram",
 ) -> Dict[Tuple[str, int], TrialOutcome]:
     """Run cells across a process pool; results keyed (algorithm, column).
 
@@ -741,14 +779,25 @@ def run_cells_parallel(
     transfer per worker, not per cell), so a tuned suite behaves
     identically at any worker count.  Because every cell carries its own
     pre-derived seed, scheduling order cannot change any result, only
-    the completion order of the progress callback.  Picklability is
-    validated eagerly so hand-written closure runners fail with a clear
-    error on every platform (under ``fork`` they would silently work,
-    under ``spawn`` they would crash mid-pool).
+    the completion order of the progress callback.  The suite is pickled
+    exactly once: the resulting bytes double as the eager picklability
+    check (hand-written closure runners fail with a clear error on every
+    platform — under ``fork`` they would silently work, under ``spawn``
+    they would crash mid-pool) and as the per-worker transfer payload.
+
+    *graph_store* selects the graph transport.  ``"ram"`` pickles the
+    graph into each worker (dict graphs have no other option).  For a
+    :class:`CSRGraph`, ``"shm"`` publishes the buffers once into a
+    shared-memory segment and ``"mmap"`` into a memory-mapped sidecar
+    (a graph already mmap-backed re-uses its existing handle for free);
+    workers then reattach zero-copy from an O(1) handle.  The published
+    resource is released in a ``finally`` block, so a worker crash or a
+    raising cell cannot leak a segment.
     """
+    validate_graph_store(graph_store)
     suite = dict(algorithms)
     try:
-        pickle.dumps(suite)
+        suite_blob = pickle.dumps(suite)
     except Exception as error:
         raise ConfigurationError(
             "n_jobs > 1 ships the algorithm suite to worker processes, which "
@@ -758,22 +807,46 @@ def run_cells_parallel(
     needs_csr = any(
         cell.backend == "csr" or cell.execution == "fleet" for cell in cells
     )
+    publication = None
+    graph_ref: Union[LabeledGraph, CSRGraph, CSRHandle] = graph
+    cache_payload: Optional[Dict] = None
+    if graph_store != "ram":
+        if not isinstance(graph, CSRGraph):
+            raise ConfigurationError(
+                f"graph_store={graph_store!r} publishes CSR buffers; the dict "
+                "graph has none — use representation='csr' (or graph_store='ram')"
+            )
+        publication = publish_csr(graph, graph_store)
+        graph_ref = publication.handle
+        if not publication.owns_resource:
+            # The graph was already externally backed, so its pre-existing
+            # handle was reused — any caches computed *since* it was
+            # written are not in it; ship them by value (O(|V|), vs the
+            # O(|E|) recompute every worker would otherwise pay).
+            exported = graph.export_label_caches()
+            if any(exported.values()):
+                cache_payload = exported
     outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
-    with ProcessPoolExecutor(
-        max_workers=n_jobs,
-        initializer=_init_cell_worker,
-        initargs=(graph, suite, needs_csr),
-    ) as pool:
-        futures = {
-            pool.submit(_run_cell_in_worker, cell): cell for cell in cells
-        }
-        done = 0
-        for future in as_completed(futures):
-            cell = futures[future]
-            outcomes[(cell.algorithm, cell.column)] = future.result()
-            done += 1
-            if progress is not None:
-                progress(cell.algorithm, cell.sample_size, done / len(cells))
+    try:
+        with ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_init_cell_worker,
+            initargs=(graph_ref, suite_blob, needs_csr, cache_payload),
+        ) as pool:
+            futures = {
+                pool.submit(_run_cell_in_worker, cell): cell for cell in cells
+            }
+            done = 0
+            for future in as_completed(futures):
+                cell = futures[future]
+                outcomes[(cell.algorithm, cell.column)] = future.result()
+                done += 1
+                if progress is not None:
+                    progress(cell.algorithm, cell.sample_size, done / len(cells))
+    finally:
+        if publication is not None:
+            publication.close()
+            publication.unlink()
     return outcomes
 
 

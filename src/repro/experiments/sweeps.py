@@ -28,6 +28,7 @@ from repro.core.samplers.csr_backend import (
 )
 from repro.graph.csr import csr_view
 from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.store import validate_graph_store
 from repro.graph.statistics import count_target_edges
 from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng
 from repro.utils.validation import check_positive_int
@@ -63,6 +64,7 @@ def sample_size_sweep(
     execution: str = "sequential",
     n_jobs: int = 1,
     reuse: str = "none",
+    graph_store: str = "ram",
 ) -> NRMSETable:
     """NRMSE of every algorithm as the budget grows — one paper table.
 
@@ -85,6 +87,7 @@ def sample_size_sweep(
         execution=execution,
         n_jobs=n_jobs,
         reuse=reuse,
+        graph_store=graph_store,
     )
 
 
@@ -110,6 +113,7 @@ def frequency_sweep(
     execution: str = "sequential",
     n_jobs: int = 1,
     reuse: str = "none",
+    graph_store: str = "ram",
 ) -> List[FrequencyPoint]:
     """NRMSE vs relative target-edge count at a fixed budget (Figures 1–2).
 
@@ -151,11 +155,18 @@ def frequency_sweep(
         masks.  Per-point estimate distributions are unchanged
         (KS-checked); points of one algorithm become correlated across
         pairs, which NRMSE — a per-point statistic — never reads.
+    graph_store:
+        Graph transport for the ``n_jobs`` pool: ``"ram"`` pickles the
+        graph per worker; ``"shm"`` / ``"mmap"`` publish the CSR
+        buffers once and ship O(1) reattach handles (see
+        :func:`repro.experiments.runner.run_cells_parallel`).  The
+        series is bit-identical across stores.
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
     validate_execution(execution)
     validate_reuse(reuse)
+    validate_graph_store(graph_store)
     if algorithms is None:
         suite = build_algorithm_suite(include_baselines=False)
         algorithms = {name: suite[name] for name in PAPER_ALGORITHM_ORDER}
@@ -238,7 +249,11 @@ def frequency_sweep(
         if name not in prefix_names
     ]
     if cells and n_jobs > 1:
-        outcomes.update(run_cells_parallel(graph, algorithms, cells, n_jobs, None))
+        outcomes.update(
+            run_cells_parallel(
+                graph, algorithms, cells, n_jobs, None, graph_store=graph_store
+            )
+        )
     else:
         for cell in cells:
             outcomes[(cell.algorithm, cell.column)] = run_cell(

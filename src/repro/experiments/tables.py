@@ -129,6 +129,7 @@ def run_paper_table(
         seed=config.seed,
         scale=config.scale,
         representation=config.representation,
+        graph_store=config.graph_store,
     )
     if config.target_pair_index >= len(dataset.target_pairs):
         raise ExperimentError(
@@ -161,6 +162,7 @@ def run_paper_table(
         execution=config.execution,
         n_jobs=config.n_jobs,
         reuse=config.reuse,
+        graph_store=config.graph_store,
     )
     return PaperTableResult(definition=definition, table=table, config=config)
 

@@ -3,6 +3,15 @@
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.api import RestrictedGraphAPI, APICallCounter
 from repro.graph.csr import CSRGraph, csr_view
+from repro.graph.store import (
+    GRAPH_STORES,
+    CSRHandle,
+    CSRPublication,
+    attach_csr,
+    load_csr_npz,
+    publish_csr,
+    save_csr_npz,
+)
 from repro.graph.cleaning import simplify_osn_graph, largest_connected_component
 from repro.graph.line_graph import build_line_graph, LineGraphNode
 from repro.graph.statistics import (
@@ -21,6 +30,13 @@ __all__ = [
     "APICallCounter",
     "CSRGraph",
     "csr_view",
+    "GRAPH_STORES",
+    "CSRHandle",
+    "CSRPublication",
+    "publish_csr",
+    "attach_csr",
+    "save_csr_npz",
+    "load_csr_npz",
     "simplify_osn_graph",
     "largest_connected_component",
     "build_line_graph",

@@ -56,6 +56,10 @@ _INT32_LIMIT = 2**31
 #: ``floor(sqrt(2**63)) - 1``.
 _PAIR_CODE_NODE_LIMIT = 3_037_000_498
 
+#: Window (in ``indices`` entries) of the chunked whole-array passes
+#: used on memory-mapped graphs: 4M int32 entries is a 16 MB read.
+_MMAP_CHUNK = 1 << 22
+
 
 def sorted_unique(values: np.ndarray) -> np.ndarray:
     """Sorted distinct values of an integer array.
@@ -105,6 +109,18 @@ class CSRGraph:
     label_array:
         One integer label per node as a numpy array (the vectorized
         labelers' output) — far cheaper than a million frozensets.
+    validate:
+        When false, skip the O(|E|) range scan of ``indices``.  The
+        attach paths of :mod:`repro.graph.store` pass this: re-opening
+        a trusted shared-memory segment or sidecar must not page the
+        whole (possibly larger-than-RAM) adjacency through memory just
+        to re-check bounds the publisher already checked.
+
+    The arrays need not be process-private RAM: :attr:`store` names the
+    backing buffer store (``"ram"`` by default; ``"shm"`` / ``"mmap"``
+    when :mod:`repro.graph.store` attached them), and an
+    externally-backed graph pickles as its O(1) :class:`CSRHandle`
+    instead of by value (see :meth:`__reduce_ex__`).
     """
 
     def __init__(
@@ -115,6 +131,7 @@ class CSRGraph:
         label_sets: Optional[Sequence[Iterable[Label]]] = None,
         *,
         label_array: Optional[np.ndarray] = None,
+        validate: bool = True,
     ) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         if self.indptr.ndim != 1 or self.indptr.size == 0:
@@ -147,11 +164,19 @@ class CSRGraph:
             raise GraphError("label_array must provide one entry per node")
         if n and (self.indptr[0] != 0 or self.indptr[-1] != self.indices.size):
             raise GraphError("indptr must start at 0 and end at len(indices)")
-        if self.indices.size and (
+        if validate and self.indices.size and (
             self.indices.min() < 0 or self.indices.max() >= n
         ):
             raise GraphError("indices contains out-of-range node indices")
         self.degrees = np.diff(self.indptr)
+        #: Which buffer store backs the arrays ("ram" | "shm" | "mmap");
+        #: repro.graph.store sets the non-default values on attach.
+        self.store: str = "ram"
+        # Keeps an attached shared-memory segment mapped while any view
+        # into it is alive; None for ram/mmap-backed graphs.
+        self._buffer_owner: Optional[object] = None
+        # O(1)-picklable reattach descriptor for externally-backed graphs.
+        self._handle: Optional[object] = None
         self._index_of: Optional[Dict[Node, int]] = None
         self._mask_cache: Dict[Label, np.ndarray] = {}
         self._incident_cache: Dict[Tuple[Label, Label], np.ndarray] = {}
@@ -235,15 +260,54 @@ class CSRGraph:
 
         CSR graphs are immutable, so labeling is re-wrapping: the
         ``indptr`` / ``indices`` buffers are shared (no copy), only the
-        label storage and the derived caches are fresh.
+        label storage and the derived caches are fresh.  The buffer
+        store carries over (labels over a memory-mapped adjacency keep
+        the chunked whole-array fallbacks), but the reattach handle
+        does not — the new labels live in this process only, so the
+        re-wrapped graph pickles by value.
         """
-        return CSRGraph(
+        relabeled = CSRGraph(
             self._node_ids,
             self.indptr,
             self.indices,
             label_sets,
             label_array=label_array,
+            validate=False,
         )
+        relabeled.store = self.store
+        relabeled._buffer_owner = self._buffer_owner
+        return relabeled
+
+    def __reduce_ex__(self, protocol):
+        """Pickle externally-backed graphs as their O(1) reattach handle.
+
+        A shm/mmap-backed graph serialises to its
+        :class:`~repro.graph.store.CSRHandle` — a few hundred bytes —
+        and unpickles by reattaching the same segment/file zero-copy in
+        the receiving process.  This is what makes ``n_jobs`` fleets
+        cheap at million-node scale: submitting work never re-ships the
+        adjacency.  RAM-backed graphs keep the default by-value pickle.
+        """
+        if self._handle is not None:
+            from repro.graph.store import attach_csr
+
+            return (attach_csr, (self._handle,))
+        return super().__reduce_ex__(protocol)
+
+    def __getstate__(self):
+        """By-value pickles must not drag a segment mapping along.
+
+        ``_buffer_owner`` (a ``SharedMemory`` attachment) is
+        process-local: its own pickle protocol *re-attaches by name* in
+        the receiver — registering with the resource tracker on
+        Python < 3.13, whose exit would then unlink the segment out
+        from under every other process.  A graph that pickles by value
+        (e.g. a :meth:`with_labels` re-wrap of an attached graph)
+        serialises its array *data* instead, so the owner is dropped.
+        """
+        state = dict(self.__dict__)
+        state["_buffer_owner"] = None
+        return state
 
     def to_labeled_graph(self) -> LabeledGraph:
         """Materialise the dict-of-sets reference graph (escape hatch).
@@ -373,7 +437,11 @@ class CSRGraph:
         """``(indptr, indices, degrees)`` as plain Python lists (cached).
 
         The scalar single-walker loops index these a few million times a
-        second; list indexing beats numpy scalar indexing there.
+        second; list indexing beats numpy scalar indexing there.  Note
+        this **densifies** the adjacency into Python lists — it belongs
+        to the scalar reference paths only; the fleet engines gather
+        straight from the (possibly shm/mmap-backed) numpy arrays and
+        never call it.
         """
         if self._indptr_list is None:
             self._indptr_list = self.indptr.tolist()
@@ -424,12 +492,47 @@ class CSRGraph:
 
         Implemented with a cumulative sum over the flat neighbor array so
         empty adjacency rows are handled correctly (``np.add.reduceat``
-        is not safe there).
+        is not safe there).  This is one of the few whole-adjacency
+        passes in the data plane (the walk engines only *gather*), so on
+        a memory-mapped graph it dispatches to the chunked variant
+        instead of materialising an |E|-sized accumulator next to a
+        larger-than-RAM adjacency.
         """
+        if self.store == "mmap":
+            return self._neighbor_mask_counts_chunked(mask)
         acc = np.concatenate(
             ([0], np.cumsum(mask[self.indices], dtype=np.int64))
         )
         return acc[self.indptr[1:]] - acc[self.indptr[:-1]]
+
+    def _neighbor_mask_counts_chunked(
+        self, mask: np.ndarray, chunk_size: int = _MMAP_CHUNK
+    ) -> np.ndarray:
+        """Chunked-gather fallback of :meth:`neighbor_mask_counts`.
+
+        Streams ``indices`` through fixed-size windows and records the
+        running mask-hit total at every ``indptr`` boundary falling in
+        the window, so peak extra memory is O(|V| + chunk) instead of
+        O(|E|) — the documented pattern for whole-array operations over
+        an out-of-core CSR graph.  Bit-identical to the dense pass.
+        """
+        boundary = np.zeros(self.indptr.size, dtype=np.int64)
+        indptr = self.indptr
+        total = int(self.indices.size)
+        running = 0
+        for lo in range(0, total, chunk_size):
+            hi = min(lo + chunk_size, total)
+            part = np.cumsum(mask[self.indices[lo:hi]], dtype=np.int64)
+            # Boundaries p with lo < p <= hi close inside this window
+            # (p == 0 rows keep the zero initialisation).
+            first = int(np.searchsorted(indptr, lo, side="right"))
+            last = int(np.searchsorted(indptr, hi, side="right"))
+            if first < last:
+                boundary[first:last] = running + part[
+                    np.asarray(indptr[first:last], dtype=np.int64) - lo - 1
+                ]
+            running += int(part[-1])
+        return boundary[1:] - boundary[:-1]
 
     def target_incident_counts(self, t1: Label, t2: Label) -> np.ndarray:
         """``T(u)`` for every node: incident target edges for ``(t1, t2)``.
@@ -454,6 +557,40 @@ class CSRGraph:
             counts.setflags(write=False)
             self._incident_cache[key] = counts
         return counts
+
+    def export_label_caches(self) -> Dict[str, Dict]:
+        """Picklable snapshot of the derived label caches.
+
+        Masks and incident-count arrays are O(|V|) to store but O(|E|)
+        to derive, so a parent that has already classified can hand
+        them to workers instead of letting each one re-stream the
+        adjacency.  Used by the ``n_jobs`` plane when a graph is
+        re-published through a pre-existing handle that cannot carry
+        caches computed since it was written (see
+        :func:`repro.graph.store.publish_csr`, which bakes the caches
+        into *fresh* publications zero-copy).
+        """
+        return {
+            "masks": dict(self._mask_cache),
+            "incident": dict(self._incident_cache),
+            "counts": dict(self._target_count_cache),
+        }
+
+    def adopt_label_caches(self, payload: Dict[str, Dict]) -> None:
+        """Merge caches exported from another instance of the same graph.
+
+        Entries already present locally win (they are views over this
+        graph's own store); only missing keys are filled in.  The
+        caller is responsible for the payload describing the *same*
+        topology and labels — it is only ever built from a handle of
+        this very graph.
+        """
+        for label, mask in payload.get("masks", {}).items():
+            self._mask_cache.setdefault(label, mask)
+        for pair, counts in payload.get("incident", {}).items():
+            self._incident_cache.setdefault(pair, counts)
+        for pair, count in payload.get("counts", {}).items():
+            self._target_count_cache.setdefault(pair, int(count))
 
     def count_target_edges(self, t1: Label, t2: Label) -> int:
         """Exact ground-truth count ``F`` for ``(t1, t2)`` via label masks.

@@ -167,11 +167,30 @@ def _npz_cache_path(path: Path, cache: Union[bool, PathLike]) -> Optional[Path]:
     return Path(cache)
 
 
+def _attach_sidecar_mmap(cache_path: Path) -> CSRGraph:
+    """Open an edge-list sidecar memmap-native (zero-copy, read-only).
+
+    The sidecar is the uncompressed ``np.savez`` archive this module
+    writes, so each member's raw bytes can be handed straight to
+    :class:`numpy.memmap` (see :func:`repro.graph.store.npz_array_specs`)
+    — the graph's adjacency never has to fit in RAM.
+    """
+    from repro.graph.store import ArraySpec, CSRHandle, attach_csr, npz_array_specs
+
+    specs = tuple(
+        spec
+        for spec in npz_array_specs(cache_path)
+        if spec.key in ("node_ids", "indptr", "indices", "label_array")
+    )
+    return attach_csr(CSRHandle("mmap", str(cache_path), specs))
+
+
 def load_edge_list_csr(
     path: PathLike,
     keep_largest_component: bool = True,
     cache: Union[bool, PathLike] = False,
     comment: str = "#",
+    mmap: bool = False,
 ) -> CSRGraph:
     """Load an edge list straight into a cleaned :class:`CSRGraph`.
 
@@ -182,23 +201,37 @@ def load_edge_list_csr(
     what makes the paper's million-node crawls loadable.  ``cache=True``
     memoises the final arrays in a ``.npz`` sidecar next to the file
     (or at an explicit path) and reuses it while it is newer than the
-    source.  Node labels are not handled here; attach them afterwards
-    with :meth:`CSRGraph.with_labels` (e.g. from
+    source.  With ``mmap=True`` (requires a sidecar cache) the graph is
+    returned **memory-mapped**: its arrays are read-only
+    :class:`numpy.memmap` views over the sidecar, pages fault in on
+    demand, and the graph pickles as an O(1) handle — the out-of-core
+    path for crawls larger than RAM.  A stale sidecar (older than the
+    source, or written under the other cleaning setting) is rebuilt
+    either way.  Node labels are not handled here; attach them
+    afterwards with :meth:`CSRGraph.with_labels` (e.g. from
     :func:`load_node_labels` or a vectorized labeler).
     """
     path = Path(path)
     cache_path = _npz_cache_path(path, cache)
+    if mmap and cache_path is None:
+        raise DatasetError(
+            "mmap=True opens the .npz sidecar memory-mapped; pass cache=True "
+            "(or an explicit cache path) so there is a sidecar to map"
+        )
     if cache_path is not None and cache_path.exists():
         if not path.exists() or cache_path.stat().st_mtime >= path.stat().st_mtime:
             with np.load(cache_path) as payload:
                 # The sidecar records whether the component cleaner ran;
                 # a cache written under the other setting is rebuilt.
-                if bool(payload.get("cleaned", True)) == keep_largest_component:
+                fresh = bool(payload.get("cleaned", True)) == keep_largest_component
+                if fresh and not mmap:
                     return CSRGraph(
                         payload["node_ids"],
                         payload["indptr"],
                         payload["indices"],
                     )
+            if fresh:
+                return _attach_sidecar_mmap(cache_path)
     edges = load_edge_array(path, comment=comment)
     # Dense indices from arbitrary node identifiers; unique_ids is the
     # sorted identifier vocabulary, inverse the per-endpoint index.
@@ -217,6 +250,8 @@ def load_edge_list_csr(
             indices=csr.indices,
             cleaned=np.bool_(keep_largest_component),
         )
+    if mmap:
+        return _attach_sidecar_mmap(cache_path)
     return csr
 
 

@@ -28,6 +28,16 @@ kernels (``mhrw``, and ``rcmh`` with ``alpha > 0``) additionally
 *probe* their proposal's page to evaluate the acceptance ratio, so
 rejected proposals are charged too — exactly like the reference
 kernel's ``degree(proposal)`` call.
+
+Buffer stores: the batched engine reads the graph only through numpy
+*gathers* (``indices[indptr[current] + offsets]``, ``degrees[nodes]``),
+so it runs unchanged over shared-memory or memory-mapped CSR buffers
+(:mod:`repro.graph.store`) — a memmapped adjacency faults in just the
+pages the fleet touches and is never densified.  Only the scalar
+single-walker paths (:func:`csr_walk`) materialise Python adjacency
+lists via :meth:`CSRGraph.adjacency_lists`; whole-array label passes
+use the chunked-gather fallback documented on
+:meth:`CSRGraph.neighbor_mask_counts`.
 """
 
 from __future__ import annotations

@@ -29,6 +29,11 @@ probing, a line node fetches the friend lists of *both its endpoints*
 on ``G``, so the per-walker ledgers count distinct ``G`` nodes over the
 trajectory endpoint arrays plus — for the MH-family kernels — the
 endpoints of every (possibly rejected) proposal.
+
+Like :class:`~repro.walks.batched.BatchedWalkEngine`, every read of
+``G`` here is a gather, so the engine runs unchanged over
+shared-memory or memory-mapped CSR buffers (:mod:`repro.graph.store`)
+without densifying the adjacency.
 """
 
 from __future__ import annotations

@@ -118,3 +118,35 @@ class TestCommands:
     def test_verbose_flag(self, capsys):
         exit_code = main(["--verbose", "bounds", "--dataset", "facebook", "--scale", "0.1"])
         assert exit_code == 0
+
+
+class TestGraphStoreFlag:
+    def test_graph_store_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["table", "4", "--representation", "csr", "--execution", "fleet",
+             "--graph-store", "shm"]
+        )
+        assert args.graph_store == "shm"
+        assert parser.parse_args(["figure", "1"]).graph_store == "ram"
+
+    def test_unknown_graph_store_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "4", "--graph-store", "tape"])
+
+    def test_table_runs_with_shm_jobs(self, capsys):
+        exit_code = main(
+            [
+                "table", "4",
+                "--representation", "csr",
+                "--execution", "fleet",
+                "--graph-store", "shm",
+                "--jobs", "2",
+                "--repetitions", "2",
+                "--scale", "0.1",
+                "--budgets", "0.02", "0.05",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Reproduction of paper Table 4" in captured

@@ -99,3 +99,35 @@ class TestOverrides:
         monkeypatch.delenv(ENV_SCALE, raising=False)
         config = ExperimentConfig.quick("facebook")
         assert config.apply_environment() == config
+
+
+class TestGraphStoreConfig:
+    def test_default_is_ram(self):
+        config = ExperimentConfig(dataset="facebook")
+        assert config.graph_store == "ram"
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown graph store"):
+            ExperimentConfig(dataset="facebook", graph_store="tape")
+
+    def test_external_store_requires_csr_representation(self):
+        with pytest.raises(ConfigurationError, match="representation='csr'"):
+            ExperimentConfig(dataset="facebook", graph_store="shm")
+
+    def test_shm_with_csr_accepted(self):
+        config = ExperimentConfig(
+            dataset="facebook",
+            representation="csr",
+            execution="fleet",
+            graph_store="shm",
+        )
+        assert config.graph_store == "shm"
+
+    def test_mmap_with_csr_accepted(self):
+        config = ExperimentConfig(
+            dataset="facebook",
+            representation="csr",
+            reuse="prefix",
+            graph_store="mmap",
+        )
+        assert config.graph_store == "mmap"
