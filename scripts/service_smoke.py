@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""CI smoke test for the estimation service: boot, query, verify, exit.
+
+Boots the dependency-free HTTP transport over a ~10^4-node shm-published
+graph (the ``pokec`` registry entry at half scale), then speaks real
+HTTP from this (client) thread:
+
+1. ``GET /healthz`` answers ``{"status": "ok"}``;
+2. ``POST /estimate`` returns a well-formed answer with walked
+   estimates;
+3. the same query repeated is served from the answer cache
+   (``cached: true``) and ``GET /stats`` reports a positive cache hit
+   rate without a second fleet being built;
+4. the served estimates are bit-identical to the batch harness
+   (``run_trials_prefix``) at the same user seed — the acceptance
+   property of the serving layer.
+
+Exit code 0 on success.  Runs in a few seconds; CI wires it as the
+``service-smoke`` job (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import threading
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets.registry import load_dataset  # noqa: E402
+from repro.experiments.runner import run_trials_prefix  # noqa: E402
+from repro.service import EstimationService, ServiceHTTPServer  # noqa: E402
+from repro.utils.rng import derive_seed  # noqa: E402
+
+DATASET = "pokec"
+SCALE = 0.5  # ~10^4 nodes
+SEED = 7
+ALGORITHM = "NeighborSample-HH"
+BUDGET = 40
+REPETITIONS = 6
+BURN_IN = 10
+
+
+def _get(port: int, path: str) -> dict:
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=30) as fh:
+        return json.loads(fh.read().decode("utf-8"))
+
+
+def _post(port: int, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=120) as fh:
+        return json.loads(fh.read().decode("utf-8"))
+
+
+def main() -> int:
+    print(f"loading {DATASET} at scale {SCALE} ...", flush=True)
+    dataset = load_dataset(DATASET, seed=SEED, scale=SCALE)
+    graph = dataset.graph
+    # The frequent pair: a budget-bounded crawl actually sees targets.
+    t1, t2 = max(dataset.target_pairs, key=dataset.target_counts.get)
+    print(
+        f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+        f"target pair ({t1}, {t2})",
+        flush=True,
+    )
+    assert graph.num_nodes >= 10_000, "smoke graph must be ~10^4 nodes"
+
+    service = EstimationService(
+        graph,
+        graph_store="shm",
+        default_repetitions=REPETITIONS,
+        default_burn_in=BURN_IN,
+        name=f"{DATASET}-smoke",
+    )
+
+    loop = asyncio.new_event_loop()
+    server = ServiceHTTPServer(service, port=0, window_seconds=0.005)
+    started = threading.Event()
+    boot_task: dict = {}
+
+    async def boot():
+        await server.start()
+        started.set()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    def serve() -> None:
+        asyncio.set_event_loop(loop)
+        task = loop.create_task(boot())
+        boot_task["task"] = task
+        try:
+            loop.run_until_complete(task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=serve, name="service-smoke", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        print("FAIL: server did not start", file=sys.stderr)
+        return 1
+    port = server.port
+    print(f"serving on http://127.0.0.1:{port} (shm store)", flush=True)
+
+    try:
+        health = _get(port, "/healthz")
+        assert health["status"] == "ok", health
+        print(f"healthz ok (graph version {health['graph_version']})", flush=True)
+
+        query = {
+            "algorithm": ALGORITHM,
+            "t1": t1,
+            "t2": t2,
+            "budget": BUDGET,
+            "seed": SEED,
+            "repetitions": REPETITIONS,
+            "burn_in": BURN_IN,
+        }
+        first = _post(port, "/estimate", query)
+        assert len(first["estimates"]) == REPETITIONS, first
+        assert first["true_count"] > 0 and not first["cached"], first
+        print(
+            f"estimate ok: mean {first['mean_estimate']:.1f} "
+            f"(true {first['true_count']}, nrmse {first['nrmse']:.3f})",
+            flush=True,
+        )
+
+        second = _post(port, "/estimate", query)
+        assert second["cached"], "repeat query must be served from cache"
+        assert second["estimates"] == first["estimates"]
+
+        stats = _get(port, "/stats")
+        assert stats["cache"]["hit_rate"] > 0, stats["cache"]
+        assert stats["fleets"]["built"] == 1, stats["fleets"]
+        print(
+            f"stats ok: cache hit rate {stats['cache']['hit_rate']:.2f}, "
+            f"{stats['fleets']['built']} fleet(s), "
+            f"{stats['fleets']['steps_per_second']:.0f} steps/s",
+            flush=True,
+        )
+
+        # Bit-identity with the batch harness at the same user seed.
+        [outcome] = run_trials_prefix(
+            graph,
+            t1,
+            t2,
+            service._suite[ALGORITHM],
+            ALGORITHM,
+            [BUDGET],
+            REPETITIONS,
+            BURN_IN,
+            seed=derive_seed(SEED, ALGORITHM, "prefix"),
+        )
+        assert first["estimates"] == outcome.estimates, (
+            "served estimates must be bit-identical to the batch harness"
+        )
+        print("bit-identity with run_trials_prefix ok", flush=True)
+    finally:
+        loop.call_soon_threadsafe(boot_task["task"].cancel)
+        thread.join(timeout=10)
+        service.close()
+
+    print("service smoke: PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

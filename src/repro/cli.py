@@ -18,6 +18,13 @@ Sub-commands
     Run the adaptive pilot-then-select strategy (paper §5.3 automated).
 ``cost``
     Profile the charged API calls of every algorithm at a fixed budget.
+``serve``
+    Boot the long-lived estimation service: publish one dataset into
+    the shm/mmap store and answer micro-batched estimate queries over
+    HTTP (``/healthz``, ``/stats``, ``POST /estimate``).
+``sweep-spills``
+    Reclaim orphaned ``$REPRO_MMAP_DIR`` spill files left behind by
+    killed runs.
 """
 
 from __future__ import annotations
@@ -211,6 +218,82 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--repetitions", type=int, default=3)
     cost.add_argument("--scale", type=float, default=0.25)
     cost.add_argument("--seed", type=int, default=2018)
+
+    serve = subparsers.add_parser(
+        "serve", help="boot the long-lived estimation query server"
+    )
+    serve.add_argument("--dataset", choices=dataset_names(), default="facebook")
+    serve.add_argument("--scale", type=float, default=0.25, help="dataset scale")
+    serve.add_argument("--seed", type=int, default=0, help="dataset synthesis seed")
+    serve.add_argument(
+        "--graph-store",
+        choices=GRAPH_STORES,
+        default="shm",
+        dest="graph_store",
+        help="buffer store the graph is published into at startup: 'shm' "
+        "(fits-in-RAM, fastest), 'mmap' (out-of-core sidecar), 'ram' "
+        "(no publication; dev only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        dest="batch_window_ms",
+        help="micro-batch collection window; concurrent queries arriving "
+        "within it share one max-budget prefix fleet",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        dest="cache_size",
+        help="answer-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--repetitions", type=int, default=20, help="default repetitions per query"
+    )
+    serve.add_argument(
+        "--burn-in",
+        type=int,
+        default=None,
+        dest="burn_in",
+        help="default burn-in per query (default: measured on the graph)",
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("auto", "fastapi", "stdlib"),
+        default="auto",
+        help="HTTP front: 'fastapi' (needs the optional dependency), "
+        "'stdlib' (dependency-free asyncio server), 'auto' prefers "
+        "fastapi and falls back",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep-spills",
+        help="reclaim orphaned $REPRO_MMAP_DIR spill files from dead runs",
+    )
+    sweep.add_argument(
+        "--directory",
+        default=None,
+        help="spill directory to sweep (default: $REPRO_MMAP_DIR or the "
+        "tempdir spill location)",
+    )
+    sweep.add_argument(
+        "--max-age-seconds",
+        type=float,
+        default=None,
+        dest="max_age_seconds",
+        help="also delete pid-less spill files older than this (without it "
+        "only files whose recorded owner pid is dead are touched)",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        dest="dry_run",
+        help="report what would be deleted without deleting",
+    )
     return parser
 
 
@@ -406,6 +489,61 @@ def _command_cost(args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    from repro.service import EstimationService, ServiceConfig, run_server
+
+    config = ServiceConfig(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        graph_store=args.graph_store,
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        cache_size=args.cache_size,
+        repetitions=args.repetitions,
+        burn_in=args.burn_in,
+        transport=args.transport,
+    )
+    dataset = load_dataset(config.dataset, seed=config.seed, scale=config.scale)
+    service = EstimationService(
+        dataset.graph,
+        graph_store=config.graph_store,
+        default_repetitions=config.repetitions,
+        default_burn_in=config.burn_in,
+        cache_size=config.cache_size,
+        name=f"{config.dataset}-scale{config.scale}",
+    )
+    try:
+        run_server(
+            service,
+            host=config.host,
+            port=config.port,
+            transport=config.transport,
+            window_seconds=config.window_seconds,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        print("shutting down")
+    finally:
+        service.close()
+    return 0
+
+
+def _command_sweep_spills(args) -> int:
+    from repro.graph.store import sweep_orphan_spills
+
+    victims = sweep_orphan_spills(
+        directory=args.directory,
+        max_age_seconds=args.max_age_seconds,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    for victim in victims:
+        print(f"{verb}: {victim}")
+    print(f"{verb} {len(victims)} orphaned spill file(s)")
+    return 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "estimate": _command_estimate,
@@ -415,6 +553,8 @@ _COMMANDS = {
     "mixing": _command_mixing,
     "select": _command_select,
     "cost": _command_cost,
+    "serve": _command_serve,
+    "sweep-spills": _command_sweep_spills,
 }
 
 

@@ -14,6 +14,7 @@ instead, load it with :mod:`repro.graph.io` and bypass this registry.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
@@ -24,8 +25,10 @@ from repro.graph.csr import CSRGraph
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.store import (
     GRAPH_STORES,
+    SpillOwnership,
     default_mmap_dir,
     spill_csr_to_mmap,
+    track_spill,
     validate_graph_store,
 )
 from repro.graph.statistics import (
@@ -114,11 +117,25 @@ class Dataset:
     seed: int
     scale: float
     _labeled: Optional[LabeledGraph] = field(default=None, repr=False, compare=False)
+    _spill: Optional[SpillOwnership] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         """Registry name of the underlying spec."""
         return self.spec.name
+
+    def release(self) -> None:
+        """Reclaim any spilled sidecar this dataset owns (idempotent).
+
+        Only meaningful for ``graph_store="mmap"`` datasets; the
+        in-process cache calls this from
+        :func:`clear_dataset_cache`, and ``use_cache=False`` callers
+        own the release themselves (a dropped, unreleased spill warns
+        :class:`ResourceWarning`, mirroring the shm publication
+        discipline).
+        """
+        if self._spill is not None:
+            self._spill.release()
 
     @property
     def representation(self) -> str:
@@ -405,16 +422,21 @@ def load_dataset(
     num_nodes = max(64, int(round(spec.num_nodes * scale)))
     edges_per_node = min(spec.edges_per_node, max(2, num_nodes // 4))
     graph: Union[LabeledGraph, CSRGraph]
+    spill: Optional[SpillOwnership] = None
     if representation == "csr":
         graph = _synthesize_csr(spec, int(seed), num_nodes, edges_per_node)
         if graph_store == "mmap":
             # Spill-and-reattach: synthesis is deterministic in (name,
             # seed, scale), but specs are test-tweakable, so the sidecar
             # is rewritten (atomically) rather than trusted when present.
+            # The pid in the name keeps concurrent processes off each
+            # other's files and lets sweep_orphan_spills identify files
+            # whose spilling process died without releasing them.
             sidecar = default_mmap_dir() / (
-                f"{name}-seed{int(seed)}-scale{float(scale)}.npz"
+                f"{name}-seed{int(seed)}-scale{float(scale)}-pid{os.getpid()}.npz"
             )
             graph = spill_csr_to_mmap(graph, sidecar)
+            spill = track_spill(sidecar)
     else:
         rng = ensure_rng(seed)
         graph = powerlaw_cluster_osn(
@@ -435,6 +457,7 @@ def load_dataset(
         target_counts=counts,
         seed=int(seed),
         scale=float(scale),
+        _spill=spill,
     )
     if use_cache:
         _CACHE[key] = dataset
@@ -442,7 +465,14 @@ def load_dataset(
 
 
 def clear_dataset_cache() -> None:
-    """Drop all cached datasets (used by tests that tweak specs)."""
+    """Drop all cached datasets and reclaim their spilled sidecars.
+
+    Used by tests that tweak specs, and by anyone cycling through many
+    mmap datasets in one process: releasing each cached dataset deletes
+    its ``$REPRO_MMAP_DIR`` spill file (live memmap views stay valid
+    until unmapped, POSIX unlink semantics)."""
+    for dataset in _CACHE.values():
+        dataset.release()
     _CACHE.clear()
 
 

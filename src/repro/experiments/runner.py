@@ -54,10 +54,7 @@ from repro.baselines.fleet import (
 )
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
-    classify_edge_fleet,
-    classify_node_fleet,
     explore_nodes_fleet,
-    run_fleet_walk,
     sample_edges_fleet,
     validate_backend,
     validate_execution,
@@ -79,6 +76,7 @@ from repro.experiments.algorithms import (
     build_algorithm_suite,
 )
 from repro.experiments.metrics import nrmse
+from repro.experiments.planner import FleetSpec, PrefixFleet
 
 
 @dataclass
@@ -412,18 +410,17 @@ def run_trials_prefix(
     would.  Hand-written runner callables raise
     :class:`ConfigurationError` (the harness falls back to per-cell
     walks for those).
+
+    The fleet mechanics live in
+    :class:`repro.experiments.planner.PrefixFleet`, which is shared
+    with the frequency sweeps and the :mod:`repro.service`
+    micro-batcher; this function is the table-shaped wrapper (one pair,
+    many budgets, :class:`TrialOutcome` rows).
     """
-    if not isinstance(runner, (ProposedRunner, BaselineRunner)):
-        raise ConfigurationError(
-            f"prefix reuse needs a vectorizable registry runner "
-            f"(ProposedRunner or BaselineRunner); {algorithm_name!r} is "
-            "not one — run it with reuse='none'"
-        )
     if not sample_sizes:
         raise ConfigurationError("sample_sizes must not be empty")
     for sample_size in sample_sizes:
         check_positive_int(sample_size, "sample_size")
-    check_positive_int(repetitions, "repetitions")
     if true_count is None:
         true_count = count_target_edges(graph, t1, t2)
     if true_count <= 0:
@@ -431,47 +428,22 @@ def run_trials_prefix(
             f"the target pair ({t1!r}, {t2!r}) has no target edges; NRMSE is undefined"
         )
     shared_csr = ensure_same_graph(csr, graph) if csr is not None else csr_view(graph)
-    if isinstance(runner, BaselineRunner):
-        baseline = runner.baseline
-        fleet = run_baseline_fleet(
-            shared_csr,
-            baseline,
-            max(sample_sizes),
-            repetitions,
-            burn_in=burn_in,
-            rng=ensure_numpy_rng(seed),
-        )
-        def estimate_prefix(sample_size: int):
-            batch = classify_line_fleet(shared_csr, fleet.prefix(sample_size), t1, t2)
-            return reweighted_estimates(batch), batch.api_calls
-
-    else:
-        fleet = run_fleet_walk(
-            shared_csr,
-            max(sample_sizes),
-            repetitions,
-            burn_in,
-            ensure_numpy_rng(seed),
-            "simple",
-        )
-        classify = (
-            classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
-        )
-
-        def estimate_prefix(sample_size: int):
-            batch = classify(shared_csr, fleet.prefix(sample_size), t1, t2)
-            return runner.estimator_factory().estimate_batch(batch), batch.api_calls
-
+    fleet = PrefixFleet(
+        shared_csr,
+        runner,
+        FleetSpec(algorithm_name, seed, repetitions, burn_in),
+        max(sample_sizes),
+    )
     outcomes: List[TrialOutcome] = []
     for sample_size in sample_sizes:
-        estimates, api_calls = estimate_prefix(sample_size)
+        estimates, api_calls = fleet.estimate(t1, t2, sample_size)
         outcomes.append(
             TrialOutcome(
                 algorithm=algorithm_name,
                 sample_size=sample_size,
                 true_count=true_count,
-                estimates=[float(value) for value in estimates],
-                api_calls=[int(calls) for calls in api_calls],
+                estimates=estimates,
+                api_calls=api_calls,
             )
         )
     return outcomes

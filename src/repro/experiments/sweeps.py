@@ -12,16 +12,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.baselines.fleet import (
-    classify_line_fleet,
-    reweighted_estimates,
-    run_baseline_fleet,
-)
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
-    classify_edge_fleet,
-    classify_node_fleet,
-    run_fleet_walk,
     validate_backend,
     validate_execution,
     validate_reuse,
@@ -30,7 +22,7 @@ from repro.graph.csr import csr_view
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.store import validate_graph_store
 from repro.graph.statistics import count_target_edges
-from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng
+from repro.utils.rng import RandomSource, derive_seed
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
 
@@ -40,6 +32,7 @@ from repro.experiments.algorithms import (
     build_algorithm_suite,
     PAPER_ALGORITHM_ORDER,
 )
+from repro.experiments.planner import FleetSpec, PrefixFleet
 from repro.experiments.runner import (
     CellTask,
     NRMSETable,
@@ -196,38 +189,25 @@ def frequency_sweep(
         and isinstance(algorithms[name], (ProposedRunner, BaselineRunner))
     ]
     for name in prefix_names:
-        runner = algorithms[name]
-        fleet_rng = ensure_numpy_rng(derive_seed(seed, name, "prefix-frequency"))
-        if isinstance(runner, BaselineRunner):
-            fleet = run_baseline_fleet(
-                shared_csr, runner.baseline, sample_size, repetitions,
-                burn_in=burn_in, rng=fleet_rng,
-            )
-
-            def classify_point(t1, t2, fleet=fleet):
-                batch = classify_line_fleet(shared_csr, fleet, t1, t2)
-                return reweighted_estimates(batch), batch.api_calls
-
-        else:
-            fleet = run_fleet_walk(
-                shared_csr, sample_size, repetitions, burn_in, fleet_rng, "simple"
-            )
-            classify = (
-                classify_edge_fleet if runner.sampler == "edge" else classify_node_fleet
-            )
-
-            def classify_point(t1, t2, runner=runner, fleet=fleet, classify=classify):
-                batch = classify(shared_csr, fleet, t1, t2)
-                return runner.estimator_factory().estimate_batch(batch), batch.api_calls
-
+        # One label-agnostic fleet per algorithm; every target pair of
+        # the sweep is classified off the same walk (PrefixFleet is the
+        # shared planner — budget sweeps and the serving layer reuse it).
+        fleet = PrefixFleet(
+            shared_csr,
+            algorithms[name],
+            FleetSpec(
+                name, derive_seed(seed, name, "prefix-frequency"), repetitions, burn_in
+            ),
+            sample_size,
+        )
         for pair_index, (t1, t2), true_count in plottable:
-            estimates, api_calls = classify_point(t1, t2)
+            estimates, api_calls = fleet.estimate(t1, t2, sample_size)
             outcomes[(name, pair_index)] = TrialOutcome(
                 algorithm=name,
                 sample_size=sample_size,
                 true_count=true_count,
-                estimates=[float(value) for value in estimates],
-                api_calls=[int(calls) for calls in api_calls],
+                estimates=estimates,
+                api_calls=api_calls,
             )
 
     cells = [

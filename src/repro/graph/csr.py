@@ -558,6 +558,41 @@ class CSRGraph:
             self._incident_cache[key] = counts
         return counts
 
+    def seal_buffers(self, reason: str = "buffers are sealed") -> None:
+        """Make the CSR arrays read-only in place (idempotent).
+
+        Published buffers are shared: workers that attached the
+        shared-memory segment (and the serving layer's answer caches,
+        which stamp answers with the graph version) all assume the
+        arrays never change after publication.  Sealing clears the
+        numpy ``WRITEABLE`` flag on every buffer this graph owns, so a
+        stray in-place write raises ``ValueError: assignment destination
+        is read-only`` at the write site instead of silently corrupting
+        every attached view.  Attached graphs are already read-only
+        (shm views and ``mmap(mode="r")`` maps are sealed on attach);
+        :func:`repro.graph.store.publish_csr` seals the publisher's
+        copy too, closing the mutate-after-publish gap.  *reason* is
+        recorded for diagnostics (:attr:`sealed`).
+        """
+        for array in (self.indptr, self.indices, self._label_array):
+            if array is not None and isinstance(array, np.ndarray):
+                try:
+                    array.setflags(write=False)
+                except ValueError:  # pragma: no cover - non-owning view
+                    pass
+        if isinstance(self._node_ids, np.ndarray):
+            try:
+                self._node_ids.setflags(write=False)
+            except ValueError:  # pragma: no cover - non-owning view
+                pass
+        if getattr(self, "_sealed", None) is None:
+            self._sealed = str(reason)
+
+    @property
+    def sealed(self) -> Optional[str]:
+        """Why the buffers are read-only, or ``None`` when still writable."""
+        return getattr(self, "_sealed", None)
+
     def export_label_caches(self) -> Dict[str, Dict]:
         """Picklable snapshot of the derived label caches.
 

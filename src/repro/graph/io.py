@@ -167,6 +167,38 @@ def _npz_cache_path(path: Path, cache: Union[bool, PathLike]) -> Optional[Path]:
     return Path(cache)
 
 
+def _source_fingerprint(path: Path) -> Tuple[int, int]:
+    """Identity of the source file's current contents: (mtime_ns, size).
+
+    Nanosecond mtime alone is not enough everywhere — coarse filesystem
+    timestamp granularity (FAT, some network mounts, container overlay
+    quirks) can stamp two rewrites within one tick identically — so the
+    size rides along as a second discriminator.  A sidecar is reusable
+    only when **both** match what they were at write time; comparing
+    recorded-vs-current beats the old "sidecar newer than source" test,
+    which used second-resolution ``st_mtime`` and served stale caches
+    for sources rewritten within the same second.
+    """
+    stat = path.stat()
+    return int(stat.st_mtime_ns), int(stat.st_size)
+
+
+def _sidecar_matches_source(payload, path: Path) -> bool:
+    """Whether a loaded sidecar was written from *path*'s current bytes."""
+    if not path.exists():
+        # Source gone: the sidecar is all there is; serve it.
+        return True
+    if "source_mtime_ns" not in payload or "source_size" not in payload:
+        # Legacy sidecar without a fingerprint: cannot prove freshness,
+        # rebuild (costs one parse, never serves stale data).
+        return False
+    mtime_ns, size = _source_fingerprint(path)
+    return (
+        int(payload["source_mtime_ns"]) == mtime_ns
+        and int(payload["source_size"]) == size
+    )
+
+
 def _attach_sidecar_mmap(cache_path: Path) -> CSRGraph:
     """Open an edge-list sidecar memmap-native (zero-copy, read-only).
 
@@ -200,13 +232,15 @@ def load_edge_list_csr(
     component cleaner — the dict graph is never materialised, which is
     what makes the paper's million-node crawls loadable.  ``cache=True``
     memoises the final arrays in a ``.npz`` sidecar next to the file
-    (or at an explicit path) and reuses it while it is newer than the
-    source.  With ``mmap=True`` (requires a sidecar cache) the graph is
-    returned **memory-mapped**: its arrays are read-only
+    (or at an explicit path) and reuses it while the source's recorded
+    fingerprint (``st_mtime_ns`` **and** file size) still matches — so
+    rewriting the edge list always invalidates the sidecar, even twice
+    within one second.  With ``mmap=True`` (requires a sidecar cache)
+    the graph is returned **memory-mapped**: its arrays are read-only
     :class:`numpy.memmap` views over the sidecar, pages fault in on
     demand, and the graph pickles as an O(1) handle — the out-of-core
-    path for crawls larger than RAM.  A stale sidecar (older than the
-    source, or written under the other cleaning setting) is rebuilt
+    path for crawls larger than RAM.  A stale sidecar (fingerprint
+    mismatch, or written under the other cleaning setting) is rebuilt
     either way.  Node labels are not handled here; attach them
     afterwards with :meth:`CSRGraph.with_labels` (e.g. from
     :func:`load_node_labels` or a vectorized labeler).
@@ -219,19 +253,22 @@ def load_edge_list_csr(
             "(or an explicit cache path) so there is a sidecar to map"
         )
     if cache_path is not None and cache_path.exists():
-        if not path.exists() or cache_path.stat().st_mtime >= path.stat().st_mtime:
-            with np.load(cache_path) as payload:
-                # The sidecar records whether the component cleaner ran;
-                # a cache written under the other setting is rebuilt.
-                fresh = bool(payload.get("cleaned", True)) == keep_largest_component
-                if fresh and not mmap:
-                    return CSRGraph(
-                        payload["node_ids"],
-                        payload["indptr"],
-                        payload["indices"],
-                    )
-            if fresh:
-                return _attach_sidecar_mmap(cache_path)
+        with np.load(cache_path) as payload:
+            # The sidecar records whether the component cleaner ran and
+            # a fingerprint of the source bytes it was built from; a
+            # cache written under the other cleaning setting or from
+            # different source contents is rebuilt.
+            fresh = bool(
+                payload.get("cleaned", True)
+            ) == keep_largest_component and _sidecar_matches_source(payload, path)
+            if fresh and not mmap:
+                return CSRGraph(
+                    payload["node_ids"],
+                    payload["indptr"],
+                    payload["indices"],
+                )
+        if fresh:
+            return _attach_sidecar_mmap(cache_path)
     edges = load_edge_array(path, comment=comment)
     # Dense indices from arbitrary node identifiers; unique_ids is the
     # sorted identifier vocabulary, inverse the per-endpoint index.
@@ -243,12 +280,15 @@ def load_edge_list_csr(
         csr = largest_connected_component_csr(csr)
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
+        mtime_ns, size = _source_fingerprint(path)
         np.savez(
             cache_path,
             node_ids=np.asarray(csr.node_ids),
             indptr=csr.indptr,
             indices=csr.indices,
             cleaned=np.bool_(keep_largest_component),
+            source_mtime_ns=np.int64(mtime_ns),
+            source_size=np.int64(size),
         )
     if mmap:
         return _attach_sidecar_mmap(cache_path)

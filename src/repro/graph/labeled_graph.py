@@ -45,6 +45,7 @@ class LabeledGraph:
         self._labels: Dict[Node, Set[Label]] = {}
         self._num_edges: int = 0
         self._version: int = 0
+        self._frozen: Optional[str] = None
 
     @property
     def version(self) -> int:
@@ -55,11 +56,40 @@ class LabeledGraph:
         """
         return self._version
 
+    @property
+    def frozen(self) -> Optional[str]:
+        """Why this graph is read-only, or ``None`` when still mutable."""
+        return getattr(self, "_frozen", None)
+
+    def freeze(self, reason: str = "graph is frozen") -> None:
+        """Make this graph permanently read-only.
+
+        Version-keyed consumers (published CSR buffers, answer caches in
+        the serving layer) hand out results stamped with
+        :attr:`version`; mutating the graph underneath them would bump
+        the version silently while live workers keep serving the old
+        arrays.  Freezing turns that hazard into an immediate
+        :class:`GraphError` at the mutation site, carrying *reason* so
+        the error explains who published the graph.  Idempotent (the
+        first reason wins); there is deliberately no unfreeze — swap in
+        a :meth:`copy` instead.
+        """
+        if getattr(self, "_frozen", None) is None:
+            self._frozen = str(reason)
+
+    def _require_mutable(self) -> None:
+        reason = getattr(self, "_frozen", None)
+        if reason is not None:
+            raise GraphError(
+                f"graph is read-only: {reason}; mutate a copy() and swap it in"
+            )
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self, node: Node, labels: Optional[Iterable[Label]] = None) -> None:
         """Add *node* (idempotent) and attach any *labels* to it."""
+        self._require_mutable()
         if node not in self._adj:
             self._adj[node] = set()
             self._labels[node] = set()
@@ -74,6 +104,7 @@ class LabeledGraph:
         Self-loops are rejected with :class:`GraphError`; duplicate edges
         are ignored.  Returns ``True`` if a new edge was inserted.
         """
+        self._require_mutable()
         if u == v:
             raise GraphError(f"self-loops are not allowed (node {u!r})")
         self.add_node(u)
@@ -96,6 +127,7 @@ class LabeledGraph:
 
     def set_labels(self, node: Node, labels: Iterable[Label]) -> None:
         """Replace the label set of *node*."""
+        self._require_mutable()
         if node not in self._adj:
             raise NodeNotFoundError(node)
         self._labels[node] = set(labels)
@@ -103,6 +135,7 @@ class LabeledGraph:
 
     def add_label(self, node: Node, label: Label) -> None:
         """Attach a single *label* to *node*."""
+        self._require_mutable()
         if node not in self._adj:
             raise NodeNotFoundError(node)
         self._labels[node].add(label)
@@ -110,6 +143,7 @@ class LabeledGraph:
 
     def remove_node(self, node: Node) -> None:
         """Remove *node* and all its incident edges."""
+        self._require_mutable()
         if node not in self._adj:
             raise NodeNotFoundError(node)
         for neighbor in self._adj[node]:

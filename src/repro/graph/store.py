@@ -51,12 +51,16 @@ zip and hands them to :class:`numpy.memmap` directly).
 
 from __future__ import annotations
 
+import atexit
 import mmap as _mmap_module
 import os
 import pickle
+import re
 import tempfile
+import time
 import uuid
 import warnings
+import weakref
 import zipfile
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -247,6 +251,7 @@ def _build_csr(
             csr._incident_cache[(t1, t2)] = arrays[key]
     for t1, t2, count in handle.target_counts:
         csr._target_count_cache[(t1, t2)] = int(count)
+    csr.seal_buffers(f"attached from {store}")
     return csr
 
 
@@ -556,6 +561,167 @@ def default_mmap_dir() -> Path:
     return Path(tempfile.gettempdir()) / "repro-osn-mmap"
 
 
+# ----------------------------------------------------------------------
+# spill-file ownership
+# ----------------------------------------------------------------------
+class SpillOwnership:
+    """Ownership token for one spilled sidecar file under the mmap dir.
+
+    The mmap twin of :class:`CSRPublication`'s discipline, closing the
+    historical leak: sidecars spilled by ``load_dataset(...,
+    graph_store="mmap")`` were never reclaimed, so every run left
+    another ``.npz`` under ``$REPRO_MMAP_DIR``.  Whoever holds the
+    token owns the file; :meth:`release` deletes it (idempotent —
+    POSIX unlink semantics keep live :class:`numpy.memmap` views in
+    this and other processes valid until they unmap).  A token
+    garbage-collected still owning its file cleans up best-effort and
+    emits a :class:`ResourceWarning`, loud under the CI's
+    ``-W error::ResourceWarning`` ladder; tokens still alive at
+    interpreter exit are released quietly first (an :mod:`atexit` hook
+    drains the registry before teardown GC, so long-lived caches don't
+    false-positive).
+    """
+
+    def __init__(self, path: Union[str, Path], owns_resource: bool = True) -> None:
+        self.path = Path(path)
+        self._owns = owns_resource
+
+    @property
+    def owns_resource(self) -> bool:
+        """Whether this token still owns (and must delete) the file."""
+        return self._owns
+
+    def release(self) -> None:
+        """Delete the spilled file (idempotent)."""
+        if not self._owns:
+            return
+        self._owns = False
+        self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "SpillOwnership":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __del__(self) -> None:
+        if getattr(self, "_owns", False):
+            # Clean up before warning: under -W error::ResourceWarning
+            # the warn call raises (surfacing as an unraisable error CI
+            # escalates), and the file must already be gone by then.
+            self.release()
+            warnings.warn(
+                f"SpillOwnership({self.path}) was never released; "
+                "it was deleted in __del__",
+                ResourceWarning,
+                source=self,
+            )
+
+
+#: Live spill tokens of this process, keyed by path.  Weak values: a
+#: token dropped by its holder leaves the registry on its own (after
+#: __del__ has cleaned up), so the registry never extends a lifetime.
+_TRACKED_SPILLS: "weakref.WeakValueDictionary[str, SpillOwnership]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def track_spill(path: Union[str, Path]) -> SpillOwnership:
+    """Register *path* as a spill this process owns; returns the token."""
+    token = SpillOwnership(path)
+    _TRACKED_SPILLS[str(Path(path))] = token
+    return token
+
+
+@atexit.register
+def _release_tracked_spills() -> None:  # pragma: no cover - exit path
+    """Quietly delete still-owned spills at interpreter exit.
+
+    Long-lived holders (the dataset registry's in-process cache, a
+    serving process's publication) legitimately keep their tokens until
+    the very end; draining them here — before teardown GC runs
+    ``__del__`` — deletes the files without tripping the
+    ResourceWarning meant for mid-run leaks.
+    """
+    for token in list(_TRACKED_SPILLS.values()):
+        token.release()
+
+
+#: File-name patterns whose embedded pid identifies the spilling
+#: process: publish_csr's ``csr-<pid>-<uuid>.npz`` and the dataset
+#: registry's ``<name>-seed<s>-scale<f>-pid<pid>.npz``.
+_SPILL_PID_PATTERNS = (
+    re.compile(r"^csr-(?P<pid>\d+)-[0-9a-f]+\.npz$"),
+    re.compile(r"^.+-pid(?P<pid>\d+)\.npz$"),
+)
+
+
+def _spill_owner_pid(name: str) -> Optional[int]:
+    for pattern in _SPILL_PID_PATTERNS:
+        match = pattern.match(name)
+        if match:
+            return int(match.group("pid"))
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    return True
+
+
+def sweep_orphan_spills(
+    directory: Union[None, str, Path] = None,
+    max_age_seconds: Optional[float] = None,
+    dry_run: bool = False,
+) -> List[Path]:
+    """Delete spill files whose owning process is gone; return the victims.
+
+    The opt-in janitor for ``$REPRO_MMAP_DIR`` (exposed as ``repro-osn
+    sweep-spills``): ownership tracking reclaims spills on clean exits,
+    but a SIGKILLed run leaves its files behind with nobody holding a
+    token.  A ``.npz`` under *directory* (default
+    :func:`default_mmap_dir`) is an orphan when
+
+    * its name embeds a spilling pid that is no longer alive, or
+    * it embeds no pid (hand-named spills, pre-tracking leftovers) and
+      *max_age_seconds* is given and its mtime is older than that;
+
+    files this process currently owns a token for are never touched,
+    and neither are pid-less files when no age bound was passed (the
+    sweep refuses to guess).  ``dry_run=True`` reports without
+    deleting.
+    """
+    target = Path(directory) if directory is not None else default_mmap_dir()
+    if not target.is_dir():
+        return []
+    tracked = {str(Path(path)) for path in _TRACKED_SPILLS.keys()}
+    victims: List[Path] = []
+    now = time.time()
+    for path in sorted(target.glob("*.npz")):
+        if str(path) in tracked:
+            continue
+        pid = _spill_owner_pid(path.name)
+        if pid is not None:
+            orphaned = pid != os.getpid() and not _pid_alive(pid)
+        elif max_age_seconds is not None:
+            try:
+                orphaned = (now - path.stat().st_mtime) > max_age_seconds
+            except FileNotFoundError:  # pragma: no cover - raced deletion
+                continue
+        else:
+            orphaned = False
+        if orphaned:
+            victims.append(path)
+            if not dry_run:
+                path.unlink(missing_ok=True)
+    return victims
+
+
 def publish_csr(
     csr: CSRGraph,
     store: str,
@@ -577,10 +743,16 @@ def publish_csr(
         )
     existing = getattr(csr, "_handle", None)
     if existing is not None and existing.store == store:
+        csr.seal_buffers(f"published to {store}")
         return CSRPublication(existing, owns_resource=False)
     payload = _publishable_arrays(csr)
     caches, masks, incident, target_counts = _cache_payload(csr)
     payload = payload + caches
+    # The publisher's own copy must match what workers attached: freeze
+    # it so a post-publish in-place write raises instead of silently
+    # diverging from the shared buffers (and from version-stamped
+    # cached answers in the serving layer).
+    csr.seal_buffers(f"published to {store}")
     if store == "shm":
         segment, handle = _publish_shm(payload, masks, incident, target_counts)
         return CSRPublication(handle, segment=segment)
@@ -637,4 +809,7 @@ __all__ = [
     "spill_csr_to_mmap",
     "npz_array_specs",
     "default_mmap_dir",
+    "SpillOwnership",
+    "track_spill",
+    "sweep_orphan_spills",
 ]

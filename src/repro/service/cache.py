@@ -1,0 +1,103 @@
+"""The serving layer's answer cache: version-keyed, LRU, swap-safe.
+
+Estimates are deterministic in ``(graph version, algorithm, pair,
+budget, seed, repetitions, burn_in)`` — the walk consumes a seeded
+stream over frozen CSR buffers — so a repeated query against an
+unchanged graph can be served without walking at all.  The graph
+version in the key is what makes this safe: the service bumps its
+version (and calls :meth:`AnswerCache.invalidate`) on every graph
+swap, and the read-only enforcement in the graph layer
+(:meth:`repro.graph.labeled_graph.LabeledGraph.freeze`,
+:meth:`repro.graph.csr.CSRGraph.seal_buffers`) guarantees a published
+graph cannot mutate *without* a swap, so a cached answer can never
+outlive the buffers it was computed from.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.utils.validation import check_non_negative_int
+
+CacheKey = Tuple[Hashable, ...]
+
+
+class AnswerCache:
+    """A small LRU mapping query keys to finished answers.
+
+    ``max_size=0`` disables caching (every :meth:`get` misses, nothing
+    is stored) — useful for load tests that must walk every query.
+    The counters feed the ``/stats`` endpoint; *hit_rate* over a
+    repeated identical query is the acceptance probe for the serving
+    layer ("> 0 when the same query repeats against an unchanged graph
+    version").
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        check_non_negative_int(max_size, "max_size")
+        self.max_size = int(max_size)
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[object]:
+        """The cached answer for *key*, refreshing its recency; None on miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, value: object) -> None:
+        """Store *value* under *key*, evicting least-recently-used overflow."""
+        if self.max_size == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (graph swap); returns how many were dropped.
+
+        Version-keyed entries from the old graph could never be *read*
+        again (their keys embed the retired version), but they would
+        pin the old answers in memory until LRU churn pushed them out —
+        a swap empties the cache eagerly instead.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot for the ``/stats`` endpoint."""
+        return {
+            "size": len(self._entries),
+            "max_size": self.max_size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+__all__ = ["AnswerCache", "CacheKey"]

@@ -1,0 +1,79 @@
+"""Validated configuration for ``repro-osn serve``.
+
+Mirrors :class:`repro.experiments.config.ExperimentConfig`'s style: a
+frozen-ish dataclass that validates eagerly in ``__post_init__`` so a
+bad flag combination fails at argument-parsing time, not after the
+graph has been synthesised and published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.datasets.registry import DATASET_SPECS
+from repro.exceptions import ConfigurationError
+from repro.graph.store import validate_graph_store
+from repro.utils.validation import (
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+)
+
+TRANSPORTS = ("auto", "fastapi", "stdlib")
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro-osn serve`` needs to boot a server.
+
+    ``graph_store="shm"`` serves from a shared-memory publication
+    (fits-in-RAM graphs, fastest); ``"mmap"`` serves from a
+    memory-mapped sidecar (out-of-core graphs); ``"ram"`` skips
+    publication entirely (single-process dev server).  See
+    ``docs/scaling-guide.md`` for the trade-off.
+    """
+
+    dataset: str = "facebook"
+    scale: float = 0.25
+    seed: int = 0
+    graph_store: str = "shm"
+    host: str = "127.0.0.1"
+    port: int = 8000
+    batch_window_ms: float = 5.0
+    cache_size: int = 1024
+    repetitions: int = 20
+    burn_in: Optional[int] = None
+    transport: str = "auto"
+    include_baselines: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASET_SPECS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; "
+                f"available: {', '.join(DATASET_SPECS)}"
+            )
+        check_positive(self.scale, "scale")
+        validate_graph_store(self.graph_store)
+        if not (0 <= int(self.port) <= 65535):
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
+        if self.batch_window_ms < 0:
+            raise ConfigurationError(
+                f"batch_window_ms must be >= 0, got {self.batch_window_ms}"
+            )
+        check_non_negative_int(self.cache_size, "cache_size")
+        check_positive_int(self.repetitions, "repetitions")
+        if self.burn_in is not None:
+            check_non_negative_int(self.burn_in, "burn_in")
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown transport {self.transport!r}; "
+                f"choose one of {', '.join(TRANSPORTS)}"
+            )
+
+    @property
+    def window_seconds(self) -> float:
+        return self.batch_window_ms / 1000.0
+
+
+__all__ = ["ServiceConfig", "TRANSPORTS"]

@@ -1,0 +1,487 @@
+"""The estimation service engine: publish once, answer forever.
+
+:class:`EstimationService` owns everything below the event loop:
+
+* **Graph publication.**  At startup the graph is frozen into CSR
+  arrays, published into the configured buffer store (``"shm"`` /
+  ``"mmap"`` via :func:`repro.graph.store.publish_csr`, or kept
+  in-process for ``"ram"``), and the service serves from an attached
+  read-only view.  The source graph is frozen
+  (:meth:`~repro.graph.labeled_graph.LabeledGraph.freeze`) and the CSR
+  buffers sealed, so nothing can mutate the topology underneath
+  version-stamped cached answers — replacing the graph goes through
+  :meth:`EstimationService.swap_graph`, which bumps the version and
+  invalidates the cache atomically.
+* **Planning and execution.**  A batch of queries (from the
+  micro-batcher, or a single synchronous caller) is split into cache
+  hits and misses; the misses are grouped by
+  :func:`repro.service.planner.plan_queries` into shared max-budget
+  fleets, each executed once through
+  :class:`repro.experiments.planner.PrefixFleet` — the same walks the
+  batch harness does, so served answers are bit-identical to
+  ``run_trials_prefix`` at the same user seed.
+* **Accounting.**  Steps walked, wall-clock walking time, fleet and
+  query counters — the substance behind ``/stats``.
+
+The engine is synchronous and thread-safe for the batcher's
+run-in-executor calls (one lock around plan execution); all asyncio
+lives in :mod:`repro.service.batcher` and :mod:`repro.service.http`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite
+from repro.experiments.metrics import nrmse
+from repro.experiments.planner import PrefixFleet
+from repro.graph.csr import CSRGraph, csr_view
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.store import CSRPublication, publish_csr, validate_graph_store
+from repro.service.cache import AnswerCache
+from repro.service.planner import EstimateQuery, FleetPlan, plan_queries
+from repro.utils.validation import check_positive_int
+from repro.walks.mixing import recommended_burn_in
+
+GraphLike = Union[LabeledGraph, CSRGraph]
+
+
+def publishable_csr_view(csr: CSRGraph) -> CSRGraph:
+    """A view of *csr* the buffer stores accept (array labels/ids only).
+
+    Dict-graph CSR views carry per-node label *sets* and Python-list
+    node ids, which cannot live in a flat shm/mmap buffer.  The paper's
+    graphs are all single-label (gender, location, degree bucket), so
+    the sets collapse losslessly into a ``label_array`` sharing the
+    adjacency buffers — classification reads the same boolean masks
+    either way, keeping served answers bit-identical to the batch path
+    on the original graph.  Genuinely multi-labeled graphs cannot be
+    converted and raise with a pointer at ``graph_store="ram"``.
+    """
+    import numpy as np
+
+    node_ids = csr._node_ids
+    if node_ids is not None and not isinstance(node_ids, np.ndarray):
+        node_ids = np.asarray(node_ids)
+        if node_ids.dtype == object:
+            raise ConfigurationError(
+                "graphs with non-numeric node ids cannot be published to an "
+                "external store; serve with graph_store='ram'"
+            )
+    label_array = csr.label_array()
+    if csr._label_sets is not None:
+        flattened = []
+        for index in range(csr.num_nodes):
+            labels = csr.labels_of(index)
+            if len(labels) != 1:
+                raise ConfigurationError(
+                    "multi-labeled graphs cannot be flattened into a "
+                    "label_array for shm/mmap serving; serve with "
+                    "graph_store='ram'"
+                )
+            flattened.append(next(iter(labels)))
+        label_array = np.asarray(flattened)
+        if label_array.dtype == object:
+            raise ConfigurationError(
+                "graphs with non-numeric labels cannot be published to an "
+                "external store; serve with graph_store='ram'"
+            )
+    if node_ids is csr._node_ids and label_array is csr.label_array():
+        return csr
+    replacement = CSRGraph(
+        node_ids,
+        csr.indptr,
+        csr.indices,
+        label_array=label_array,
+        validate=False,
+    )
+    replacement.store = csr.store
+    return replacement
+
+
+@dataclass(frozen=True)
+class EstimateAnswer:
+    """A finished estimate: the query echoed back plus the results.
+
+    *estimates* / *api_calls* are the per-repetition values (what
+    :class:`~repro.experiments.runner.TrialOutcome` carries in the
+    batch harness); *graph_version* stamps which publication produced
+    them; *cached* is True when the answer was served from the cache
+    rather than walked.
+    """
+
+    algorithm: str
+    t1: Hashable
+    t2: Hashable
+    budget: int
+    seed: int
+    repetitions: int
+    burn_in: int
+    true_count: int
+    graph_version: int
+    estimates: List[float] = field(default_factory=list)
+    api_calls: List[int] = field(default_factory=list)
+    cached: bool = False
+
+    @property
+    def mean_estimate(self) -> float:
+        return sum(self.estimates) / len(self.estimates)
+
+    @property
+    def nrmse(self) -> float:
+        return nrmse(self.estimates, self.true_count)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready payload for the HTTP transports."""
+        return {
+            "algorithm": self.algorithm,
+            "t1": self.t1,
+            "t2": self.t2,
+            "budget": self.budget,
+            "seed": self.seed,
+            "repetitions": self.repetitions,
+            "burn_in": self.burn_in,
+            "true_count": self.true_count,
+            "graph_version": self.graph_version,
+            "estimates": list(self.estimates),
+            "api_calls": list(self.api_calls),
+            "mean_estimate": self.mean_estimate,
+            "nrmse": self.nrmse,
+            "cached": self.cached,
+        }
+
+
+class EstimationService:
+    """Long-lived query engine over one published, read-only graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to serve — dict :class:`LabeledGraph` or array-native
+        :class:`CSRGraph`.  It is frozen/sealed on construction;
+        mutating it afterwards raises at the mutation site.
+    graph_store:
+        ``"shm"`` (default: serve from a shared-memory segment),
+        ``"mmap"`` (serve from a memory-mapped sidecar; the paging
+        choice for graphs larger than RAM), or ``"ram"`` (no external
+        publication; single-process serving).
+    algorithms:
+        The servable runner registry; defaults to the full paper suite
+        (proposed + EX-* baselines) built against the serving graph.
+    default_repetitions / default_burn_in:
+        Filled into queries that omit them; *default_burn_in* defaults
+        to :func:`repro.walks.mixing.recommended_burn_in` on the
+        serving graph.
+    cache_size:
+        LRU capacity of the answer cache (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        graph: GraphLike,
+        *,
+        graph_store: str = "shm",
+        algorithms: Optional[Mapping[str, AlgorithmRunner]] = None,
+        default_repetitions: int = 20,
+        default_burn_in: Optional[int] = None,
+        cache_size: int = 1024,
+        name: str = "graph",
+    ) -> None:
+        validate_graph_store(graph_store)
+        check_positive_int(default_repetitions, "default_repetitions")
+        self.name = name
+        self.graph_store = graph_store
+        self.default_repetitions = int(default_repetitions)
+        self._cache = AnswerCache(cache_size)
+        self._lock = threading.Lock()
+        self._graph_version = 0
+        self._publication: Optional[CSRPublication] = None
+        self._csr: Optional[CSRGraph] = None
+        self._suite: Dict[str, AlgorithmRunner] = {}
+        self._closed = False
+        # throughput accounting
+        self.queries_served = 0
+        self.query_errors = 0
+        self.fleets_built = 0
+        self.steps_walked = 0
+        self.walk_seconds = 0.0
+        self._started_at = time.monotonic()
+        self._install_graph(graph, algorithms)
+        if default_burn_in is None:
+            default_burn_in = recommended_burn_in(self._csr, rng=0)
+        self.default_burn_in = int(default_burn_in)
+
+    # ------------------------------------------------------------------
+    # graph lifecycle
+    # ------------------------------------------------------------------
+    def _install_graph(
+        self,
+        graph: GraphLike,
+        algorithms: Optional[Mapping[str, AlgorithmRunner]] = None,
+    ) -> None:
+        csr = csr_view(graph)
+        if isinstance(graph, LabeledGraph):
+            # Freeze the dict source too: its version feeds csr_view's
+            # cache, and a version bump under live workers is exactly
+            # the stale-answer hazard the service exists to prevent.
+            graph.freeze(f"published to the estimation service {self.name!r}")
+        if self.graph_store in ("shm", "mmap"):
+            publication = publish_csr(publishable_csr_view(csr), self.graph_store)
+            serving = publication.attach()
+        else:
+            csr.seal_buffers("published to the estimation service (ram)")
+            publication = None
+            serving = csr
+        if algorithms is None:
+            algorithms = build_algorithm_suite(serving, include_baselines=True)
+        self._publication = publication
+        self._csr = serving
+        self._suite = dict(algorithms)
+        self._graph_version += 1
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The read-only serving graph (attached from the buffer store)."""
+        return self._csr
+
+    @property
+    def graph_version(self) -> int:
+        """Publication counter; bumped by every :meth:`swap_graph`."""
+        return self._graph_version
+
+    @property
+    def algorithms(self) -> List[str]:
+        """Names of the servable algorithms."""
+        return list(self._suite)
+
+    def swap_graph(
+        self,
+        graph: GraphLike,
+        algorithms: Optional[Mapping[str, AlgorithmRunner]] = None,
+    ) -> int:
+        """Replace the served graph atomically; returns the new version.
+
+        Publishes the new graph, retires the old publication, bumps the
+        version, and invalidates the answer cache — in that order, under
+        the execution lock, so in-flight batches finish against the old
+        buffers and every later query sees only the new version.
+        """
+        with self._lock:
+            old = self._publication
+            self._install_graph(graph, algorithms)
+            self._cache.invalidate()
+            if old is not None:
+                old.close()
+                old.unlink()
+            return self._graph_version
+
+    def close(self) -> None:
+        """Release the buffer-store publication (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._publication is not None:
+            self._publication.close()
+            self._publication.unlink()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # query path
+    # ------------------------------------------------------------------
+    def normalize_query(
+        self, query: Union[EstimateQuery, Mapping[str, object]]
+    ) -> EstimateQuery:
+        """Validate *query* and fill service defaults; raises on bad input."""
+        if isinstance(query, Mapping):
+            payload = dict(query)
+            unknown = set(payload) - {
+                "algorithm", "t1", "t2", "budget", "seed", "repetitions", "burn_in",
+            }
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown query fields: {', '.join(sorted(map(str, unknown)))}"
+                )
+            if "t1" not in payload or "t2" not in payload:
+                raise ConfigurationError("a query needs both target labels t1 and t2")
+            if "budget" not in payload:
+                raise ConfigurationError("a query needs a budget (API-call allowance)")
+            query = EstimateQuery(
+                algorithm=str(payload.get("algorithm", "NeighborSample-HH")),
+                t1=payload["t1"],
+                t2=payload["t2"],
+                budget=payload["budget"],
+                seed=payload.get("seed", 2018),
+                repetitions=payload.get(
+                    "repetitions", self.default_repetitions
+                ),
+                burn_in=payload.get("burn_in", self.default_burn_in),
+            )
+        if query.algorithm not in self._suite:
+            raise ConfigurationError(
+                f"unknown algorithm {query.algorithm!r}; servable: "
+                f"{', '.join(self._suite)}"
+            )
+        check_positive_int(query.budget, "budget")
+        check_positive_int(query.repetitions, "repetitions")
+        if int(query.burn_in) < 0:
+            raise ConfigurationError("burn_in must be >= 0")
+        return replace(
+            query,
+            budget=int(query.budget),
+            seed=int(query.seed),
+            repetitions=int(query.repetitions),
+            burn_in=int(query.burn_in),
+        )
+
+    def estimate(
+        self, query: Union[EstimateQuery, Mapping[str, object]]
+    ) -> EstimateAnswer:
+        """Answer one query synchronously (cache, then a fresh fleet)."""
+        result = self.estimate_many([query])[0]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def estimate_many(
+        self, queries: Sequence[Union[EstimateQuery, Mapping[str, object]]]
+    ) -> List[Union[EstimateAnswer, Exception]]:
+        """Answer a batch; returns one answer *or exception* per query.
+
+        Per-query failures (unknown algorithm, zero-target pair, bad
+        budget) are returned in their slots instead of raised, so one
+        bad query can never poison the other members of a coalesced
+        batch — the micro-batcher forwards each slot to its own client.
+        Cache misses are grouped by :func:`plan_queries` and each plan
+        walks exactly one max-budget fleet.
+        """
+        results: List[Union[EstimateAnswer, Exception]] = [None] * len(queries)
+        with self._lock:
+            misses: List[EstimateQuery] = []
+            miss_slots: Dict[int, EstimateQuery] = {}
+            for index, raw in enumerate(queries):
+                try:
+                    query = self.normalize_query(raw)
+                except Exception as exc:
+                    results[index] = exc
+                    self.query_errors += 1
+                    continue
+                cached = self._cache.get(query.cache_key(self._graph_version))
+                if cached is not None:
+                    results[index] = replace(cached, cached=True)
+                    self.queries_served += 1
+                else:
+                    miss_slots[index] = query
+                    misses.append(query)
+            answered = self._execute_plans(plan_queries(misses))
+            for index, query in miss_slots.items():
+                outcome = answered[query]
+                results[index] = outcome
+                if isinstance(outcome, Exception):
+                    self.query_errors += 1
+                else:
+                    self.queries_served += 1
+        return results
+
+    def _execute_plans(
+        self, plans: Sequence[FleetPlan]
+    ) -> Dict[EstimateQuery, Union[EstimateAnswer, Exception]]:
+        answered: Dict[EstimateQuery, Union[EstimateAnswer, Exception]] = {}
+        for plan in plans:
+            started = time.perf_counter()
+            try:
+                fleet = PrefixFleet(
+                    self._csr,
+                    self._suite[plan.spec.algorithm],
+                    plan.spec,
+                    plan.max_budget,
+                )
+            except Exception as exc:
+                for query in plan.queries:
+                    answered[query] = exc
+                continue
+            self.fleets_built += 1
+            self.steps_walked += fleet.steps_walked
+            for query in plan.queries:
+                if query in answered and not isinstance(
+                    answered[query], Exception
+                ):
+                    continue  # duplicate within one batch: answer once
+                try:
+                    answered[query] = self._answer_from_fleet(fleet, query)
+                except Exception as exc:
+                    answered[query] = exc
+            self.walk_seconds += time.perf_counter() - started
+        return answered
+
+    def _answer_from_fleet(
+        self, fleet: PrefixFleet, query: EstimateQuery
+    ) -> EstimateAnswer:
+        true_count = self._csr.count_target_edges(query.t1, query.t2)
+        if true_count <= 0:
+            raise ExperimentError(
+                f"the target pair ({query.t1!r}, {query.t2!r}) has no target "
+                "edges in the served graph; NRMSE is undefined"
+            )
+        estimates, api_calls = fleet.estimate(query.t1, query.t2, query.budget)
+        answer = EstimateAnswer(
+            algorithm=query.algorithm,
+            t1=query.t1,
+            t2=query.t2,
+            budget=query.budget,
+            seed=query.seed,
+            repetitions=query.repetitions,
+            burn_in=query.burn_in,
+            true_count=int(true_count),
+            graph_version=self._graph_version,
+            estimates=estimates,
+            api_calls=api_calls,
+        )
+        self._cache.put(query.cache_key(self._graph_version), answer)
+        return answer
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Runtime snapshot for the ``/stats`` endpoint."""
+        steps_per_second = (
+            self.steps_walked / self.walk_seconds if self.walk_seconds > 0 else 0.0
+        )
+        return {
+            "graph": {
+                "name": self.name,
+                "version": self._graph_version,
+                "store": self.graph_store,
+                "num_nodes": int(self._csr.num_nodes),
+                "num_edges": int(self._csr.num_edges),
+            },
+            "cache": self._cache.stats(),
+            "fleets": {
+                "built": self.fleets_built,
+                "steps_walked": self.steps_walked,
+                "walk_seconds": self.walk_seconds,
+                "steps_per_second": steps_per_second,
+            },
+            "queries": {
+                "served": self.queries_served,
+                "errors": self.query_errors,
+            },
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "algorithms": list(self._suite),
+            "defaults": {
+                "repetitions": self.default_repetitions,
+                "burn_in": self.default_burn_in,
+            },
+        }
+
+
+__all__ = ["EstimateAnswer", "EstimateQuery", "EstimationService"]

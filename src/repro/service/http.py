@@ -1,0 +1,262 @@
+"""HTTP transports for the estimation service.
+
+Two interchangeable fronts over the same :class:`EstimationService` +
+:class:`MicroBatcher` pair:
+
+* :class:`ServiceHTTPServer` — a dependency-free asyncio HTTP/1.1
+  server (``asyncio.start_server`` + a minimal request parser).  It is
+  the transport the test suite and the CI smoke job use, and the
+  fallback ``repro-osn serve`` boots when FastAPI/uvicorn are absent;
+  it speaks exactly the three endpoints below and nothing else.
+* :func:`create_fastapi_app` — a FastAPI application factory, gated on
+  the optional dependency (raises
+  :class:`~repro.exceptions.ConfigurationError` with an actionable
+  message when ``fastapi`` is not importable).  Same endpoints, same
+  payloads; pointing uvicorn at it gives the production front.
+
+Endpoints:
+
+* ``GET /healthz`` — liveness: ``{"status": "ok", "graph_version": N}``.
+* ``GET /stats`` — runtime snapshot: graph/publication info, cache hit
+  rate, fleet count, steps walked per second, batcher queue depth.
+* ``POST /estimate`` — body ``{"t1": ..., "t2": ..., "budget": N,
+  "algorithm"?, "seed"?, "repetitions"?, "burn_in"?}``; the request
+  parks in the micro-batch window and returns the full
+  :meth:`~repro.service.core.EstimateAnswer.to_dict` payload.
+  Validation and estimation errors come back as ``400`` with
+  ``{"error": ...}``; unknown paths are ``404``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.service.batcher import MicroBatcher
+from repro.service.core import EstimationService
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+
+
+def _service_stats(service: EstimationService, batcher: MicroBatcher) -> Dict:
+    stats = service.stats()
+    stats["batcher"] = batcher.stats()
+    return stats
+
+
+async def _dispatch(
+    service: EstimationService,
+    batcher: MicroBatcher,
+    method: str,
+    path: str,
+    body: bytes,
+) -> Tuple[int, Dict]:
+    """Route one request; shared by both transports' error contract."""
+    if method == "GET" and path == "/healthz":
+        return 200, {"status": "ok", "graph_version": service.graph_version}
+    if method == "GET" and path == "/stats":
+        return 200, _service_stats(service, batcher)
+    if method == "POST" and path == "/estimate":
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return 400, {"error": "request body must be a JSON object"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        try:
+            answer = await batcher.submit(payload)
+        except ReproError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - engine crash surface
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+        return 200, answer.to_dict()
+    return 404, {"error": f"no route for {method} {path}"}
+
+
+class ServiceHTTPServer:
+    """Minimal asyncio HTTP front; no third-party dependencies.
+
+    Binds lazily in :meth:`start` (``port=0`` picks a free port, read
+    it back from :attr:`port`) and owns a :class:`MicroBatcher` so
+    every transport instance batches independently.
+    """
+
+    def __init__(
+        self,
+        service: EstimationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window_seconds: float = 0.005,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.batcher = MicroBatcher(service, window_seconds)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (returns immediately)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, flush the batch window, close the server."""
+        await self.batcher.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._handle_request(reader)
+            body = json.dumps(payload).encode("utf-8")
+            reason = _REASONS.get(status, "Unknown")
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away; the batch (if any) continues without it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict]:
+        request_line = (await reader.readline()).decode("ascii", "replace")
+        parts = request_line.split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("ascii", "replace").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            return 400, {"error": "bad Content-Length"}
+        body = await reader.readexactly(length) if length > 0 else b""
+        return await _dispatch(self.service, self.batcher, method, path, body)
+
+
+def create_fastapi_app(
+    service: EstimationService, window_seconds: float = 0.005
+):
+    """Build the FastAPI application (requires the optional dependency).
+
+    Raises :class:`ConfigurationError` when ``fastapi`` is not
+    installed, so ``repro-osn serve --transport fastapi`` fails with an
+    actionable message instead of an ImportError traceback; the
+    ``auto`` transport falls back to :class:`ServiceHTTPServer`.
+    """
+    try:
+        from fastapi import FastAPI
+        from fastapi.responses import JSONResponse
+    except ImportError as exc:
+        raise ConfigurationError(
+            "fastapi is not installed; install it (pip install fastapi uvicorn) "
+            "or use the dependency-free transport (--transport stdlib)"
+        ) from exc
+
+    batcher = MicroBatcher(service, window_seconds)
+    app = FastAPI(title="repro-osn estimation service")
+    app.state.service = service
+    app.state.batcher = batcher
+
+    @app.get("/healthz")
+    async def healthz():  # pragma: no cover - exercised only with fastapi
+        return {"status": "ok", "graph_version": service.graph_version}
+
+    @app.get("/stats")
+    async def stats():  # pragma: no cover - exercised only with fastapi
+        return _service_stats(service, batcher)
+
+    @app.post("/estimate")
+    async def estimate(payload: dict):  # pragma: no cover - ditto
+        try:
+            answer = await batcher.submit(payload)
+        except ReproError as exc:
+            return JSONResponse(status_code=400, content={"error": str(exc)})
+        return answer.to_dict()
+
+    return app
+
+
+def run_server(
+    service: EstimationService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    transport: str = "auto",
+    window_seconds: float = 0.005,
+) -> None:
+    """Run the service until interrupted (the ``repro-osn serve`` core).
+
+    ``transport="fastapi"`` requires fastapi + uvicorn; ``"stdlib"``
+    always works; ``"auto"`` prefers fastapi when importable and falls
+    back silently — the container images this repo targets ship
+    without either extra, so ``auto`` normally lands on the stdlib
+    server.
+    """
+    if transport not in ("auto", "fastapi", "stdlib"):
+        raise ConfigurationError(
+            f"unknown transport {transport!r}; choose auto, fastapi, or stdlib"
+        )
+    if transport in ("auto", "fastapi"):
+        try:
+            import uvicorn  # noqa: F401
+
+            app = create_fastapi_app(service, window_seconds)
+        except (ImportError, ConfigurationError):
+            if transport == "fastapi":
+                raise ConfigurationError(
+                    "transport='fastapi' needs fastapi and uvicorn installed; "
+                    "use --transport stdlib for the dependency-free server"
+                )
+        else:  # pragma: no cover - needs uvicorn installed
+            uvicorn.run(app, host=host, port=port)
+            return
+
+    async def _serve() -> None:
+        server = ServiceHTTPServer(service, host, port, window_seconds)
+        await server.start()
+        print(
+            f"repro-osn serve: listening on http://{server.host}:{server.port} "
+            f"(stdlib transport, graph version {service.graph_version})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:  # pragma: no cover - signal path
+            pass
+        finally:
+            await server.stop()
+
+    asyncio.run(_serve())
+
+
+__all__ = ["ServiceHTTPServer", "create_fastapi_app", "run_server"]

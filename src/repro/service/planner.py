@@ -1,0 +1,120 @@
+"""Query planning: coalesce concurrent queries into shared fleets.
+
+The micro-batcher hands over everything that arrived in one window;
+this module decides how few walks can answer all of it.  The grouping
+rule falls straight out of the prefix-reuse exactness property
+(:mod:`repro.experiments.planner`): queries whose walks are pinned by
+the same :class:`~repro.experiments.planner.FleetSpec` — same
+algorithm, same derived fleet seed, same repetitions and burn-in —
+share one fleet at the **maximum** of their budgets, and every member
+query reads its answer off a prefix, bit-identical to a standalone run
+at its own budget.  Target pairs never enter the grouping key at all:
+walks are label-agnostic, classification is per-query.
+
+Seed derivation mirrors the batch path exactly:
+:func:`repro.experiments.runner.run_trials_prefix` walks its fleet at
+``derive_seed(seed, algorithm, "prefix")``, so a served answer for
+``(pair, budget, seed)`` is bit-identical to the batch CLI answer at
+the same user-facing seed — the acceptance property of the serving
+layer, pinned by ``tests/service/test_service_integration.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.experiments.planner import FleetSpec
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class EstimateQuery:
+    """One client question: how many (*t1*, *t2*) edges, at what cost.
+
+    *seed* is the user-facing experiment seed (the same value the batch
+    CLI takes); the fleet seed is derived from it per algorithm, never
+    used raw.  Frozen and hashable so identical queries coalesce in
+    cache keys and batch maps.
+    """
+
+    algorithm: str
+    t1: Hashable
+    t2: Hashable
+    budget: int
+    seed: int = 2018
+    repetitions: int = 20
+    burn_in: int = 0
+
+    def fleet_seed(self) -> int:
+        """The derived seed this query's fleet walks at.
+
+        Identical to ``_derive_group_seed`` in the batch harness, which
+        is what makes served answers bit-compatible with
+        ``run_trials_prefix`` at the same user seed.
+        """
+        return derive_seed(self.seed, self.algorithm, "prefix")
+
+    def spec(self) -> FleetSpec:
+        """The fleet specification this query must be answered from."""
+        return FleetSpec(
+            self.algorithm, self.fleet_seed(), self.repetitions, self.burn_in
+        )
+
+    def cache_key(self, graph_version: int) -> Tuple[Hashable, ...]:
+        """The answer-cache key for this query against *graph_version*."""
+        return (
+            int(graph_version),
+            self.algorithm,
+            self.t1,
+            self.t2,
+            int(self.budget),
+            int(self.seed),
+            int(self.repetitions),
+            int(self.burn_in),
+        )
+
+
+@dataclass
+class FleetPlan:
+    """One walk serving many queries: a spec plus the coalesced demand.
+
+    ``max_budget`` is the largest budget over :attr:`queries`; the
+    executor builds a single
+    :class:`~repro.experiments.planner.PrefixFleet` at that budget and
+    answers each member query from a prefix.
+    """
+
+    spec: FleetSpec
+    max_budget: int = 0
+    queries: List[EstimateQuery] = field(default_factory=list)
+
+    def add(self, query: EstimateQuery) -> None:
+        self.queries.append(query)
+        self.max_budget = max(self.max_budget, int(query.budget))
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+
+def plan_queries(queries: Sequence[EstimateQuery]) -> List[FleetPlan]:
+    """Group *queries* into the fewest exactness-preserving fleet plans.
+
+    Two queries land in the same plan iff their :meth:`EstimateQuery.spec`
+    values are equal — the necessary and sufficient condition for one
+    walk to serve both bit-identically.  Plan order follows first
+    appearance, and queries keep their arrival order within a plan, so
+    planning is deterministic in the batch contents.
+    """
+    plans: Dict[FleetSpec, FleetPlan] = {}
+    for query in queries:
+        spec = query.spec()
+        plan = plans.get(spec)
+        if plan is None:
+            plan = plans[spec] = FleetPlan(spec=spec)
+        plan.add(query)
+    return list(plans.values())
+
+
+__all__ = ["EstimateQuery", "FleetPlan", "plan_queries"]

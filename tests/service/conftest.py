@@ -1,0 +1,59 @@
+"""Fixtures for the serving-layer suite.
+
+The graphs here are local to ``tests/service`` on purpose: the
+estimation service *freezes* its source graph at publish time
+(irreversibly), so handing it the shared session fixtures from the
+top-level conftest would leak read-only state into unrelated suites.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.labeling import assign_binary_labels
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.graph.labeled_graph import LabeledGraph
+from repro.service import EstimationService
+
+# Small enough that a fleet walks in milliseconds, large enough that
+# every (1, 2) pair has target edges and the walkers mix.
+NUM_NODES = 250
+BURN_IN = 5
+
+
+def build_serving_graph(rng: int = 7) -> LabeledGraph:
+    graph = powerlaw_cluster_osn(NUM_NODES, 5, 0.3, rng=rng)
+    assign_binary_labels(graph, 0.5, labels=(1, 2), rng=rng + 1)
+    return graph
+
+
+@pytest.fixture(scope="session")
+def serving_graph() -> LabeledGraph:
+    """One shared source graph; the services freeze it, nothing mutates it."""
+    return build_serving_graph()
+
+
+@pytest.fixture
+def ram_service(serving_graph):
+    """A no-publication service for logic tests (batching, planning, cache)."""
+    with EstimationService(
+        serving_graph,
+        graph_store="ram",
+        default_repetitions=6,
+        default_burn_in=BURN_IN,
+        name="test-ram",
+    ) as service:
+        yield service
+
+
+@pytest.fixture
+def shm_service(serving_graph):
+    """The production-shaped path: publish into shm, serve the attachment."""
+    with EstimationService(
+        serving_graph,
+        graph_store="shm",
+        default_repetitions=6,
+        default_burn_in=BURN_IN,
+        name="test-shm",
+    ) as service:
+        yield service

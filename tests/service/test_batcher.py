@@ -1,0 +1,215 @@
+"""MicroBatcher: window coalescing, failure isolation, disconnects.
+
+No pytest-asyncio in the container — each test drives its own event
+loop with ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ExperimentError
+from repro.service import EstimationService, MicroBatcher
+from repro.service.planner import EstimateQuery
+
+WINDOW = 0.02
+BURN_IN = 5  # matches the conftest fixtures
+
+
+def _query(**overrides) -> dict:
+    fields = dict(
+        algorithm="NeighborSample-HH",
+        t1=1,
+        t2=2,
+        budget=20,
+        seed=7,
+        repetitions=6,
+        burn_in=BURN_IN,
+    )
+    fields.update(overrides)
+    return fields
+
+
+class TestCoalescing:
+    def test_concurrent_mixed_budget_clients_share_one_fleet(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+        before = ram_service.fleets_built
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.submit(_query(budget=10)),
+                batcher.submit(_query(budget=40, t1=2, t2=2)),
+                batcher.submit(_query(budget=25)),
+            )
+
+        answers = asyncio.run(scenario())
+        # three clients, three answers, ONE walk
+        assert ram_service.fleets_built - before == 1
+        assert batcher.batches_flushed == 1
+        assert batcher.peak_batch_size == 3
+        assert [answer.budget for answer in answers] == [10, 40, 25]
+        assert all(len(answer.estimates) == 6 for answer in answers)
+
+    def test_batched_answers_bit_identical_to_sequential(self, serving_graph):
+        # The same queries through a fresh service, one at a time, must
+        # produce the same estimates the coalesced batch produced —
+        # prefix-reuse exactness surviving the batching layer.
+        queries = [
+            _query(budget=10),
+            _query(budget=40),
+            _query(budget=25, t1=2, t2=2),
+        ]
+
+        with EstimationService(
+            serving_graph, graph_store="ram", default_burn_in=BURN_IN,
+            name="batched",
+        ) as batched_service:
+            batcher = MicroBatcher(batched_service, WINDOW)
+
+            async def scenario():
+                return await asyncio.gather(
+                    *(batcher.submit(query) for query in queries)
+                )
+
+            batched = asyncio.run(scenario())
+            assert batched_service.fleets_built == 1
+
+        with EstimationService(
+            serving_graph, graph_store="ram", default_burn_in=BURN_IN,
+            cache_size=0, name="sequential",
+        ) as sequential_service:
+            sequential = [sequential_service.estimate(query) for query in queries]
+            assert sequential_service.fleets_built == len(queries)
+
+        for fast, slow in zip(batched, sequential):
+            assert fast.estimates == slow.estimates
+            assert fast.api_calls == slow.api_calls
+
+    def test_requests_after_a_flush_start_a_new_batch(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        async def scenario():
+            first = await batcher.submit(_query(budget=10))
+            second = await batcher.submit(_query(budget=10, seed=8))
+            return first, second
+
+        asyncio.run(scenario())
+        assert batcher.batches_flushed == 2
+
+    def test_drain_flushes_without_waiting_for_the_window(self, ram_service):
+        batcher = MicroBatcher(ram_service, window_seconds=30.0)
+
+        async def scenario():
+            task = asyncio.ensure_future(batcher.submit(_query(budget=10)))
+            await asyncio.sleep(0)
+            assert batcher.in_flight == 1
+            await batcher.drain()
+            return await task
+
+        answer = asyncio.run(scenario())
+        assert len(answer.estimates) == 6
+        assert batcher.in_flight == 0
+
+
+class TestFailureIsolation:
+    def test_bad_query_does_not_poison_batch_mates(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.submit(_query()),
+                batcher.submit(_query(algorithm="NoSuchAlgorithm")),
+                return_exceptions=True,
+            )
+
+        good, bad = asyncio.run(scenario())
+        assert good.budget == 20 and len(good.estimates) == 6
+        assert isinstance(bad, ConfigurationError)
+
+    def test_zero_target_pair_fails_only_its_own_slot(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        async def scenario():
+            return await asyncio.gather(
+                batcher.submit(_query()),
+                batcher.submit(_query(t1="ghost", t2="ghost")),
+                return_exceptions=True,
+            )
+
+        good, bad = asyncio.run(scenario())
+        assert len(good.estimates) == 6
+        assert isinstance(bad, ExperimentError)
+
+    def test_client_disconnect_mid_batch_does_not_poison_the_fleet(
+        self, ram_service
+    ):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        async def scenario():
+            doomed = asyncio.ensure_future(batcher.submit(_query(budget=40)))
+            survivor = asyncio.ensure_future(batcher.submit(_query(budget=10)))
+            await asyncio.sleep(0)  # both parked in the window
+            doomed.cancel()
+            answer = await survivor
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            return answer
+
+        answer = asyncio.run(scenario())
+        assert len(answer.estimates) == 6
+        assert batcher.queries_dropped == 1
+        assert batcher.batches_flushed == 1
+
+    def test_engine_crash_fails_every_pending_future(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        def explode(queries):
+            raise RuntimeError("engine down")
+
+        ram_service_estimate_many = ram_service.estimate_many
+        try:
+            ram_service.estimate_many = explode
+
+            async def scenario():
+                return await asyncio.gather(
+                    batcher.submit(_query()),
+                    batcher.submit(_query(seed=8)),
+                    return_exceptions=True,
+                )
+
+            results = asyncio.run(scenario())
+        finally:
+            ram_service.estimate_many = ram_service_estimate_many
+        assert all(isinstance(result, RuntimeError) for result in results)
+
+
+class TestConstructionAndStats:
+    def test_negative_window_rejected(self, ram_service):
+        with pytest.raises(ValueError):
+            MicroBatcher(ram_service, window_seconds=-1.0)
+
+    def test_typed_queries_accepted(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+        query = EstimateQuery(
+            "NeighborSample-HH", 1, 2, budget=15, seed=7,
+            repetitions=6, burn_in=BURN_IN,
+        )
+        answer = asyncio.run(batcher.submit(query))
+        assert answer.budget == 15
+
+    def test_stats_counters(self, ram_service):
+        batcher = MicroBatcher(ram_service, WINDOW)
+
+        async def scenario():
+            await asyncio.gather(
+                batcher.submit(_query()), batcher.submit(_query(budget=30))
+            )
+
+        asyncio.run(scenario())
+        stats = batcher.stats()
+        assert stats["queries_submitted"] == 2
+        assert stats["batches_flushed"] == 1
+        assert stats["peak_batch_size"] == 2
+        assert stats["queries_dropped"] == 0
+        assert stats["in_flight"] == 0
+        assert stats["window_seconds"] == WINDOW

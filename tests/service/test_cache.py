@@ -1,0 +1,91 @@
+"""AnswerCache: LRU behaviour, invalidation, and the /stats counters."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service import AnswerCache
+
+
+class TestBasics:
+    def test_round_trip(self):
+        cache = AnswerCache(4)
+        cache.put(("a",), 1)
+        assert cache.get(("a",)) == 1
+        assert len(cache) == 1
+
+    def test_miss_returns_none_and_counts(self):
+        cache = AnswerCache(4)
+        assert cache.get(("nope",)) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnswerCache(-1)
+
+
+class TestLRU:
+    def test_eviction_drops_least_recently_used(self):
+        cache = AnswerCache(2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)
+        assert cache.get(("a",)) is None
+        assert cache.get(("b",)) == 2
+        assert cache.get(("c",)) == 3
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = AnswerCache(2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))  # now "b" is the LRU entry
+        cache.put(("c",), 3)
+        assert cache.get(("a",)) == 1
+        assert cache.get(("b",)) is None
+
+    def test_overwrite_same_key_does_not_grow(self):
+        cache = AnswerCache(2)
+        cache.put(("a",), 1)
+        cache.put(("a",), 2)
+        assert len(cache) == 1
+        assert cache.get(("a",)) == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = AnswerCache(0)
+        cache.put(("a",), 1)
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+
+
+class TestInvalidate:
+    def test_invalidate_empties_and_reports(self):
+        cache = AnswerCache(8)
+        for index in range(3):
+            cache.put((index,), index)
+        assert cache.invalidate() == 3
+        assert len(cache) == 0
+        assert cache.invalidations == 1
+        assert cache.get((0,)) is None
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = AnswerCache(4)
+        assert cache.hit_rate == 0.0
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.get(("b",))
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_stats_snapshot(self):
+        cache = AnswerCache(4)
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        stats = cache.stats()
+        assert stats["size"] == 1
+        assert stats["max_size"] == 4
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["hit_rate"] == 1.0
+        assert stats["evictions"] == 0
+        assert stats["invalidations"] == 0

@@ -1,0 +1,97 @@
+"""Query planning: coalescing rules, seed derivation, cache keys."""
+
+from repro.experiments.planner import FleetSpec
+from repro.experiments.runner import _derive_group_seed
+from repro.service import EstimateQuery, plan_queries
+from repro.utils.rng import derive_seed
+
+
+def _query(**overrides) -> EstimateQuery:
+    fields = dict(
+        algorithm="NeighborSample-HH",
+        t1=1,
+        t2=2,
+        budget=20,
+        seed=7,
+        repetitions=6,
+        burn_in=5,
+    )
+    fields.update(overrides)
+    return EstimateQuery(**fields)
+
+
+class TestSeedDerivation:
+    def test_fleet_seed_matches_batch_harness(self):
+        # The property that makes served answers bit-compatible with the
+        # batch CLI: both derive the fleet seed the same way.
+        query = _query(seed=123, algorithm="EX-RW")
+        assert query.fleet_seed() == derive_seed(123, "EX-RW", "prefix")
+        assert query.fleet_seed() == _derive_group_seed(123, "EX-RW")
+
+    def test_spec_pins_algorithm_seed_repetitions_burn_in(self):
+        spec = _query().spec()
+        assert spec == FleetSpec(
+            "NeighborSample-HH", derive_seed(7, "NeighborSample-HH", "prefix"), 6, 5
+        )
+
+
+class TestPlanQueries:
+    def test_shareable_queries_coalesce_into_one_plan(self):
+        # Different pairs and budgets, same walk parameters: one fleet.
+        queries = [
+            _query(t1=1, t2=2, budget=10),
+            _query(t1=2, t2=2, budget=40),
+            _query(t1=1, t2=1, budget=25),
+        ]
+        plans = plan_queries(queries)
+        assert len(plans) == 1
+        assert plans[0].max_budget == 40
+        assert plans[0].num_queries == 3
+        assert plans[0].queries == queries  # arrival order preserved
+
+    def test_different_walk_parameters_split_plans(self):
+        queries = [
+            _query(),
+            _query(algorithm="EX-RW"),
+            _query(seed=8),
+            _query(repetitions=7),
+            _query(burn_in=6),
+        ]
+        plans = plan_queries(queries)
+        assert len(plans) == 5
+        # plan order follows first appearance
+        assert [plan.queries[0] for plan in plans] == queries
+
+    def test_duplicate_queries_share_a_slot_in_one_plan(self):
+        query = _query()
+        plans = plan_queries([query, query])
+        assert len(plans) == 1
+        assert plans[0].num_queries == 2
+        assert plans[0].max_budget == query.budget
+
+    def test_empty_batch_plans_nothing(self):
+        assert plan_queries([]) == []
+
+
+class TestCacheKey:
+    def test_key_embeds_the_graph_version(self):
+        query = _query()
+        assert query.cache_key(1) != query.cache_key(2)
+
+    def test_key_distinguishes_every_query_field(self):
+        base = _query()
+        variants = [
+            _query(algorithm="EX-RW"),
+            _query(t1=2),
+            _query(t2=1),
+            _query(budget=21),
+            _query(seed=8),
+            _query(repetitions=7),
+            _query(burn_in=6),
+        ]
+        keys = {variant.cache_key(1) for variant in variants}
+        assert base.cache_key(1) not in keys
+        assert len(keys) == len(variants)
+
+    def test_equal_queries_share_a_key(self):
+        assert _query().cache_key(3) == _query().cache_key(3)

@@ -73,13 +73,35 @@ class TestLoadEdgeListCSR:
         first = load_edge_list_csr(path, cache=True)
         sidecar = path.with_name(path.name + ".npz")
         assert sidecar.exists()
-        # Poison the original; the cache must still serve.
-        path.write_text("not an edge list")
-        sidecar.touch()
+        # Delete the original; the cache is all there is and must serve.
+        path.unlink()
         cached = load_edge_list_csr(path, cache=True)
         assert cached.num_nodes == first.num_nodes
         assert np.array_equal(cached.indices, first.indices)
         assert cached.node_id_list() == first.node_id_list()
+
+    def test_same_second_rewrite_cannot_serve_stale_mmap_sidecar(self, tmp_path):
+        # Regression: the old check compared second-resolution st_mtime
+        # with >=, so a source rewritten twice within one second kept
+        # serving the first rewrite's memory-mapped sidecar.
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1\n1 2\n2 0\n")
+        first = load_edge_list_csr(path, cache=True, mmap=True)
+        assert first.num_nodes == 3
+        path.write_text("0 1\n1 2\n2 3\n3 0\n")
+        second = load_edge_list_csr(path, cache=True, mmap=True)
+        assert second.num_nodes == 4
+        assert second.store == "mmap"
+
+    def test_rewritten_source_invalidates_cache(self, edge_file):
+        path, _ = edge_file
+        load_edge_list_csr(path, cache=True)
+        # Rewriting the source must invalidate the sidecar — even when
+        # the rewrite lands within the same second (the fingerprint is
+        # st_mtime_ns + size, not the old second-resolution mtime).
+        path.write_text("not an edge list")
+        with pytest.raises(DatasetError):
+            load_edge_list_csr(path, cache=True)
 
     def test_explicit_cache_path(self, edge_file, tmp_path):
         path, _ = edge_file
