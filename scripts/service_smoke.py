@@ -1,9 +1,11 @@
 #!/usr/bin/env python
-"""CI smoke test for the estimation service: boot, query, verify, exit.
+"""CI smoke tests for the estimation service: boot, query, verify, exit.
 
-Boots the dependency-free HTTP transport over a ~10^4-node shm-published
-graph (the ``pokec`` registry entry at half scale), then speaks real
-HTTP from this (client) thread:
+Two modes, both speaking real HTTP from this (client) thread against
+the dependency-free asyncio transport:
+
+**Default** — the serving-layer acceptance path over a ~10^4-node
+shm-published graph (the ``pokec`` registry entry at half scale):
 
 1. ``GET /healthz`` answers ``{"status": "ok"}``;
 2. ``POST /estimate`` returns a well-formed answer with walked
@@ -12,19 +14,40 @@ HTTP from this (client) thread:
    (``cached: true``) and ``GET /stats`` reports a positive cache hit
    rate without a second fleet being built;
 4. the served estimates are bit-identical to the batch harness
-   (``run_trials_prefix``) at the same user seed — the acceptance
-   property of the serving layer.
+   (``run_trials_prefix``) at the same user seed.
 
-Exit code 0 on success.  Runs in a few seconds; CI wires it as the
-``service-smoke`` job (see ``.github/workflows/ci.yml``).
+**Chaos** (``--faults``) — the resilience-layer acceptance path, with a
+deterministic fault plan installed at the production ``fire`` sites
+(see ``docs/operations.md``):
+
+1. a transient injected ``store.attach`` failure is absorbed by the
+   attach retry at boot;
+2. repeated injected fleet failures trip the algorithm's circuit
+   breaker: ``/healthz`` reports ``degraded`` and a query for the
+   warmed pair is served from stale cache flagged ``degraded: true``;
+3. after the cooldown the half-open probe succeeds and ``/healthz``
+   returns to ``ok``;
+4. an injected fleet delay longer than the request's ``deadline_ms``
+   answers 504;
+5. a pool worker SIGKILLed mid-table (``REPRO_FAULTS`` env plan) is
+   respawned and the finished table is bit-identical to a clean run.
+
+Exit code 0 on success.  CI wires the default mode as the
+``service-smoke`` job and the chaos mode as ``chaos-smoke`` (see
+``.github/workflows/ci.yml``).
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
+import os
 import sys
+import tempfile
 import threading
+import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -43,6 +66,17 @@ BUDGET = 40
 REPETITIONS = 6
 BURN_IN = 10
 
+#: The chaos plan: one transient attach failure at boot, three fleet
+#: failures to trip the breaker (threshold 3), then one slow fleet to
+#: blow a request deadline.  Invocation arithmetic: fleet.run 0 is the
+#: cache-warming success, 1-3 are the breaker-tripping failures, 4 is
+#: the half-open probe (budget spent: success), 5 is the delayed walk.
+CHAOS_PLAN = (
+    "store.attach=error,count=1;"
+    "fleet.run=error,after=1,count=3;"
+    "fleet.run=delay,after=5,count=1,seconds=0.6"
+)
+
 
 def _get(port: int, path: str) -> dict:
     with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=30) as fh:
@@ -50,17 +84,71 @@ def _get(port: int, path: str) -> dict:
 
 
 def _post(port: int, path: str, payload: dict) -> dict:
+    status, body = _post_status(port, path, payload)
+    assert status == 200, (status, body)
+    return body
+
+
+def _post_status(port: int, path: str, payload: dict) -> tuple:
+    """POST returning (status, decoded body) — non-2xx is data, not an error."""
     request = urllib.request.Request(
         f"http://127.0.0.1:{port}{path}",
         data=json.dumps(payload).encode("utf-8"),
         headers={"Content-Type": "application/json"},
         method="POST",
     )
-    with urllib.request.urlopen(request, timeout=120) as fh:
-        return json.loads(fh.read().decode("utf-8"))
+    try:
+        with urllib.request.urlopen(request, timeout=120) as fh:
+            return fh.status, json.loads(fh.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
 
 
-def main() -> int:
+class ServerThread:
+    """The transport on a background thread; the smoke stays a plain client."""
+
+    def __init__(self, service: EstimationService, **server_kwargs) -> None:
+        self._loop = asyncio.new_event_loop()
+        self.server = ServiceHTTPServer(service, port=0, **server_kwargs)
+        self._started = threading.Event()
+        self._boot_task: dict = {}
+        self._thread = threading.Thread(
+            target=self._serve, name="service-smoke", daemon=True
+        )
+
+    async def _boot(self) -> None:
+        await self.server.start()
+        self._started.set()
+        try:
+            await self.server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.server.stop()
+
+    def _serve(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        task = self._loop.create_task(self._boot())
+        self._boot_task["task"] = task
+        try:
+            self._loop.run_until_complete(task)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._loop.close()
+
+    def start(self) -> int:
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server did not start")
+        return self.server.port
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._boot_task["task"].cancel)
+        self._thread.join(timeout=10)
+
+
+def _load_graph():
     print(f"loading {DATASET} at scale {SCALE} ...", flush=True)
     dataset = load_dataset(DATASET, seed=SEED, scale=SCALE)
     graph = dataset.graph
@@ -72,7 +160,11 @@ def main() -> int:
         flush=True,
     )
     assert graph.num_nodes >= 10_000, "smoke graph must be ~10^4 nodes"
+    return graph, t1, t2
 
+
+def main() -> int:
+    graph, t1, t2 = _load_graph()
     service = EstimationService(
         graph,
         graph_store="shm",
@@ -80,39 +172,8 @@ def main() -> int:
         default_burn_in=BURN_IN,
         name=f"{DATASET}-smoke",
     )
-
-    loop = asyncio.new_event_loop()
-    server = ServiceHTTPServer(service, port=0, window_seconds=0.005)
-    started = threading.Event()
-    boot_task: dict = {}
-
-    async def boot():
-        await server.start()
-        started.set()
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.stop()
-
-    def serve() -> None:
-        asyncio.set_event_loop(loop)
-        task = loop.create_task(boot())
-        boot_task["task"] = task
-        try:
-            loop.run_until_complete(task)
-        except asyncio.CancelledError:
-            pass
-        finally:
-            loop.close()
-
-    thread = threading.Thread(target=serve, name="service-smoke", daemon=True)
-    thread.start()
-    if not started.wait(timeout=30):
-        print("FAIL: server did not start", file=sys.stderr)
-        return 1
-    port = server.port
+    harness = ServerThread(service, window_seconds=0.005)
+    port = harness.start()
     print(f"serving on http://127.0.0.1:{port} (shm store)", flush=True)
 
     try:
@@ -169,13 +230,156 @@ def main() -> int:
         )
         print("bit-identity with run_trials_prefix ok", flush=True)
     finally:
-        loop.call_soon_threadsafe(boot_task["task"].cancel)
-        thread.join(timeout=10)
+        harness.stop()
         service.close()
 
     print("service smoke: PASS", flush=True)
     return 0
 
 
+def chaos_main() -> int:
+    from repro.resilience import FaultInjector, FaultPlan, install_injector
+
+    graph, t1, t2 = _load_graph()
+    injector = FaultInjector(FaultPlan.parse(CHAOS_PLAN))
+    install_injector(injector)
+    print(f"fault plan installed: {injector.plan.describe()}", flush=True)
+    try:
+        # Boot absorbs the injected attach failure through the retry.
+        service = EstimationService(
+            graph,
+            graph_store="shm",
+            default_repetitions=REPETITIONS,
+            default_burn_in=BURN_IN,
+            name=f"{DATASET}-chaos",
+            breaker_threshold=3,
+            breaker_cooldown_seconds=1.0,
+        )
+        attach_faults = [e for e in injector.trace if e.site == "store.attach"]
+        assert len(attach_faults) == 1, injector.trace
+        print("boot survived one injected store.attach failure (retried)", flush=True)
+
+        harness = ServerThread(service, window_seconds=0.005)
+        port = harness.start()
+        print(f"serving on http://127.0.0.1:{port} (chaos mode)", flush=True)
+        try:
+            def query(**overrides) -> dict:
+                payload = {
+                    "algorithm": ALGORITHM, "t1": t1, "t2": t2,
+                    "budget": BUDGET, "seed": SEED,
+                    "repetitions": REPETITIONS, "burn_in": BURN_IN,
+                }
+                payload.update(overrides)
+                return payload
+
+            # 1. Warm the stale-fallback entry for the pair.
+            warm = _post(port, "/estimate", query())
+            assert not warm["degraded"], warm
+
+            # 2. Three injected fleet failures trip the breaker (500s).
+            for seed in (101, 102, 103):
+                status, body = _post_status(
+                    port, "/estimate", query(budget=30, seed=seed)
+                )
+                assert status == 500 and "injected fault" in body["error"], (
+                    status, body,
+                )
+            health = _get(port, "/healthz")
+            assert health["status"] == "degraded", health
+            assert health["open_breakers"] == [ALGORITHM], health
+            print("breaker tripped: healthz degraded", flush=True)
+
+            # 3. The breaker-open window: served stale, flagged degraded.
+            degraded = _post(port, "/estimate", query(budget=10, seed=104))
+            assert degraded["degraded"] and degraded["cached"], degraded
+            assert degraded["budget"] == BUDGET, degraded  # the fallback's
+            assert degraded["estimates"] == warm["estimates"], degraded
+            print("degraded answer served from stale cache", flush=True)
+
+            # 4. Cooldown, then the half-open probe heals the breaker.
+            time.sleep(1.1)
+            probed = _post(port, "/estimate", query(budget=35, seed=105))
+            assert not probed["degraded"], probed
+            health = _get(port, "/healthz")
+            assert health["status"] == "ok", health
+            assert health["open_breakers"] == [], health
+            print("half-open probe succeeded: healthz ok", flush=True)
+
+            # 5. An injected 0.6 s fleet delay blows a 150 ms deadline.
+            status, body = _post_status(
+                port, "/estimate", dict(query(budget=25, seed=106), deadline_ms=150)
+            )
+            assert status == 504 and "deadline" in body["error"], (status, body)
+            print("slow fleet answered 504 at the deadline", flush=True)
+
+            stats = _get(port, "/stats")
+            resilience = stats["resilience"]
+            assert resilience["breakers"][ALGORITHM]["trips"] == 1, resilience
+            assert resilience["degraded_served"] == 1, resilience
+            assert stats["batcher"]["deadline_timeouts"] == 1, stats["batcher"]
+            assert resilience["faults"] != "no faults", resilience
+        finally:
+            harness.stop()
+            service.close()
+    finally:
+        install_injector(None)
+
+    _chaos_worker_kill()
+    print("chaos smoke: PASS", flush=True)
+    return 0
+
+
+def _chaos_worker_kill() -> None:
+    """Phase B: SIGKILL a pool worker mid-table; recovery is bit-identical."""
+    import numpy as np
+
+    from repro.experiments.algorithms import build_algorithm_suite
+    from repro.experiments.runner import compare_algorithms
+    from repro.graph.csr import CSRGraph
+    from repro.resilience.faults import FAULTS_ENV, FAULTS_STATE_ENV
+
+    rng = np.random.default_rng(3)
+    hub = np.column_stack([np.zeros(299, dtype=np.int64), np.arange(1, 300)])
+    edges = np.concatenate([hub, rng.integers(0, 300, size=(1500, 2))])
+    csr = CSRGraph.from_edge_array(
+        edges, num_nodes=300, label_array=rng.integers(1, 3, size=300)
+    )
+    full = build_algorithm_suite(include_baselines=False)
+    suite = {ALGORITHM: full[ALGORITHM]}
+
+    def table():
+        return compare_algorithms(
+            csr, 1, 2,
+            sample_fractions=(0.02, 0.05), repetitions=3, algorithms=suite,
+            burn_in=5, seed=42, execution="fleet", n_jobs=2, graph_store="shm",
+        )
+
+    print("worker-kill recovery: clean reference table ...", flush=True)
+    reference = table()
+    state_dir = tempfile.mkdtemp(prefix="repro-chaos-")
+    os.environ[FAULTS_ENV] = "worker.cell=kill,count=1"
+    os.environ[FAULTS_STATE_ENV] = state_dir
+    try:
+        print("worker-kill recovery: SIGKILL one pool worker mid-table ...", flush=True)
+        recovered = table()
+    finally:
+        del os.environ[FAULTS_ENV]
+        del os.environ[FAULTS_STATE_ENV]
+    claimed = sorted(os.listdir(state_dir))
+    assert claimed == ["fault-0-0.token"], claimed  # the kill really happened
+    for name in reference.algorithms():
+        for ours, theirs in zip(recovered.cells[name], reference.cells[name]):
+            assert ours.estimates == theirs.estimates, (name, ours, theirs)
+            assert ours.api_calls == theirs.api_calls, (name, ours, theirs)
+    print("worker-kill recovery: table bit-identical after respawn", flush=True)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="run the chaos mode (injected faults + worker-kill recovery)",
+    )
+    args = parser.parse_args()
+    sys.exit(chaos_main() if args.faults else main())

@@ -269,6 +269,46 @@ def build_parser() -> argparse.ArgumentParser:
         "'stdlib' (dependency-free asyncio server), 'auto' prefers "
         "fastapi and falls back",
     )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        dest="deadline_ms",
+        help="default per-query deadline; expired queries get a fast 504 "
+        "and are skipped at fleet-plan boundaries (default: none)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        dest="max_in_flight",
+        help="admission bound on queries simultaneously awaiting answers; "
+        "overflow is served from stale cache (degraded) or 429'd "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        dest="breaker_threshold",
+        help="consecutive fleet failures that trip an algorithm's circuit "
+        "breaker open",
+    )
+    serve.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=5000.0,
+        dest="breaker_cooldown_ms",
+        help="how long an open breaker waits before half-opening on a "
+        "probe query",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic fault-injection plan for chaos runs, e.g. "
+        "'seed=7;store.attach=error,count=1;worker.cell=kill,count=1' "
+        "(see docs/operations.md; REPRO_FAULTS is the env equivalent)",
+    )
 
     sweep = subparsers.add_parser(
         "sweep-spills",
@@ -504,7 +544,16 @@ def _command_serve(args) -> int:
         repetitions=args.repetitions,
         burn_in=args.burn_in,
         transport=args.transport,
+        deadline_ms=args.deadline_ms,
+        max_in_flight=args.max_in_flight,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_ms=args.breaker_cooldown_ms,
+        faults=args.faults,
     )
+    if config.faults is not None:
+        from repro.resilience import FaultInjector, FaultPlan, install_injector
+
+        install_injector(FaultInjector(FaultPlan.parse(config.faults)))
     dataset = load_dataset(config.dataset, seed=config.seed, scale=config.scale)
     service = EstimationService(
         dataset.graph,
@@ -513,6 +562,8 @@ def _command_serve(args) -> int:
         default_burn_in=config.burn_in,
         cache_size=config.cache_size,
         name=f"{config.dataset}-scale{config.scale}",
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown_seconds=config.breaker_cooldown_seconds,
     )
     try:
         run_server(
@@ -521,6 +572,8 @@ def _command_serve(args) -> int:
             port=config.port,
             transport=config.transport,
             window_seconds=config.window_seconds,
+            max_in_flight=config.max_in_flight,
+            deadline_ms=config.deadline_ms,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")

@@ -87,3 +87,68 @@ class DatasetError(ReproError):
 
 class ConfigurationError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class StoreAttachError(GraphError):
+    """A published CSR buffer store could not be (re)attached.
+
+    Raised instead of a leaked :class:`FileNotFoundError` when a
+    shared-memory segment has been unlinked or an ``.npz`` sidecar
+    deleted out from under an attach — the message always names the
+    segment or path.  Marked :attr:`retryable` because the usual causes
+    (a publisher racing its own unlink, a sidecar mid-rewrite) are
+    transient: :class:`repro.resilience.Retry` re-attaches with
+    decorrelated-jitter backoff wherever the service or the worker
+    plane attaches.
+    """
+
+    #: Attach failures are transient by default; retry policies key off this.
+    retryable = True
+
+    def __init__(self, message: str, location: object = None) -> None:
+        super().__init__(message)
+        self.location = location
+
+
+class ResilienceError(ReproError):
+    """Base class for failure-policy rejections in the serving layer.
+
+    These are *deliberate* fast-failures — a deadline enforced, a
+    breaker held open, a queue bounded — not engine bugs; the HTTP
+    layer maps each subclass to its own status code (504/503/429).
+    """
+
+
+class DeadlineExceededError(ResilienceError):
+    """A query's deadline elapsed before its answer was produced."""
+
+    retryable = False
+
+    def __init__(self, message: str, deadline_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+
+
+class CircuitOpenError(ResilienceError):
+    """An algorithm's circuit breaker is open and no cached fallback exists."""
+
+    def __init__(self, algorithm: object, retry_after: float = 0.0) -> None:
+        super().__init__(
+            f"circuit breaker for algorithm {algorithm!r} is open after repeated "
+            f"fleet failures; retry in {retry_after:.1f}s or query a cached pair"
+        )
+        self.algorithm = algorithm
+        self.retry_after = retry_after
+
+
+class ServiceOverloadedError(ResilienceError):
+    """The admission queue is full and no cached fallback exists."""
+
+    def __init__(self, depth: int, limit: int, retry_after: float = 0.0) -> None:
+        super().__init__(
+            f"service overloaded: {depth} queries in flight (limit {limit}); "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after

@@ -44,6 +44,7 @@ from __future__ import annotations
 import math
 import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -66,6 +67,8 @@ from repro.graph.csr import CSRGraph, csr_view, ensure_same_graph
 from repro.graph.store import CSRHandle, attach_csr, publish_csr, validate_graph_store
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.statistics import count_target_edges
+from repro.resilience.faults import fire
+from repro.resilience.retry import Retry
 from repro.utils.rng import RandomSource, derive_seed, ensure_numpy_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 from repro.walks.mixing import recommended_burn_in
@@ -718,7 +721,12 @@ def _init_cell_worker(
     O(|E|) classification passes.
     """
     if isinstance(graph_ref, CSRHandle):
-        graph_ref = attach_csr(graph_ref)
+        # Attach with backoff: the publisher may be racing a re-publish
+        # (sidecar mid-rewrite) and StoreAttachError is retryable.
+        handle = graph_ref
+        graph_ref = Retry(attempts=3, base_seconds=0.05).call(
+            lambda: attach_csr(handle), describe="worker store attach"
+        )
         if cache_payload is not None:
             graph_ref.adopt_label_caches(cache_payload)
     _WORKER_STATE["graph"] = graph_ref
@@ -727,6 +735,7 @@ def _init_cell_worker(
 
 
 def _run_cell_in_worker(cell: CellTask) -> TrialOutcome:
+    fire("worker.cell", algorithm=cell.algorithm, column=cell.column)
     suite: Mapping[str, AlgorithmRunner] = _WORKER_STATE["suite"]  # type: ignore[assignment]
     return run_cell(
         _WORKER_STATE["graph"],  # type: ignore[arg-type]
@@ -743,6 +752,7 @@ def run_cells_parallel(
     n_jobs: int,
     progress: Optional[Callable[[str, int, float], None]],
     graph_store: str = "ram",
+    max_pool_respawns: int = 2,
 ) -> Dict[Tuple[str, int], TrialOutcome]:
     """Run cells across a process pool; results keyed (algorithm, column).
 
@@ -765,6 +775,19 @@ def run_cells_parallel(
     workers then reattach zero-copy from an O(1) handle.  The published
     resource is released in a ``finally`` block, so a worker crash or a
     raising cell cannot leak a segment.
+
+    A **killed worker** (OOM reaper, SIGKILL, a segfaulting kernel)
+    breaks the whole :class:`ProcessPoolExecutor`, which historically
+    aborted the table.  Now the break is contained: results that
+    completed before the crash are kept, the pool is respawned, and
+    only the still-missing cells are resubmitted — at most
+    *max_pool_respawns* times before giving up with
+    :class:`ExperimentError`.  Because every cell carries its own
+    pre-derived seed, a cell re-run after a crash produces bit-identical
+    results to an uninterrupted run — recovery cannot change the table
+    (pinned by the recovery integration tests).  Exceptions *raised by*
+    a cell (as opposed to a dead worker) still propagate immediately;
+    they are deterministic and a retry would just repeat them.
     """
     validate_graph_store(graph_store)
     suite = dict(algorithms)
@@ -799,22 +822,53 @@ def run_cells_parallel(
             if any(exported.values()):
                 cache_payload = exported
     outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    respawns = 0
     try:
-        with ProcessPoolExecutor(
-            max_workers=n_jobs,
-            initializer=_init_cell_worker,
-            initargs=(graph_ref, suite_blob, needs_csr, cache_payload),
-        ) as pool:
-            futures = {
-                pool.submit(_run_cell_in_worker, cell): cell for cell in cells
-            }
-            done = 0
-            for future in as_completed(futures):
-                cell = futures[future]
-                outcomes[(cell.algorithm, cell.column)] = future.result()
-                done += 1
-                if progress is not None:
-                    progress(cell.algorithm, cell.sample_size, done / len(cells))
+        while True:
+            pending = [
+                cell
+                for cell in cells
+                if (cell.algorithm, cell.column) not in outcomes
+            ]
+            if not pending:
+                break
+            pool_broken = False
+            with ProcessPoolExecutor(
+                max_workers=n_jobs,
+                initializer=_init_cell_worker,
+                initargs=(graph_ref, suite_blob, needs_csr, cache_payload),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_cell_in_worker, cell): cell
+                    for cell in pending
+                }
+                for future in as_completed(futures):
+                    cell = futures[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        # A worker died (kill/OOM/segfault); every pending
+                        # future fails this way.  Keep draining so cells
+                        # that finished *before* the break are retained.
+                        pool_broken = True
+                        continue
+                    outcomes[(cell.algorithm, cell.column)] = outcome
+                    if progress is not None:
+                        progress(
+                            cell.algorithm,
+                            cell.sample_size,
+                            len(outcomes) / len(cells),
+                        )
+            if pool_broken:
+                respawns += 1
+                if respawns > max_pool_respawns:
+                    missing = len(cells) - len(outcomes)
+                    raise ExperimentError(
+                        f"worker pool broke {respawns} times running the "
+                        f"table ({missing} of {len(cells)} cells still "
+                        f"missing); giving up after {max_pool_respawns} "
+                        f"respawns"
+                    )
     finally:
         if publication is not None:
             publication.close()

@@ -69,8 +69,9 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StoreAttachError
 from repro.graph.csr import CSRGraph
+from repro.resilience.faults import fire
 
 #: Buffer backends a CSR graph can live in, and the value set of every
 #: ``graph_store`` knob (config, CLI, registry, runner).
@@ -271,6 +272,12 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
     """
     try:
         return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except FileNotFoundError as exc:
+        raise StoreAttachError(
+            f"shared-memory segment {name!r} does not exist (unlinked by its "
+            f"publisher, or published on another host)",
+            location=name,
+        ) from exc
     except TypeError:  # Python < 3.13: no track parameter
         # Suppress the tracker registration rather than unregistering
         # afterwards: an unregister would also knock out the *creator's*
@@ -284,6 +291,12 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = _skip_shared_memory
         try:
             return shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError as exc:
+            raise StoreAttachError(
+                f"shared-memory segment {name!r} does not exist (unlinked by "
+                f"its publisher, or published on another host)",
+                location=name,
+            ) from exc
         finally:
             resource_tracker.register = original_register
 
@@ -379,13 +392,20 @@ def npz_array_specs(path: Union[str, Path]) -> List[ArraySpec]:
 
 def _attach_mmap(handle: CSRHandle) -> CSRGraph:
     path = Path(handle.location)
-    arrays: Dict[str, np.ndarray] = {
-        spec.key: np.memmap(
-            path, dtype=np.dtype(spec.dtype), mode="r",
-            offset=spec.offset, shape=spec.shape,
-        )
-        for spec in handle.arrays
-    }
+    try:
+        arrays: Dict[str, np.ndarray] = {
+            spec.key: np.memmap(
+                path, dtype=np.dtype(spec.dtype), mode="r",
+                offset=spec.offset, shape=spec.shape,
+            )
+            for spec in handle.arrays
+        }
+    except FileNotFoundError as exc:
+        raise StoreAttachError(
+            f"sidecar file {str(path)!r} does not exist (deleted out from "
+            f"under its handle, or spilled on another host)",
+            location=str(path),
+        ) from exc
     csr = _build_csr(arrays, "mmap", None, handle)
     # Advise MADV_RANDOM *after* construction: the sequential reads the
     # constructor performs (np.diff over indptr) still benefit from
@@ -779,6 +799,7 @@ def attach_csr(handle: CSRHandle) -> CSRGraph:
         handle = pickle.loads(handle)
     if not isinstance(handle, CSRHandle):
         raise ConfigurationError(f"attach_csr needs a CSRHandle, got {type(handle).__name__}")
+    fire("store.attach", location=handle.location, store=handle.store)
     if handle.store == "shm":
         return _attach_shm(handle)
     return _attach_mmap(handle)

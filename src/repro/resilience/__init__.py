@@ -1,0 +1,68 @@
+"""Failure policies and deterministic fault injection.
+
+The serving layer (PR 6) made the estimator long-lived; this package
+makes it *survivable*.  It contributes two things:
+
+* **Policies** — :class:`Retry` (decorrelated-jitter backoff for
+  transient store attaches), :class:`CircuitBreaker` /
+  :class:`BreakerBoard` (per-algorithm trip + half-open probing),
+  :class:`Deadline` (per-query budgets with cooperative cancellation
+  at plan boundaries), and :class:`AdmissionController` (bounded
+  in-flight queries → fast 429s).
+* **Deterministic chaos** — :class:`FaultPlan` / :class:`FaultInjector`
+  and the :func:`fire` hook, which let tests and the CI chaos smoke
+  inject delays, errors, and worker kills at named sites with a fully
+  reproducible fault trace.
+
+See ``docs/operations.md`` for the runbook view (failure modes, knobs,
+client guidance).
+"""
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    FAULTS_ENV,
+    FAULTS_STATE_ENV,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_injector,
+    fire,
+    install_injector,
+)
+from repro.resilience.retry import Retry, is_retryable
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FAULTS_STATE_ENV",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "Retry",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "active_injector",
+    "fire",
+    "install_injector",
+    "is_retryable",
+]

@@ -1,0 +1,70 @@
+"""Admission control: a bounded in-flight query counter.
+
+The micro-batcher otherwise accepts unbounded work — under a load
+spike every accepted query queues behind the executor and *all* of
+them eventually time out.  Bounding admissions turns that into a fast
+429 + ``Retry-After`` for the overflow (or a degraded cached answer,
+when one matches), while admitted queries keep their latency.
+
+The controller is a counter, not a queue: slots are acquired at submit
+and released when the query resolves (answer, error, or
+cancellation).  ``Retry-After`` is estimated as one batching window —
+the soonest a freed slot could plausibly exist.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ConfigurationError, ServiceOverloadedError
+
+
+class AdmissionController:
+    """Bounded in-flight slot counter (thread-safe)."""
+
+    def __init__(self, limit: int, retry_after_seconds: float = 0.25) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"limit must be >= 1, got {limit}")
+        if retry_after_seconds < 0:
+            raise ConfigurationError(
+                f"retry_after_seconds must be >= 0, got {retry_after_seconds}"
+            )
+        self.limit = int(limit)
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.rejections = 0  # lifetime overflow count, for /stats
+
+    @property
+    def depth(self) -> int:
+        """Queries currently holding a slot (for ``/healthz``)."""
+        with self._lock:
+            return self._in_flight
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; never blocks."""
+        with self._lock:
+            if self._in_flight >= self.limit:
+                self.rejections += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def acquire(self) -> None:
+        """Take a slot or raise :class:`ServiceOverloadedError` (429)."""
+        if not self.try_acquire():
+            raise ServiceOverloadedError(
+                depth=self.limit,
+                limit=self.limit,
+                retry_after=self.retry_after_seconds,
+            )
+
+    def release(self) -> None:
+        """Return a slot.  Must pair with a successful acquire."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise AssertionError("admission release without acquire")
+            self._in_flight -= 1
+
+
+__all__ = ["AdmissionController"]

@@ -1,0 +1,190 @@
+"""Per-algorithm circuit breaker over fleet execution.
+
+The service runs one breaker per sampling algorithm: repeated fleet
+failures for an algorithm (a buggy kernel, a poisoned store) should not
+keep burning walk budget — and latency — for every caller of that
+algorithm while the rest of the service stays healthy.
+
+Classic three-state machine:
+
+``closed``
+    Normal operation.  *threshold* **consecutive** failures trip it.
+``open``
+    Calls are rejected fast (:class:`~repro.exceptions.CircuitOpenError`
+    unless the caller degrades to a cached answer) until
+    *cooldown_seconds* have elapsed on the injectable monotonic clock.
+``half_open``
+    After cooldown, exactly one caller is admitted as a probe; its
+    success closes the breaker, its failure re-opens it for another
+    full cooldown.  Concurrent callers during the probe are rejected.
+
+Callers wrap the protected section with :meth:`admit` /
+:meth:`record_success` / :meth:`record_failure` rather than a context
+manager so the degraded-serving path can consult breaker state without
+executing anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ConfigurationError
+
+#: The three breaker states, as reported by ``/healthz`` and ``/stats``.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing (thread-safe)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_seconds < 0:
+            raise ConfigurationError(
+                f"cooldown_seconds must be >= 0, got {cooldown_seconds}"
+            )
+        self.threshold = int(threshold)
+        self.cooldown_seconds = float(cooldown_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.trips = 0  # lifetime open transitions, for /stats
+
+    @property
+    def state(self) -> str:
+        """Current state, refreshing open → half_open on cooldown expiry."""
+        with self._lock:
+            self._refresh_locked()
+            return self._state
+
+    def _refresh_locked(self) -> None:
+        if self._state == STATE_OPEN and (
+            self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probe_in_flight = False
+
+    def retry_after(self) -> float:
+        """Seconds until the breaker half-opens (0 when not open)."""
+        with self._lock:
+            self._refresh_locked()
+            if self._state != STATE_OPEN:
+                return 0.0
+            return max(
+                0.0, self.cooldown_seconds - (self._clock() - self._opened_at)
+            )
+
+    def admit(self) -> bool:
+        """Whether the caller may execute now.
+
+        Closed admits everyone; open admits no one; half-open admits
+        exactly one probe (the first caller after cooldown) and rejects
+        the rest until that probe reports back.
+        """
+        with self._lock:
+            self._refresh_locked()
+            if self._state == STATE_CLOSED:
+                return True
+            if self._state == STATE_HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """An admitted call succeeded; close (or stay closed)."""
+        with self._lock:
+            self._state = STATE_CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """An admitted call failed; count toward tripping, or re-open."""
+        with self._lock:
+            self._refresh_locked()
+            if self._state == STATE_HALF_OPEN:
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == STATE_CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self.trips += 1
+
+
+class BreakerBoard:
+    """The service's per-algorithm breakers, created lazily (thread-safe)."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._threshold = threshold
+        self._cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, algorithm: str) -> CircuitBreaker:
+        key = str(algorithm)
+        with self._lock:
+            found = self._breakers.get(key)
+            if found is None:
+                found = CircuitBreaker(
+                    self._threshold, self._cooldown_seconds, self._clock
+                )
+                self._breakers[key] = found
+            return found
+
+    def get(self, algorithm: str) -> Optional[CircuitBreaker]:
+        """The breaker for *algorithm* if one exists, without creating it."""
+        with self._lock:
+            return self._breakers.get(str(algorithm))
+
+    def open_algorithms(self) -> "list[str]":
+        """Algorithms whose breaker is currently open (for ``/healthz``)."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return sorted(
+            name for name, breaker in items if breaker.state == STATE_OPEN
+        )
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Per-algorithm state + lifetime trip counts (for ``/stats``)."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {
+            name: {"state": breaker.state, "trips": breaker.trips}
+            for name, breaker in sorted(items)
+        }
+
+
+__all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

@@ -1,0 +1,438 @@
+"""Deterministic fault injection: declarative chaos at named sites.
+
+Every resilience policy in this repo — retries, breakers, deadlines,
+worker-pool respawn — is tested against *injected* failures rather than
+mocks, so the failure paths exercised in tests are the literal
+production code paths.  The layer has three pieces:
+
+* :class:`FaultSpec` — one declarative fault: *where* (a named site),
+  *what* (``delay`` / ``error`` / ``kill``), and *when* (``after`` /
+  ``count`` / ``probability`` windows over that site's invocation
+  sequence).
+* :class:`FaultPlan` — an ordered set of specs plus a seed, parsed from
+  the ``REPRO_FAULTS`` environment variable (or
+  ``ServiceConfig.faults``).  The textual form is
+  ``site=action[,key=value...]`` entries joined by ``;``::
+
+      REPRO_FAULTS="seed=7;store.attach=error,count=1;worker.cell=kill,count=1"
+
+* :class:`FaultInjector` — the runtime: library code calls
+  :func:`fire` at each site and the injector decides — deterministically
+  — whether to sleep, raise, or kill the process.  The decision for
+  invocation *i* of a site depends only on ``(plan seed, site, i)``, so
+  the same plan against the same workload produces the same fault
+  trace, every run (pinned by the injector-determinism tests).
+
+Sites currently wired (grep for ``fire(`` to audit):
+
+========================= ====================================================
+``store.attach``          :func:`repro.graph.store.attach_csr`
+``fleet.run``             per-plan fleet execution in
+                          :class:`repro.service.core.EstimationService`
+``batcher.flush``         :class:`repro.service.batcher.MicroBatcher` flushes
+``worker.cell``           :func:`repro.experiments.runner` pool workers, per cell
+========================= ====================================================
+
+Cross-process fire budgets
+--------------------------
+
+``count=N`` limits a spec to N fires.  Within one process that is a
+counter; across processes (a killed-and-respawned pool worker would
+otherwise re-read the env and kill itself again, forever) the budget is
+claimed through ``O_CREAT|O_EXCL`` token files under the directory
+named by ``REPRO_FAULTS_STATE`` — the first N claimants win, everyone
+else passes through.  Chaos runs that spawn workers must set that
+variable to a fresh directory (the chaos smoke does).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError, StoreAttachError
+from repro.utils.rng import derive_seed
+
+#: The named injection points library code exposes.
+FAULT_SITES: Tuple[str, ...] = (
+    "store.attach",
+    "fleet.run",
+    "batcher.flush",
+    "worker.cell",
+)
+
+#: What a spec can do when it fires.
+FAULT_ACTIONS: Tuple[str, ...] = ("delay", "error", "kill")
+
+#: Environment variables the ambient injector reads.
+FAULTS_ENV = "REPRO_FAULTS"
+FAULTS_STATE_ENV = "REPRO_FAULTS_STATE"
+
+
+class InjectedFaultError(RuntimeError):
+    """An ``error`` fault fired.
+
+    Deliberately **not** a :class:`~repro.exceptions.ReproError`: an
+    injected error stands in for arbitrary infrastructure failure
+    (a crashed kernel, a torn buffer), so it must travel the
+    unexpected-exception paths — the HTTP 500 contract, breaker
+    accounting — not the validated-input 400 path.
+    """
+
+
+#: Exception classes an ``error`` spec may name via ``exc=``.
+_ERROR_TYPES: Dict[str, type] = {
+    "InjectedFaultError": InjectedFaultError,
+    "StoreAttachError": StoreAttachError,
+    "TimeoutError": TimeoutError,
+    "OSError": OSError,
+}
+
+#: Default exception per site when ``exc=`` is omitted: attach faults
+#: must be *retryable* store errors (that is the policy under test);
+#: everywhere else simulates an unexpected crash.
+_DEFAULT_EXC = {"store.attach": "StoreAttachError"}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault at one site.
+
+    The *when* knobs compose over the site's 0-based invocation index
+    ``i``: the spec is eligible for ``after <= i`` and fires at most
+    ``count`` times (``None`` = unlimited), each eligible invocation
+    firing with ``probability`` (decided by the plan's seeded stream,
+    not wall-clock randomness).
+    """
+
+    site: str
+    action: str
+    count: Optional[int] = None
+    after: int = 0
+    probability: float = 1.0
+    seconds: float = 0.05
+    exc: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; available: "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; available: "
+                f"{', '.join(FAULT_ACTIONS)}"
+            )
+        if self.count is not None and int(self.count) < 0:
+            raise ConfigurationError(f"count must be >= 0, got {self.count}")
+        if int(self.after) < 0:
+            raise ConfigurationError(f"after must be >= 0, got {self.after}")
+        if not (0.0 <= float(self.probability) <= 1.0):
+            raise ConfigurationError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if float(self.seconds) < 0:
+            raise ConfigurationError(f"seconds must be >= 0, got {self.seconds}")
+        if self.exc is not None and self.exc not in _ERROR_TYPES:
+            raise ConfigurationError(
+                f"unknown fault exception {self.exc!r}; available: "
+                f"{', '.join(_ERROR_TYPES)}"
+            )
+
+    def exception_type(self) -> type:
+        """The exception class an ``error`` fire raises."""
+        name = self.exc or _DEFAULT_EXC.get(self.site, "InjectedFaultError")
+        return _ERROR_TYPES[name]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One recorded fire: which spec acted at which site invocation."""
+
+    site: str
+    invocation: int
+    action: str
+    spec_index: int
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of :class:`FaultSpec`\\ s plus the decision seed."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULTS`` textual form (see module docstring).
+
+        Entries are ``;``-separated.  ``seed=N`` sets the plan seed;
+        every other entry is ``site=action`` followed by optional
+        ``,key=value`` knobs (``count``, ``after``, ``probability``,
+        ``seconds``, ``exc``).  Repeating a site adds another spec —
+        all matching specs are evaluated, in plan order, at every
+        invocation of that site.
+        """
+        specs: List[FaultSpec] = []
+        seed = 0
+        for raw_entry in text.split(";"):
+            entry = raw_entry.strip()
+            if not entry:
+                continue
+            head, _, tail = entry.partition("=")
+            head = head.strip()
+            if head == "seed":
+                try:
+                    seed = int(tail)
+                except ValueError:
+                    raise ConfigurationError(f"bad fault-plan seed {tail!r}")
+                continue
+            parts = [part.strip() for part in tail.split(",")]
+            if not parts or not parts[0]:
+                raise ConfigurationError(
+                    f"bad fault entry {entry!r}; expected site=action[,key=value...]"
+                )
+            knobs: Dict[str, object] = {"site": head, "action": parts[0]}
+            for knob in parts[1:]:
+                key, eq, value = knob.partition("=")
+                key = key.strip()
+                if not eq or key not in (
+                    "count", "after", "probability", "seconds", "exc",
+                ):
+                    raise ConfigurationError(
+                        f"bad fault knob {knob!r} in entry {entry!r}"
+                    )
+                if key == "exc":
+                    knobs[key] = value.strip()
+                elif key in ("count", "after"):
+                    knobs[key] = int(value)
+                else:
+                    knobs[key] = float(value)
+            specs.append(FaultSpec(**knobs))  # type: ignore[arg-type]
+        return cls(tuple(specs), seed)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (for logs and ``/stats``)."""
+        if not self.specs:
+            return "no faults"
+        parts = []
+        for spec in self.specs:
+            windows = []
+            if spec.after:
+                windows.append(f"after={spec.after}")
+            if spec.count is not None:
+                windows.append(f"count={spec.count}")
+            if spec.probability < 1.0:
+                windows.append(f"p={spec.probability}")
+            suffix = f" ({', '.join(windows)})" if windows else ""
+            parts.append(f"{spec.site}:{spec.action}{suffix}")
+        return "; ".join(parts)
+
+
+class FaultInjector:
+    """Runtime that applies a :class:`FaultPlan` at :func:`fire` sites.
+
+    Deterministic: whether invocation *i* of a site fires depends only
+    on ``derive_seed(plan.seed, site, i)``, never on wall-clock
+    randomness, so the same plan over the same call sequence yields the
+    same :attr:`trace`.  Thread-safe (one lock around the counters; the
+    actions themselves — sleeping, raising — happen outside it).
+
+    *state_dir* enables cross-process ``count`` budgets (token files,
+    see module docstring).  *sleep* and *kill* are injectable for
+    tests; the real ``kill`` SIGKILLs the calling process, which is how
+    the ``worker.cell`` site turns into a :class:`BrokenProcessPool`
+    in the parent.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        state_dir: Optional[str] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        kill: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.plan = plan
+        self.state_dir = state_dir
+        self._sleep = sleep
+        self._kill = kill if kill is not None else self._kill_self
+        self._lock = threading.Lock()
+        self._invocations: Dict[str, int] = {}
+        self._fires: Dict[int, int] = {}
+        self._events: List[FaultEvent] = []
+
+    @staticmethod
+    def _kill_self() -> None:  # pragma: no cover - exercised via subprocess
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    @property
+    def trace(self) -> Tuple[FaultEvent, ...]:
+        """Every fire so far, in order (the determinism probe)."""
+        with self._lock:
+            return tuple(self._events)
+
+    def invocations(self, site: str) -> int:
+        """How many times *site* has been reached in this process."""
+        with self._lock:
+            return self._invocations.get(site, 0)
+
+    def _chance(self, site: str, invocation: int) -> float:
+        """The seeded uniform draw deciding probabilistic fires."""
+        return derive_seed(self.plan.seed, site, invocation) / float(2 ** 31)
+
+    def _claim_budget(self, spec_index: int, spec: FaultSpec) -> bool:
+        """Claim one fire of *spec*'s ``count`` budget (maybe cross-process)."""
+        if spec.count is None:
+            return True
+        if spec.count == 0:
+            return False
+        if self.state_dir is not None:
+            os.makedirs(self.state_dir, exist_ok=True)
+            for slot in range(spec.count):
+                token = os.path.join(
+                    self.state_dir, f"fault-{spec_index}-{slot}.token"
+                )
+                try:
+                    fd = os.open(token, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    continue
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return True
+            return False
+        fired = self._fires.get(spec_index, 0)
+        if fired >= spec.count:
+            return False
+        self._fires[spec_index] = fired + 1
+        return True
+
+    def fire(self, site: str, **context: object) -> None:
+        """Evaluate every matching spec for one invocation of *site*.
+
+        Non-terminal actions (``delay``) apply and evaluation
+        continues; terminal ones (``error``, ``kill``) stop it.  The
+        *context* kwargs only decorate error messages.
+        """
+        terminal: Optional[Tuple[FaultSpec, int, int]] = None
+        delays: List[float] = []
+        with self._lock:
+            invocation = self._invocations.get(site, 0)
+            self._invocations[site] = invocation + 1
+            for spec_index, spec in enumerate(self.plan.specs):
+                if spec.site != site or invocation < spec.after:
+                    continue
+                if spec.probability < 1.0 and (
+                    self._chance(site, invocation) >= spec.probability
+                ):
+                    continue
+                if not self._claim_budget(spec_index, spec):
+                    continue
+                self._events.append(
+                    FaultEvent(site, invocation, spec.action, spec_index)
+                )
+                if spec.action == "delay":
+                    delays.append(spec.seconds)
+                else:
+                    terminal = (spec, spec_index, invocation)
+                    break
+        for seconds in delays:
+            self._sleep(seconds)
+        if terminal is None:
+            return
+        spec, spec_index, invocation = terminal
+        if spec.action == "kill":
+            self._kill()
+            return  # pragma: no cover - only injectable kills return
+        detail = "".join(f", {key}={value!r}" for key, value in context.items())
+        message = (
+            f"injected fault at {site} (invocation {invocation}, "
+            f"spec {spec_index}{detail})"
+        )
+        exc_type = spec.exception_type()
+        if exc_type is StoreAttachError:
+            raise StoreAttachError(message, location=context.get("location"))
+        raise exc_type(message)
+
+
+# ----------------------------------------------------------------------
+# the ambient injector: explicit install beats the environment
+# ----------------------------------------------------------------------
+_AMBIENT_LOCK = threading.Lock()
+_INSTALLED: Optional[FaultInjector] = None
+_ENV_CACHE: Tuple[Optional[str], Optional[str], Optional[FaultInjector]] = (
+    None, None, None,
+)
+
+
+def install_injector(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install *injector* as the process-wide ambient one; returns the old.
+
+    Passing ``None`` uninstalls, after which :func:`active_injector`
+    falls back to the ``REPRO_FAULTS`` environment again.
+    """
+    global _INSTALLED
+    with _AMBIENT_LOCK:
+        previous = _INSTALLED
+        _INSTALLED = injector
+        return previous
+
+
+def active_injector(
+    environ: Optional[Mapping[str, str]] = None,
+) -> Optional[FaultInjector]:
+    """The injector :func:`fire` consults, or ``None``.
+
+    An explicitly installed injector wins; otherwise ``REPRO_FAULTS``
+    is parsed (and the resulting injector cached until the variable's
+    value changes, so counters survive across calls).  Pool workers
+    inherit the environment, which is how a single plan string reaches
+    every process of a chaos run.
+    """
+    global _ENV_CACHE
+    with _AMBIENT_LOCK:
+        if _INSTALLED is not None:
+            return _INSTALLED
+        env = os.environ if environ is None else environ
+        text = env.get(FAULTS_ENV) or None
+        state = env.get(FAULTS_STATE_ENV) or None
+        cached_text, cached_state, cached = _ENV_CACHE
+        if (text, state) != (cached_text, cached_state):
+            cached = (
+                FaultInjector(FaultPlan.parse(text), state_dir=state)
+                if text is not None
+                else None
+            )
+            _ENV_CACHE = (text, state, cached)
+        return cached
+
+
+def fire(site: str, **context: object) -> None:
+    """Fire *site* on the ambient injector; a no-op when none is active.
+
+    This is the one-line hook library code places at injection sites —
+    zero overhead beyond a dict lookup in fault-free runs.
+    """
+    injector = active_injector()
+    if injector is not None:
+        injector.fire(site, **context)
+
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FAULTS_ENV",
+    "FAULTS_STATE_ENV",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "active_injector",
+    "fire",
+    "install_injector",
+]

@@ -27,6 +27,11 @@ Layering (each piece is independently testable):
   the optional dependency).
 * :mod:`repro.service.config` — :class:`ServiceConfig`, the validated
   knob set behind ``repro-osn serve``.
+
+Failure policies — per-query deadlines, per-algorithm circuit
+breakers, admission control, degraded-mode stale-cache serving — are
+provided by :mod:`repro.resilience` and threaded through the engine
+and the batcher; ``docs/operations.md`` is the runbook.
 """
 
 from repro.service.batcher import MicroBatcher

@@ -11,16 +11,27 @@ swap, and the read-only enforcement in the graph layer
 :meth:`repro.graph.csr.CSRGraph.seal_buffers`) guarantees a published
 graph cannot mutate *without* a swap, so a cached answer can never
 outlive the buffers it was computed from.
+
+The cache is internally locked: the engine reads and writes it under
+the execution lock from a worker thread, while the degraded-serving
+path (:meth:`find_stale`) reads it straight from the event loop —
+deliberately *without* the execution lock, so an open breaker or a full
+admission queue can be answered from cache even while a slow fleet
+holds the engine.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.utils.validation import check_non_negative_int
 
 CacheKey = Tuple[Hashable, ...]
+
+#: Positions inside a cache key (see ``EstimateQuery.cache_key``).
+_VERSION, _ALGORITHM, _T1, _T2, _BUDGET = range(5)
 
 
 class AnswerCache:
@@ -37,34 +48,79 @@ class AnswerCache:
     def __init__(self, max_size: int = 1024) -> None:
         check_non_negative_int(max_size, "max_size")
         self.max_size = int(max_size)
+        self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_hits = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: CacheKey) -> Optional[object]:
         """The cached answer for *key*, refreshing its recency; None on miss."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def find_stale(
+        self,
+        graph_version: int,
+        algorithm: str,
+        t1: Hashable,
+        t2: Hashable,
+    ) -> Optional[object]:
+        """The best degraded-mode fallback for (*algorithm*, *t1*, *t2*).
+
+        Scans for entries computed against the **same graph version**
+        for the same algorithm and pair — any budget, seed, repetitions
+        or burn-in — and returns the one walked at the largest budget
+        (the most accurate estimate on hand).  "Stale" therefore never
+        means "from an older graph": a version mismatch is a topology
+        change and such answers are unusable by construction; it means
+        "not the exact (budget, seed) the client asked for".  Returns
+        ``None`` when nothing matches; the caller decides between
+        serving the fallback flagged ``degraded: true`` or failing
+        fast.  Recency is deliberately not refreshed — a degraded read
+        should not keep shedding-window entries pinned over real hits.
+        """
+        best: Optional[object] = None
+        best_budget = -1
+        with self._lock:
+            for key, entry in self._entries.items():
+                if len(key) <= _BUDGET:
+                    continue
+                if (
+                    key[_VERSION] == int(graph_version)
+                    and key[_ALGORITHM] == algorithm
+                    and key[_T1] == t1
+                    and key[_T2] == t2
+                    and int(key[_BUDGET]) > best_budget
+                ):
+                    best = entry
+                    best_budget = int(key[_BUDGET])
+            if best is not None:
+                self.stale_hits += 1
+        return best
 
     def put(self, key: CacheKey, value: object) -> None:
         """Store *value* under *key*, evicting least-recently-used overflow."""
         if self.max_size == 0:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self) -> int:
         """Drop every entry (graph swap); returns how many were dropped.
@@ -74,10 +130,11 @@ class AnswerCache:
         pin the old answers in memory until LRU churn pushed them out —
         a swap empties the cache eagerly instead.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += 1
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+            return dropped
 
     @property
     def hit_rate(self) -> float:
@@ -89,14 +146,17 @@ class AnswerCache:
 
     def stats(self) -> Dict[str, object]:
         """Counter snapshot for the ``/stats`` endpoint."""
+        with self._lock:
+            size = len(self._entries)
         return {
-            "size": len(self._entries),
+            "size": size,
             "max_size": self.max_size,
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "stale_hits": self.stale_hits,
         }
 
 

@@ -32,6 +32,20 @@ class ServiceConfig:
     memory-mapped sidecar (out-of-core graphs); ``"ram"`` skips
     publication entirely (single-process dev server).  See
     ``docs/scaling-guide.md`` for the trade-off.
+
+    The resilience knobs (``docs/operations.md`` is the runbook):
+
+    * ``deadline_ms`` — default per-query deadline (504 at expiry);
+      ``None`` disables.  Requests may override via ``deadline_ms`` in
+      the ``/estimate`` body.
+    * ``max_in_flight`` — admission bound on queries simultaneously
+      awaiting answers; overflow is shed to stale cache or 429'd.
+    * ``breaker_threshold`` / ``breaker_cooldown_ms`` — per-algorithm
+      circuit breakers: consecutive fleet failures to trip, and how
+      long an open breaker waits before half-opening on a probe.
+    * ``faults`` — a :class:`repro.resilience.FaultPlan` string
+      (validated eagerly) installed at startup for chaos runs; the
+      ``REPRO_FAULTS`` environment variable is the env-only equivalent.
     """
 
     dataset: str = "facebook"
@@ -46,6 +60,11 @@ class ServiceConfig:
     burn_in: Optional[int] = None
     transport: str = "auto"
     include_baselines: bool = True
+    deadline_ms: Optional[float] = None
+    max_in_flight: Optional[int] = None
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 5000.0
+    faults: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASET_SPECS:
@@ -70,10 +89,29 @@ class ServiceConfig:
                 f"unknown transport {self.transport!r}; "
                 f"choose one of {', '.join(TRANSPORTS)}"
             )
+        if self.deadline_ms is not None:
+            check_positive(self.deadline_ms, "deadline_ms")
+        if self.max_in_flight is not None:
+            check_positive_int(self.max_in_flight, "max_in_flight")
+        check_positive_int(self.breaker_threshold, "breaker_threshold")
+        if self.breaker_cooldown_ms < 0:
+            raise ConfigurationError(
+                f"breaker_cooldown_ms must be >= 0, got {self.breaker_cooldown_ms}"
+            )
+        if self.faults is not None:
+            # Parse eagerly: a typo'd fault plan should fail at flag
+            # time, not after the graph has been built and published.
+            from repro.resilience.faults import FaultPlan
+
+            FaultPlan.parse(self.faults)
 
     @property
     def window_seconds(self) -> float:
         return self.batch_window_ms / 1000.0
+
+    @property
+    def breaker_cooldown_seconds(self) -> float:
+        return self.breaker_cooldown_ms / 1000.0
 
 
 __all__ = ["ServiceConfig", "TRANSPORTS"]

@@ -35,13 +35,22 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
-from repro.exceptions import ConfigurationError, ExperimentError
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ExperimentError,
+)
 from repro.experiments.algorithms import AlgorithmRunner, build_algorithm_suite
 from repro.experiments.metrics import nrmse
 from repro.experiments.planner import PrefixFleet
 from repro.graph.csr import CSRGraph, csr_view
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.store import CSRPublication, publish_csr, validate_graph_store
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.deadline import Deadline
+from repro.resilience.faults import active_injector, fire
+from repro.resilience.retry import Retry
 from repro.service.cache import AnswerCache
 from repro.service.planner import EstimateQuery, FleetPlan, plan_queries
 from repro.utils.validation import check_positive_int
@@ -111,7 +120,11 @@ class EstimateAnswer:
     :class:`~repro.experiments.runner.TrialOutcome` carries in the
     batch harness); *graph_version* stamps which publication produced
     them; *cached* is True when the answer was served from the cache
-    rather than walked.
+    rather than walked; *degraded* is True when the answer is a
+    **stale fallback** — a version-matched cache entry for the same
+    pair but a different budget/seed, served because the algorithm's
+    breaker was open or the admission queue full (the echoed budget /
+    seed / repetitions are the fallback's own, not the request's).
     """
 
     algorithm: str
@@ -126,6 +139,7 @@ class EstimateAnswer:
     estimates: List[float] = field(default_factory=list)
     api_calls: List[int] = field(default_factory=list)
     cached: bool = False
+    degraded: bool = False
 
     @property
     def mean_estimate(self) -> float:
@@ -152,6 +166,7 @@ class EstimateAnswer:
             "mean_estimate": self.mean_estimate,
             "nrmse": self.nrmse,
             "cached": self.cached,
+            "degraded": self.degraded,
         }
 
 
@@ -178,6 +193,14 @@ class EstimationService:
         serving graph.
     cache_size:
         LRU capacity of the answer cache (0 disables caching).
+    breaker_threshold / breaker_cooldown_seconds:
+        Per-algorithm circuit breakers: *breaker_threshold* consecutive
+        fleet failures for one algorithm trip its breaker open; after
+        *breaker_cooldown_seconds* it half-opens and admits one probe
+        query.  While open, queries for that algorithm are served
+        version-matched stale cache answers flagged ``degraded: true``
+        when any exist, or rejected with
+        :class:`~repro.exceptions.CircuitOpenError` (HTTP 503).
     """
 
     def __init__(
@@ -190,6 +213,8 @@ class EstimationService:
         default_burn_in: Optional[int] = None,
         cache_size: int = 1024,
         name: str = "graph",
+        breaker_threshold: int = 3,
+        breaker_cooldown_seconds: float = 5.0,
     ) -> None:
         validate_graph_store(graph_store)
         check_positive_int(default_repetitions, "default_repetitions")
@@ -197,6 +222,7 @@ class EstimationService:
         self.graph_store = graph_store
         self.default_repetitions = int(default_repetitions)
         self._cache = AnswerCache(cache_size)
+        self.breakers = BreakerBoard(breaker_threshold, breaker_cooldown_seconds)
         self._lock = threading.Lock()
         self._graph_version = 0
         self._publication: Optional[CSRPublication] = None
@@ -209,6 +235,8 @@ class EstimationService:
         self.fleets_built = 0
         self.steps_walked = 0
         self.walk_seconds = 0.0
+        self.degraded_served = 0
+        self.deadline_misses = 0
         self._started_at = time.monotonic()
         self._install_graph(graph, algorithms)
         if default_burn_in is None:
@@ -231,7 +259,17 @@ class EstimationService:
             graph.freeze(f"published to the estimation service {self.name!r}")
         if self.graph_store in ("shm", "mmap"):
             publication = publish_csr(publishable_csr_view(csr), self.graph_store)
-            serving = publication.attach()
+            # Attach with backoff: StoreAttachError is retryable, and
+            # the transient causes (a sidecar mid-rewrite, an injected
+            # chaos fault) clear within a retry or two.
+            try:
+                serving = Retry(attempts=3, base_seconds=0.05).call(
+                    publication.attach, describe="service store attach"
+                )
+            except BaseException:
+                publication.close()
+                publication.unlink()
+                raise
         else:
             csr.seal_buffers("published to the estimation service (ram)")
             publication = None
@@ -352,7 +390,9 @@ class EstimationService:
         return result
 
     def estimate_many(
-        self, queries: Sequence[Union[EstimateQuery, Mapping[str, object]]]
+        self,
+        queries: Sequence[Union[EstimateQuery, Mapping[str, object]]],
+        deadlines: Optional[Sequence[Optional[Deadline]]] = None,
     ) -> List[Union[EstimateAnswer, Exception]]:
         """Answer a batch; returns one answer *or exception* per query.
 
@@ -362,16 +402,35 @@ class EstimationService:
         batch — the micro-batcher forwards each slot to its own client.
         Cache misses are grouped by :func:`plan_queries` and each plan
         walks exactly one max-budget fleet.
+
+        *deadlines* (parallel to *queries*, ``None`` entries = no
+        deadline) enables **cooperative cancellation**: an expired
+        query is dropped at the next plan boundary — before its walks
+        are spent — with :class:`DeadlineExceededError` in its slot,
+        and a plan whose every member expired is skipped entirely.
+        Walks are never interrupted mid-kernel; the event-loop side
+        (:meth:`MicroBatcher.submit
+        <repro.service.batcher.MicroBatcher.submit>`) answers the 504
+        at the deadline regardless, this check just stops charging
+        walk budget to clients that have already been answered.
         """
+        if deadlines is None:
+            deadlines = [None] * len(queries)
         results: List[Union[EstimateAnswer, Exception]] = [None] * len(queries)
         with self._lock:
             misses: List[EstimateQuery] = []
             miss_slots: Dict[int, EstimateQuery] = {}
+            miss_deadlines: Dict[EstimateQuery, Optional[Deadline]] = {}
             for index, raw in enumerate(queries):
                 try:
                     query = self.normalize_query(raw)
                 except Exception as exc:
                     results[index] = exc
+                    self.query_errors += 1
+                    continue
+                deadline = deadlines[index]
+                if deadline is not None and deadline.expired():
+                    results[index] = self._deadline_miss(deadline)
                     self.query_errors += 1
                     continue
                 cached = self._cache.get(query.cache_key(self._graph_version))
@@ -381,7 +440,16 @@ class EstimationService:
                 else:
                     miss_slots[index] = query
                     misses.append(query)
-            answered = self._execute_plans(plan_queries(misses))
+                    # Duplicate queries keep the laxest deadline: one
+                    # expired client must not starve a patient one.
+                    if query in miss_deadlines:
+                        previous = miss_deadlines[query]
+                        if deadline is None or previous is None:
+                            deadline = None
+                        elif previous.remaining() > deadline.remaining():
+                            deadline = previous
+                    miss_deadlines[query] = deadline
+            answered = self._execute_plans(plan_queries(misses), miss_deadlines)
             for index, query in miss_slots.items():
                 outcome = answered[query]
                 results[index] = outcome
@@ -391,13 +459,75 @@ class EstimationService:
                     self.queries_served += 1
         return results
 
+    def _deadline_miss(self, deadline: Deadline) -> DeadlineExceededError:
+        self.deadline_misses += 1
+        return DeadlineExceededError(
+            f"query missed its {deadline.budget_seconds * 1000.0:.0f} ms "
+            f"deadline before its fleet ran",
+            deadline_seconds=deadline.budget_seconds,
+        )
+
+    def degraded_answer(
+        self, query: Union[EstimateQuery, Mapping[str, object]]
+    ) -> Optional[EstimateAnswer]:
+        """A stale-cache fallback for *query*, or ``None``.
+
+        The graceful-degradation read: a version-matched cached answer
+        for the same (algorithm, pair) at whatever budget/seed is on
+        hand, flagged ``degraded: true``.  Takes only the cache's
+        internal lock — never the execution lock — so the event loop
+        can shed to it while a fleet is mid-walk.
+        """
+        if not isinstance(query, EstimateQuery):
+            try:
+                query = self.normalize_query(query)
+            except Exception:
+                return None
+        stale = self._cache.find_stale(
+            self._graph_version, query.algorithm, query.t1, query.t2
+        )
+        if stale is None:
+            return None
+        self.degraded_served += 1
+        return replace(stale, cached=True, degraded=True)
+
     def _execute_plans(
-        self, plans: Sequence[FleetPlan]
+        self,
+        plans: Sequence[FleetPlan],
+        deadlines: Optional[Mapping[EstimateQuery, Optional[Deadline]]] = None,
     ) -> Dict[EstimateQuery, Union[EstimateAnswer, Exception]]:
+        deadlines = deadlines or {}
         answered: Dict[EstimateQuery, Union[EstimateAnswer, Exception]] = {}
         for plan in plans:
+            # Cooperative cancellation at the plan boundary: expired
+            # queries are answered 504 without walking, and a fully
+            # expired plan never builds its fleet.
+            live: List[EstimateQuery] = []
+            for query in plan.queries:
+                deadline = deadlines.get(query)
+                if deadline is not None and deadline.expired():
+                    answered[query] = self._deadline_miss(deadline)
+                else:
+                    live.append(query)
+            if not live:
+                continue
+            breaker = self.breakers.breaker(plan.spec.algorithm)
+            if not breaker.admit():
+                # Open (or probing) breaker: shed to stale cache when
+                # possible, fail fast otherwise — never walk.
+                for query in live:
+                    fallback = self.degraded_answer(query)
+                    answered[query] = (
+                        fallback
+                        if fallback is not None
+                        else CircuitOpenError(
+                            plan.spec.algorithm, breaker.retry_after()
+                        )
+                    )
+                continue
             started = time.perf_counter()
             try:
+                fire("fleet.run", algorithm=plan.spec.algorithm)
                 fleet = PrefixFleet(
                     self._csr,
                     self._suite[plan.spec.algorithm],
@@ -405,16 +535,22 @@ class EstimationService:
                     plan.max_budget,
                 )
             except Exception as exc:
-                for query in plan.queries:
+                breaker.record_failure()
+                for query in live:
                     answered[query] = exc
                 continue
+            breaker.record_success()
             self.fleets_built += 1
             self.steps_walked += fleet.steps_walked
-            for query in plan.queries:
+            for query in live:
                 if query in answered and not isinstance(
                     answered[query], Exception
                 ):
                     continue  # duplicate within one batch: answer once
+                deadline = deadlines.get(query)
+                if deadline is not None and deadline.expired():
+                    answered[query] = self._deadline_miss(deadline)
+                    continue
                 try:
                     answered[query] = self._answer_from_fleet(fleet, query)
                 except Exception as exc:
@@ -451,6 +587,21 @@ class EstimationService:
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        """Engine-level health for ``/healthz`` (no locks, no walking).
+
+        ``status`` is ``"degraded"`` while any algorithm's breaker is
+        open — the service is still up, but part of the suite is being
+        served from stale cache or rejected.  The HTTP layer overlays
+        queue depth (admission control lives in the batcher).
+        """
+        open_breakers = self.breakers.open_algorithms()
+        return {
+            "status": "degraded" if open_breakers else "ok",
+            "graph_version": self._graph_version,
+            "open_breakers": open_breakers,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Runtime snapshot for the ``/stats`` endpoint."""
         steps_per_second = (
@@ -474,6 +625,16 @@ class EstimationService:
             "queries": {
                 "served": self.queries_served,
                 "errors": self.query_errors,
+            },
+            "resilience": {
+                "breakers": self.breakers.snapshot(),
+                "degraded_served": self.degraded_served,
+                "deadline_misses": self.deadline_misses,
+                "faults": (
+                    active_injector().plan.describe()
+                    if active_injector() is not None
+                    else "no faults"
+                ),
             },
             "uptime_seconds": time.monotonic() - self._started_at,
             "algorithms": list(self._suite),

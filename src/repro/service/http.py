@@ -16,28 +16,71 @@ Two interchangeable fronts over the same :class:`EstimationService` +
 
 Endpoints:
 
-* ``GET /healthz`` — liveness: ``{"status": "ok", "graph_version": N}``.
+* ``GET /healthz`` — real health, not an unconditional 200:
+  ``{"status": "ok"|"degraded", "graph_version": N, "open_breakers":
+  [...], "queue_depth": N}``.  ``degraded`` means some algorithm's
+  circuit breaker is open or the admission queue is full; the process
+  is still serving (from stale cache where it can).
 * ``GET /stats`` — runtime snapshot: graph/publication info, cache hit
-  rate, fleet count, steps walked per second, batcher queue depth.
+  rate, fleet count, steps walked per second, batcher queue depth,
+  breaker states, degraded/deadline counters.
 * ``POST /estimate`` — body ``{"t1": ..., "t2": ..., "budget": N,
-  "algorithm"?, "seed"?, "repetitions"?, "burn_in"?}``; the request
-  parks in the micro-batch window and returns the full
+  "algorithm"?, "seed"?, "repetitions"?, "burn_in"?, "deadline_ms"?}``;
+  the request parks in the micro-batch window and returns the full
   :meth:`~repro.service.core.EstimateAnswer.to_dict` payload.
-  Validation and estimation errors come back as ``400`` with
-  ``{"error": ...}``; unknown paths are ``404``.
+
+Failure-policy status codes (see ``docs/operations.md`` for the client
+guidance):
+
+========== ============================================ =================
+status     meaning                                      client action
+========== ============================================ =================
+``400``    invalid query (unknown algorithm, bad        fix the request
+           budget, zero-target pair)
+``429``    admission queue full, no cached fallback     back off for
+           (``Retry-After`` header)                     ``Retry-After``
+``503``    circuit breaker open, no cached fallback     back off for
+           (``Retry-After`` header)                     ``Retry-After``
+``504``    per-query deadline exceeded                  retry with a
+                                                        larger deadline
+``500``    unexpected engine failure                    report a bug
+========== ============================================ =================
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 from typing import Dict, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceOverloadedError,
+)
 from repro.service.batcher import MicroBatcher
 from repro.service.core import EstimationService
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 500: "Internal Server Error"}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: The (status, payload, extra headers) triple every route resolves to.
+Response = Tuple[int, Dict, Dict[str, str]]
+
+
+def _retry_after_header(seconds: float) -> Dict[str, str]:
+    """An RFC-compliant integral ``Retry-After``, rounded up, >= 1."""
+    return {"Retry-After": str(max(1, math.ceil(seconds)))}
 
 
 def _service_stats(service: EstimationService, batcher: MicroBatcher) -> Dict:
@@ -46,33 +89,62 @@ def _service_stats(service: EstimationService, batcher: MicroBatcher) -> Dict:
     return stats
 
 
+def _health_payload(service: EstimationService, batcher: MicroBatcher) -> Dict:
+    """Compose engine health with the transport's queue state."""
+    health = service.health()
+    if batcher.admission is not None:
+        depth = batcher.admission.depth
+        health["queue_depth"] = depth
+        health["queue_limit"] = batcher.admission.limit
+        if depth >= batcher.admission.limit:
+            health["status"] = "degraded"
+    else:
+        health["queue_depth"] = batcher.in_flight
+    return health
+
+
 async def _dispatch(
     service: EstimationService,
     batcher: MicroBatcher,
     method: str,
     path: str,
     body: bytes,
-) -> Tuple[int, Dict]:
+) -> Response:
     """Route one request; shared by both transports' error contract."""
     if method == "GET" and path == "/healthz":
-        return 200, {"status": "ok", "graph_version": service.graph_version}
+        return 200, _health_payload(service, batcher), {}
     if method == "GET" and path == "/stats":
-        return 200, _service_stats(service, batcher)
+        return 200, _service_stats(service, batcher), {}
     if method == "POST" and path == "/estimate":
         try:
             payload = json.loads(body.decode("utf-8") or "null")
         except (UnicodeDecodeError, json.JSONDecodeError):
-            return 400, {"error": "request body must be a JSON object"}
+            return 400, {"error": "request body must be a JSON object"}, {}
         if not isinstance(payload, dict):
-            return 400, {"error": "request body must be a JSON object"}
+            return 400, {"error": "request body must be a JSON object"}, {}
+        deadline_ms = payload.pop("deadline_ms", None)
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                return 400, {"error": "deadline_ms must be a positive number"}, {}
         try:
-            answer = await batcher.submit(payload)
+            answer = await batcher.submit(
+                payload,
+                deadline_seconds=(
+                    deadline_ms / 1000.0 if deadline_ms is not None else None
+                ),
+            )
+        except ServiceOverloadedError as exc:
+            return 429, {"error": str(exc)}, _retry_after_header(exc.retry_after)
+        except CircuitOpenError as exc:
+            return 503, {"error": str(exc)}, _retry_after_header(exc.retry_after)
+        except DeadlineExceededError as exc:
+            return 504, {"error": str(exc)}, {}
         except ReproError as exc:
-            return 400, {"error": str(exc)}
-        except Exception as exc:  # pragma: no cover - engine crash surface
-            return 500, {"error": f"{type(exc).__name__}: {exc}"}
-        return 200, answer.to_dict()
-    return 404, {"error": f"no route for {method} {path}"}
+            return 400, {"error": str(exc)}, {}
+        except Exception as exc:  # engine crash surface (injected faults land here)
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}, {}
+        return 200, answer.to_dict(), {}
+    return 404, {"error": f"no route for {method} {path}"}, {}
 
 
 class ServiceHTTPServer:
@@ -80,7 +152,9 @@ class ServiceHTTPServer:
 
     Binds lazily in :meth:`start` (``port=0`` picks a free port, read
     it back from :attr:`port`) and owns a :class:`MicroBatcher` so
-    every transport instance batches independently.
+    every transport instance batches independently.  *max_in_flight*
+    and *deadline_ms* configure the batcher's admission control and
+    default per-query deadline (both off by default).
     """
 
     def __init__(
@@ -89,11 +163,20 @@ class ServiceHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         window_seconds: float = 0.005,
+        max_in_flight: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
-        self.batcher = MicroBatcher(service, window_seconds)
+        self.batcher = MicroBatcher(
+            service,
+            window_seconds,
+            max_in_flight=max_in_flight,
+            default_deadline_seconds=(
+                deadline_ms / 1000.0 if deadline_ms is not None else None
+            ),
+        )
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
@@ -121,15 +204,17 @@ class ServiceHTTPServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            status, payload = await self._handle_request(reader)
+            status, payload, extra_headers = await self._handle_request(reader)
             body = json.dumps(payload).encode("utf-8")
             reason = _REASONS.get(status, "Unknown")
-            head = (
-                f"HTTP/1.1 {status} {reason}\r\n"
-                f"Content-Type: application/json\r\n"
-                f"Content-Length: {len(body)}\r\n"
-                f"Connection: close\r\n\r\n"
-            )
+            lines = [
+                f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+            ]
+            lines.extend(f"{name}: {value}" for name, value in extra_headers.items())
+            lines.append("Connection: close")
+            head = "\r\n".join(lines) + "\r\n\r\n"
             writer.write(head.encode("ascii") + body)
             await writer.drain()
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -141,13 +226,11 @@ class ServiceHTTPServer:
             except (ConnectionError, BrokenPipeError):  # pragma: no cover
                 pass
 
-    async def _handle_request(
-        self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict]:
+    async def _handle_request(self, reader: asyncio.StreamReader) -> Response:
         request_line = (await reader.readline()).decode("ascii", "replace")
         parts = request_line.split()
         if len(parts) < 2:
-            return 400, {"error": "malformed request line"}
+            return 400, {"error": "malformed request line"}, {}
         method, path = parts[0].upper(), parts[1]
         headers: Dict[str, str] = {}
         while True:
@@ -159,13 +242,16 @@ class ServiceHTTPServer:
         try:
             length = int(headers.get("content-length", "0"))
         except ValueError:
-            return 400, {"error": "bad Content-Length"}
+            return 400, {"error": "bad Content-Length"}, {}
         body = await reader.readexactly(length) if length > 0 else b""
         return await _dispatch(self.service, self.batcher, method, path, body)
 
 
 def create_fastapi_app(
-    service: EstimationService, window_seconds: float = 0.005
+    service: EstimationService,
+    window_seconds: float = 0.005,
+    max_in_flight: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
 ):
     """Build the FastAPI application (requires the optional dependency).
 
@@ -183,14 +269,21 @@ def create_fastapi_app(
             "or use the dependency-free transport (--transport stdlib)"
         ) from exc
 
-    batcher = MicroBatcher(service, window_seconds)
+    batcher = MicroBatcher(
+        service,
+        window_seconds,
+        max_in_flight=max_in_flight,
+        default_deadline_seconds=(
+            deadline_ms / 1000.0 if deadline_ms is not None else None
+        ),
+    )
     app = FastAPI(title="repro-osn estimation service")
     app.state.service = service
     app.state.batcher = batcher
 
     @app.get("/healthz")
     async def healthz():  # pragma: no cover - exercised only with fastapi
-        return {"status": "ok", "graph_version": service.graph_version}
+        return _health_payload(service, batcher)
 
     @app.get("/stats")
     async def stats():  # pragma: no cover - exercised only with fastapi
@@ -198,11 +291,13 @@ def create_fastapi_app(
 
     @app.post("/estimate")
     async def estimate(payload: dict):  # pragma: no cover - ditto
-        try:
-            answer = await batcher.submit(payload)
-        except ReproError as exc:
-            return JSONResponse(status_code=400, content={"error": str(exc)})
-        return answer.to_dict()
+        body = json.dumps(payload).encode("utf-8")
+        status, response, headers = await _dispatch(
+            service, batcher, "POST", "/estimate", body
+        )
+        if status == 200:
+            return response
+        return JSONResponse(status_code=status, content=response, headers=headers)
 
     return app
 
@@ -213,6 +308,8 @@ def run_server(
     port: int = 8000,
     transport: str = "auto",
     window_seconds: float = 0.005,
+    max_in_flight: Optional[int] = None,
+    deadline_ms: Optional[float] = None,
 ) -> None:
     """Run the service until interrupted (the ``repro-osn serve`` core).
 
@@ -230,7 +327,12 @@ def run_server(
         try:
             import uvicorn  # noqa: F401
 
-            app = create_fastapi_app(service, window_seconds)
+            app = create_fastapi_app(
+                service,
+                window_seconds,
+                max_in_flight=max_in_flight,
+                deadline_ms=deadline_ms,
+            )
         except (ImportError, ConfigurationError):
             if transport == "fastapi":
                 raise ConfigurationError(
@@ -242,7 +344,14 @@ def run_server(
             return
 
     async def _serve() -> None:
-        server = ServiceHTTPServer(service, host, port, window_seconds)
+        server = ServiceHTTPServer(
+            service,
+            host,
+            port,
+            window_seconds,
+            max_in_flight=max_in_flight,
+            deadline_ms=deadline_ms,
+        )
         await server.start()
         print(
             f"repro-osn serve: listening on http://{server.host}:{server.port} "

@@ -183,6 +183,112 @@ class TestFailureIsolation:
         assert all(isinstance(result, RuntimeError) for result in results)
 
 
+class TestCancellationTiming:
+    """The two disconnect regressions: during the window vs mid-execute.
+
+    Historically a future cancelled *during the window* stayed in the
+    batch, shifted the result-to-future pairing, and served the wrong
+    answers; one cancelled *mid-execute* could detonate delivery.  The
+    fix drops done futures before the walk and skips them at delivery —
+    these tests pin each half separately.
+    """
+
+    def test_cancel_during_window_is_dropped_before_the_walk(self, ram_service):
+        # All clients vanish inside the window: the batch must not
+        # execute at all — no flush, no fleet, no walk.
+        batcher = MicroBatcher(ram_service, WINDOW)
+        before = ram_service.fleets_built
+
+        async def scenario():
+            doomed = [
+                asyncio.ensure_future(batcher.submit(_query(budget=budget)))
+                for budget in (10, 40)
+            ]
+            await asyncio.sleep(0)  # both parked in the window
+            for future in doomed:
+                future.cancel()
+            await asyncio.sleep(WINDOW * 3)  # let the window close
+            for future in doomed:
+                with pytest.raises(asyncio.CancelledError):
+                    await future
+
+        asyncio.run(scenario())
+        assert batcher.queries_dropped == 2
+        assert batcher.batches_flushed == 0
+        assert ram_service.fleets_built == before
+
+    def test_drain_waits_for_a_flush_already_executing(self, ram_service):
+        # Once a flush starts executing it drops its window-task
+        # reference; drain (the shutdown path) must still wait it out
+        # instead of orphaning the batch mid-walk.
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        real = ram_service.estimate_many
+
+        def gated(queries, deadlines=None):
+            started.set()
+            assert release.wait(10), "gate never released"
+            return real(queries)
+
+        batcher = MicroBatcher(ram_service, WINDOW)
+        ram_service.estimate_many = gated
+        try:
+
+            async def scenario():
+                submitted = asyncio.ensure_future(batcher.submit(_query()))
+                while not started.is_set():
+                    await asyncio.sleep(0.001)
+                asyncio.get_running_loop().call_later(0.05, release.set)
+                await batcher.drain()
+                assert submitted.done()
+                return await submitted
+
+            answer = asyncio.run(scenario())
+        finally:
+            ram_service.estimate_many = real
+        assert len(answer.estimates) == 6
+
+    def test_cancel_during_execute_still_serves_siblings(self, ram_service):
+        # One client vanishes while the shared fleet is walking: the
+        # surviving sibling still gets *its own* answer (pairing intact)
+        # and the walk is not poisoned.
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        real = ram_service.estimate_many
+
+        def gated(queries, deadlines=None):
+            started.set()
+            assert release.wait(10), "gate never released"
+            return real(queries)
+
+        batcher = MicroBatcher(ram_service, WINDOW)
+        ram_service.estimate_many = gated
+        try:
+
+            async def scenario():
+                doomed = asyncio.ensure_future(batcher.submit(_query(budget=40)))
+                survivor = asyncio.ensure_future(batcher.submit(_query(budget=10)))
+                while not started.is_set():  # the batch is mid-execute
+                    await asyncio.sleep(0.001)
+                doomed.cancel()
+                release.set()
+                answer = await survivor
+                with pytest.raises(asyncio.CancelledError):
+                    await doomed
+                return answer
+
+            answer = asyncio.run(scenario())
+        finally:
+            ram_service.estimate_many = real
+        assert answer.budget == 10 and len(answer.estimates) == 6
+        assert batcher.batches_flushed == 1
+        assert batcher.queries_dropped == 1  # counted at delivery this time
+
+
 class TestConstructionAndStats:
     def test_negative_window_rejected(self, ram_service):
         with pytest.raises(ValueError):

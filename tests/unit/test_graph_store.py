@@ -7,7 +7,7 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StoreAttachError
 from repro.graph.csr import CSRGraph
 from repro.graph.store import (
     CSRHandle,
@@ -109,7 +109,7 @@ class TestSharedMemory:
         handle = publication.handle
         publication.close()
         publication.unlink()
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(StoreAttachError):
             attach_csr(handle)
 
     def test_unlink_is_idempotent(self, labeled_csr):
@@ -125,7 +125,7 @@ class TestSharedMemory:
             warnings.simplefilter("always")
             publication.__del__()
         assert any(issubclass(w.category, ResourceWarning) for w in caught)
-        with pytest.raises(FileNotFoundError):
+        with pytest.raises(StoreAttachError):
             attach_csr(handle)
 
     def test_republishing_attached_graph_owns_nothing(self, labeled_csr):
@@ -328,7 +328,7 @@ class TestReviewRegressions:
             warnings.simplefilter("error")
             with pytest.raises(ResourceWarning):
                 publication.__del__()
-        with pytest.raises(FileNotFoundError):  # cleanup happened first
+        with pytest.raises(StoreAttachError):  # cleanup happened first
             attach_csr(handle)
 
     def test_relabeled_attached_graph_pickles_without_segment(self, labeled_csr):

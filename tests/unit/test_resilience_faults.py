@@ -1,0 +1,214 @@
+"""Fault injection: plan grammar, deterministic firing, ambient wiring.
+
+The injector is the foundation every chaos test stands on, so its own
+contract is pinned hard here: the same plan over the same call sequence
+must produce the same fault trace (determinism), and ``count`` budgets
+must hold across processes (token files), or the worker-kill recovery
+tests upstack become flaky by construction.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, StoreAttachError
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FAULTS_ENV,
+    FAULTS_STATE_ENV,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    active_injector,
+    fire,
+    install_injector,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_ambient(monkeypatch):
+    """No test leaks an installed injector or a REPRO_FAULTS plan."""
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    monkeypatch.delenv(FAULTS_STATE_ENV, raising=False)
+    previous = install_injector(None)
+    yield
+    install_injector(previous)
+
+
+class TestPlanGrammar:
+    def test_full_plan_round_trip(self):
+        plan = FaultPlan.parse(
+            "seed=7; store.attach=error,count=1 ;"
+            "fleet.run=delay,seconds=0.25,after=2;"
+            "worker.cell=kill,count=1,probability=0.5"
+        )
+        assert plan.seed == 7
+        attach, delay, kill = plan.specs
+        assert (attach.site, attach.action, attach.count) == (
+            "store.attach", "error", 1,
+        )
+        assert (delay.site, delay.action) == ("fleet.run", "delay")
+        assert delay.seconds == 0.25 and delay.after == 2
+        assert kill.action == "kill" and kill.probability == 0.5
+
+    def test_empty_plan_is_no_faults(self):
+        plan = FaultPlan.parse("")
+        assert plan.specs == ()
+        assert plan.describe() == "no faults"
+
+    def test_describe_names_sites_and_windows(self):
+        plan = FaultPlan.parse("fleet.run=error,after=1,count=3,probability=0.5")
+        assert plan.describe() == "fleet.run:error (after=1, count=3, p=0.5)"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "disk.write=error",            # unknown site
+            "fleet.run=explode",           # unknown action
+            "fleet.run=error,frequency=2",  # unknown knob
+            "seed=banana",                 # non-integer seed
+            "fleet.run=error,exc=KeyboardInterrupt",  # unlisted exception
+            "fleet.run=error,probability=1.5",
+            "fleet.run=delay,seconds=-1",
+            "fleet.run=error,count=-2",
+            "fleet.run=",                  # missing action
+        ],
+    )
+    def test_bad_plans_fail_at_parse_time(self, text):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(text)
+
+    def test_default_exception_is_retryable_only_for_attach(self):
+        assert FaultSpec("store.attach", "error").exception_type() is StoreAttachError
+        for site in ("fleet.run", "batcher.flush", "worker.cell"):
+            assert FaultSpec(site, "error").exception_type() is InjectedFaultError
+        assert (
+            FaultSpec("fleet.run", "error", exc="TimeoutError").exception_type()
+            is TimeoutError
+        )
+
+
+class TestInjectorWindows:
+    def test_after_and_count_bound_the_fires(self):
+        injector = FaultInjector(FaultPlan.parse("fleet.run=error,after=1,count=2"))
+        injector.fire("fleet.run")  # invocation 0: before the window
+        for _ in range(2):
+            with pytest.raises(InjectedFaultError):
+                injector.fire("fleet.run")
+        injector.fire("fleet.run")  # budget spent: passes again
+        assert [event.invocation for event in injector.trace] == [1, 2]
+        assert injector.invocations("fleet.run") == 4
+
+    def test_sites_count_invocations_independently(self):
+        injector = FaultInjector(FaultPlan.parse("fleet.run=error,after=1"))
+        for site in FAULT_SITES:
+            if site != "fleet.run":
+                injector.fire(site)
+        injector.fire("fleet.run")  # still invocation 0 of its own site
+        assert injector.trace == ()
+
+    def test_attach_error_carries_the_location(self):
+        injector = FaultInjector(FaultPlan.parse("store.attach=error,count=1"))
+        with pytest.raises(StoreAttachError) as excinfo:
+            injector.fire("store.attach", location="psm_chaos")
+        assert excinfo.value.location == "psm_chaos"
+        assert excinfo.value.retryable is True
+        assert "psm_chaos" in str(excinfo.value)
+
+    def test_delay_sleeps_through_the_injected_clock(self):
+        slept = []
+        injector = FaultInjector(
+            FaultPlan.parse("fleet.run=delay,seconds=0.25,count=2"),
+            sleep=slept.append,
+        )
+        for _ in range(3):
+            injector.fire("fleet.run")
+        assert slept == [0.25, 0.25]
+        assert [event.action for event in injector.trace] == ["delay", "delay"]
+
+    def test_kill_uses_the_injected_killer(self):
+        kills = []
+        injector = FaultInjector(
+            FaultPlan.parse("worker.cell=kill,count=1"),
+            kill=lambda: kills.append(True),
+        )
+        injector.fire("worker.cell")
+        injector.fire("worker.cell")
+        assert kills == [True]
+
+    def test_probability_zero_never_fires(self):
+        injector = FaultInjector(FaultPlan.parse("fleet.run=error,probability=0.0"))
+        for _ in range(50):
+            injector.fire("fleet.run")
+        assert injector.trace == ()
+
+
+class TestDeterminism:
+    @staticmethod
+    def _trace(plan):
+        injector = FaultInjector(plan)
+        for _ in range(200):
+            try:
+                injector.fire("fleet.run")
+            except InjectedFaultError:
+                pass
+        return injector.trace
+
+    def test_same_seed_same_workload_same_trace(self):
+        plan = FaultPlan.parse("seed=3;fleet.run=error,probability=0.4")
+        first, second = self._trace(plan), self._trace(plan)
+        assert first == second
+        assert 0 < len(first) < 200  # genuinely probabilistic, not all-or-nothing
+
+    def test_different_seed_different_trace(self):
+        one = self._trace(FaultPlan.parse("seed=3;fleet.run=error,probability=0.4"))
+        two = self._trace(FaultPlan.parse("seed=4;fleet.run=error,probability=0.4"))
+        assert one != two
+
+
+class TestCrossProcessBudgets:
+    def test_state_dir_shares_one_count_budget(self, tmp_path):
+        # Two injectors standing in for two processes (a worker and its
+        # respawned replacement): the count=1 budget is claimed once.
+        plan = FaultPlan.parse("worker.cell=kill,count=1")
+        kills = []
+        first = FaultInjector(plan, state_dir=str(tmp_path), kill=lambda: kills.append("a"))
+        second = FaultInjector(plan, state_dir=str(tmp_path), kill=lambda: kills.append("b"))
+        first.fire("worker.cell")
+        second.fire("worker.cell")
+        first.fire("worker.cell")
+        assert kills == ["a"]
+        assert [path.name for path in tmp_path.iterdir()] == ["fault-0-0.token"]
+
+    def test_without_state_dir_budgets_are_per_injector(self):
+        plan = FaultPlan.parse("fleet.run=error,count=1")
+        for injector in (FaultInjector(plan), FaultInjector(plan)):
+            with pytest.raises(InjectedFaultError):
+                injector.fire("fleet.run")
+
+
+class TestAmbientInjector:
+    def test_fire_is_a_noop_without_an_injector(self):
+        fire("fleet.run")  # must not raise
+
+    def test_installed_injector_beats_the_environment(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "fleet.run=error")
+        install_injector(FaultInjector(FaultPlan()))
+        fire("fleet.run")  # the empty installed plan wins: no fault
+        install_injector(None)
+        with pytest.raises(InjectedFaultError):
+            fire("fleet.run")
+
+    def test_env_injector_is_cached_so_counters_survive(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "fleet.run=error,count=1")
+        assert active_injector() is active_injector()
+        with pytest.raises(InjectedFaultError):
+            fire("fleet.run")
+        fire("fleet.run")  # same injector: the count budget is spent
+
+    def test_changing_the_plan_rebuilds_the_injector(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "fleet.run=error,count=1")
+        stale = active_injector()
+        monkeypatch.setenv(FAULTS_ENV, "fleet.run=error,count=2")
+        fresh = active_injector()
+        assert fresh is not stale
+        assert fresh.plan.specs[0].count == 2

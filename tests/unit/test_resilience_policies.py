@@ -1,0 +1,255 @@
+"""Failure policies in isolation: backoff, breaker FSM, deadlines, admission.
+
+Everything time-shaped is driven through injected clocks, sleeps and
+seeded RNGs — no test here waits on the wall clock, and every schedule
+asserted is exact, not approximate.
+"""
+
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    ConfigurationError,
+    DeadlineExceededError,
+    ServiceOverloadedError,
+    StoreAttachError,
+)
+from repro.resilience import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    AdmissionController,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    Retry,
+    is_retryable,
+)
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryability:
+    def test_store_attach_errors_opt_in(self):
+        assert is_retryable(StoreAttachError("segment gone"))
+
+    def test_deliberate_rejections_opt_out(self):
+        assert not is_retryable(DeadlineExceededError("late", deadline_seconds=1.0))
+        assert not is_retryable(CircuitOpenError("NeighborSample-HH", 1.0))
+        assert not is_retryable(ServiceOverloadedError(depth=4, limit=4, retry_after=0.1))
+
+    def test_arbitrary_exceptions_are_not_retryable(self):
+        assert not is_retryable(ValueError("nope"))
+
+
+class TestRetryBackoff:
+    def test_seeded_schedule_is_reproducible(self):
+        first = Retry(attempts=5, seed=11).schedule()
+        second = Retry(attempts=5, seed=11).schedule()
+        assert first == second
+        assert len(first) == 4
+
+    def test_schedule_respects_base_and_cap(self):
+        schedule = Retry(
+            attempts=8, base_seconds=0.05, cap_seconds=0.4, seed=2
+        ).schedule()
+        assert all(0.05 <= sleep <= 0.4 for sleep in schedule)
+
+    def test_call_sleeps_exactly_the_seeded_schedule(self):
+        slept = []
+        attempts = []
+
+        def flaky():
+            attempts.append(True)
+            if len(attempts) < 3:
+                raise StoreAttachError("publisher mid-rewrite")
+            return "attached"
+
+        policy = Retry(attempts=3, seed=11, sleep=slept.append)
+        assert policy.call(flaky) == "attached"
+        assert len(attempts) == 3
+        assert slept == Retry(attempts=3, seed=11).schedule()
+
+    def test_non_retryable_errors_propagate_on_first_throw(self):
+        slept = []
+        calls = []
+
+        def broken():
+            calls.append(True)
+            raise ValueError("a bug, not a blip")
+
+        with pytest.raises(ValueError):
+            Retry(attempts=5, sleep=slept.append).call(broken)
+        assert len(calls) == 1 and slept == []
+
+    def test_exhausted_attempts_reraise_the_typed_error(self):
+        slept = []
+        calls = []
+
+        def always_down():
+            calls.append(True)
+            raise StoreAttachError("segment gone", location="psm_x")
+
+        with pytest.raises(StoreAttachError) as excinfo:
+            Retry(attempts=3, sleep=slept.append).call(always_down)
+        assert excinfo.value.location == "psm_x"
+        assert len(calls) == 3 and len(slept) == 2
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Retry(attempts=0)
+        with pytest.raises(ConfigurationError):
+            Retry(base_seconds=0.5, cap_seconds=0.1)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=5.0):
+        return CircuitBreaker(threshold, cooldown, clock=clock)
+
+    def test_starts_closed_and_admits(self):
+        breaker = self._breaker(FakeClock())
+        assert breaker.state == STATE_CLOSED
+        assert breaker.admit()
+        assert breaker.retry_after() == 0.0
+
+    def test_success_resets_the_consecutive_counter(self):
+        breaker = self._breaker(FakeClock(), threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == STATE_CLOSED  # never 3 *consecutive*
+
+    def test_threshold_consecutive_failures_trip_it_open(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.admit()
+        assert breaker.trips == 1
+        assert breaker.retry_after() == pytest.approx(5.0)
+        clock.advance(2.0)
+        assert breaker.retry_after() == pytest.approx(3.0)
+
+    def test_cooldown_half_opens_and_admits_one_probe(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.admit()       # the probe
+        assert not breaker.admit()   # concurrent callers rejected
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.admit()
+
+    def test_failed_probe_reopens_for_a_full_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.admit()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 2
+        assert breaker.retry_after() == pytest.approx(5.0)
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_algorithm_created_lazily(self):
+        board = BreakerBoard(threshold=2, cooldown_seconds=1.0)
+        assert board.get("NeighborSample-HH") is None
+        breaker = board.breaker("NeighborSample-HH")
+        assert board.breaker("NeighborSample-HH") is breaker
+        assert board.get("NeighborSample-HH") is breaker
+
+    def test_open_algorithms_and_snapshot(self):
+        clock = FakeClock()
+        board = BreakerBoard(threshold=1, cooldown_seconds=9.0, clock=clock)
+        board.breaker("Healthy")
+        board.breaker("Broken").record_failure()
+        assert board.open_algorithms() == ["Broken"]
+        snapshot = board.snapshot()
+        assert snapshot["Broken"] == {"state": STATE_OPEN, "trips": 1}
+        assert snapshot["Healthy"] == {"state": STATE_CLOSED, "trips": 0}
+
+
+class TestDeadline:
+    def test_remaining_and_expiry_follow_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(0.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_the_typed_504(self):
+        clock = FakeClock()
+        deadline = Deadline(0.25, clock=clock)
+        deadline.check()  # fine while live
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError) as excinfo:
+            deadline.check("estimate query")
+        assert excinfo.value.deadline_seconds == 0.25
+        assert "250 ms" in str(excinfo.value)
+
+    def test_millisecond_constructors(self):
+        clock = FakeClock()
+        assert Deadline.after_ms(500, clock=clock).budget_seconds == 0.5
+        assert Deadline.from_optional_ms(None) is None
+        assert Deadline.from_optional_ms(100, clock=clock).budget_seconds == 0.1
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+
+
+class TestAdmissionController:
+    def test_slots_acquire_and_release(self):
+        admission = AdmissionController(limit=2)
+        assert admission.try_acquire() and admission.try_acquire()
+        assert admission.depth == 2
+        assert not admission.try_acquire()
+        assert admission.rejections == 1
+        admission.release()
+        assert admission.try_acquire()
+
+    def test_acquire_raises_the_typed_429(self):
+        admission = AdmissionController(limit=1, retry_after_seconds=0.25)
+        admission.acquire()
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            admission.acquire()
+        assert excinfo.value.limit == 1
+        assert excinfo.value.retry_after == 0.25
+
+    def test_unpaired_release_is_a_bug(self):
+        with pytest.raises(AssertionError):
+            AdmissionController(limit=1).release()
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(limit=0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(limit=1, retry_after_seconds=-1.0)

@@ -1,0 +1,82 @@
+"""Worker-crash recovery: a killed pool worker cannot change the table.
+
+The recovery loop in :func:`run_cells_parallel` respawns a broken pool
+and re-runs only the cells that had not finished.  Because every cell
+carries its own pre-derived seed, the recovered table must be
+**bit-identical** to an uninterrupted run — that equality is the whole
+acceptance criterion, asserted here with a real SIGKILL injected into a
+real pool worker via ``REPRO_FAULTS``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import compare_algorithms
+from repro.resilience.faults import FAULTS_ENV, FAULTS_STATE_ENV
+
+
+@pytest.fixture(scope="module")
+def csr_graph():
+    rng = np.random.default_rng(3)
+    hub_edges = np.column_stack([np.zeros(299, dtype=np.int64), np.arange(1, 300)])
+    random_edges = rng.integers(0, 300, size=(1500, 2))
+    edges = np.concatenate([hub_edges, random_edges])
+    labels = rng.integers(1, 3, size=300)
+    from repro.graph.csr import CSRGraph
+
+    return CSRGraph.from_edge_array(edges, num_nodes=300, label_array=labels)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    full = build_algorithm_suite(include_baselines=False)
+    return {"NeighborSample-HH": full["NeighborSample-HH"]}
+
+
+def _table(graph, suite, **overrides):
+    settings = dict(
+        sample_fractions=(0.02, 0.05),
+        repetitions=3,
+        algorithms=suite,
+        burn_in=5,
+        seed=42,
+        execution="fleet",
+        n_jobs=2,
+        graph_store="shm",
+    )
+    settings.update(overrides)
+    return compare_algorithms(graph, 1, 2, **settings)
+
+
+class TestKillRecovery:
+    def test_killed_worker_is_respawned_and_the_table_is_bit_identical(
+        self, csr_graph, suite, tmp_path, monkeypatch
+    ):
+        reference = _table(csr_graph, suite)
+        # Kill exactly one worker, once, on its first cell.  The state
+        # dir makes the count=1 budget hold across the respawn —
+        # without it the replacement worker would re-read the plan and
+        # kill itself forever.
+        monkeypatch.setenv(FAULTS_ENV, "worker.cell=kill,count=1")
+        monkeypatch.setenv(FAULTS_STATE_ENV, str(tmp_path))
+        recovered = _table(csr_graph, suite)
+        claimed = sorted(path.name for path in tmp_path.glob("fault-*.token"))
+        assert claimed == ["fault-0-0.token"]  # the kill really happened
+        assert recovered.algorithms() == reference.algorithms()
+        for name in reference.algorithms():
+            for ours, theirs in zip(recovered.cells[name], reference.cells[name]):
+                assert ours.estimates == theirs.estimates
+                assert ours.api_calls == theirs.api_calls
+
+    def test_unrecoverable_pool_gives_up_with_a_typed_error(
+        self, csr_graph, suite, monkeypatch
+    ):
+        # Unlimited kills: every respawned worker dies on its first
+        # cell, so the respawn budget must run out loudly instead of
+        # looping forever.
+        monkeypatch.setenv(FAULTS_ENV, "worker.cell=kill")
+        monkeypatch.delenv(FAULTS_STATE_ENV, raising=False)
+        with pytest.raises(ExperimentError, match="giving up after"):
+            _table(csr_graph, suite)
