@@ -32,8 +32,21 @@ deterministic fault plan installed at the production ``fire`` sites
 5. a pool worker SIGKILLed mid-table (``REPRO_FAULTS`` env plan) is
    respawned and the finished table is bit-identical to a clean run.
 
+**Durability** (``--restart``) — the crash-consistency acceptance path
+(see "Durability & recovery" in ``docs/operations.md``):
+
+1. a real ``repro-osn serve --snapshot`` child is SIGTERMed: it drains,
+   snapshots, prints ``shutdown complete`` and exits 0; a restarted
+   server answers the first repeated query from the loaded snapshot,
+   bit-identical to the pre-restart answer;
+2. ``repro-osn fsck`` flags a deliberately bit-flipped sidecar and the
+   open path refuses it with a typed ``ArtifactCorruptError``;
+3. a ``--jobs 2`` journaled sweep is SIGKILLed mid-run and
+   ``--resume`` completes it bit-identically to an uninterrupted run.
+
 Exit code 0 on success.  CI wires the default mode as the
-``service-smoke`` job and the chaos mode as ``chaos-smoke`` (see
+``service-smoke`` job, the chaos mode as ``chaos-smoke`` and the
+durability mode as ``durability-smoke`` (see
 ``.github/workflows/ci.yml``).
 """
 
@@ -374,6 +387,220 @@ def _chaos_worker_kill() -> None:
     print("worker-kill recovery: table bit-identical after respawn", flush=True)
 
 
+class ServeProcess:
+    """A real ``repro-osn serve`` child: boot, parse the port, signal it."""
+
+    def __init__(self, snapshot: Path, scale: float = 0.1) -> None:
+        import subprocess
+
+        env = dict(os.environ, PYTHONPATH="src")
+        self.child = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--dataset", DATASET, "--scale", str(scale),
+                "--seed", str(SEED), "--graph-store", "ram",
+                "--port", "0", "--transport", "stdlib",
+                "--batch-window-ms", "2",
+                "--repetitions", str(REPETITIONS),
+                "--burn-in", str(BURN_IN),
+                "--snapshot", str(snapshot),
+                "--snapshot-interval-ms", "60000",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        self.port = self._await_listening()
+
+    def _await_listening(self) -> int:
+        for line in self.child.stdout:
+            print(f"  serve> {line.rstrip()}", flush=True)
+            if "listening on http://" in line:
+                return int(line.split("listening on http://")[1].split()[0].rsplit(":", 1)[1])
+        raise RuntimeError("server exited before listening")
+
+    def terminate_and_collect(self) -> str:
+        """SIGTERM, wait for a clean exit, return the remaining stdout."""
+        self.child.terminate()
+        tail = self.child.stdout.read()
+        self.child.stdout.close()
+        self.child.wait(timeout=60)
+        for line in tail.splitlines():
+            print(f"  serve> {line}", flush=True)
+        assert self.child.returncode == 0, self.child.returncode
+        return tail
+
+
+def restart_main() -> int:
+    """The durability acceptance path: three crash scenarios end to end."""
+    snap_dir = Path(tempfile.mkdtemp(prefix="repro-durability-"))
+    _restart_serve_phase(snap_dir / "cache.snap")
+    _fsck_phase(snap_dir)
+    _journal_resume_phase(snap_dir / "sweep.journal.jsonl")
+    print("durability smoke: PASS", flush=True)
+    return 0
+
+
+def _restart_serve_phase(snapshot: Path) -> None:
+    """SIGTERM drain + snapshot, then a warm restart serves from cache."""
+    print("restart phase: booting repro-osn serve with --snapshot ...", flush=True)
+    # The server synthesises this same dataset; pick its frequent pair.
+    dataset = load_dataset(DATASET, seed=SEED, scale=0.1)
+    t1, t2 = max(dataset.target_pairs, key=dataset.target_counts.get)
+    first = ServeProcess(snapshot)
+    query = {
+        "algorithm": ALGORITHM, "t1": t1, "t2": t2, "budget": BUDGET,
+        "seed": SEED, "repetitions": REPETITIONS, "burn_in": BURN_IN,
+    }
+    warm = _post(first.port, "/estimate", query)
+    assert not warm["cached"], warm
+    health = _get(first.port, "/healthz")
+    assert "last_snapshot_age_seconds" in health, health
+    print("restart phase: cache warmed; sending SIGTERM ...", flush=True)
+
+    tail = first.terminate_and_collect()
+    assert "draining in-flight queries" in tail, tail
+    assert "snapshot written to" in tail, tail
+    assert "shutdown complete" in tail, tail
+    assert snapshot.exists(), "graceful shutdown must leave a snapshot"
+    print("restart phase: graceful shutdown drained and snapshotted", flush=True)
+
+    second = ServeProcess(snapshot)
+    try:
+        stats = _get(second.port, "/stats")
+        assert stats["durability"]["snapshot_loaded_entries"] >= 1, stats["durability"]
+        again = _post(second.port, "/estimate", query)
+        assert again["cached"], "first repeated query after restart must hit"
+        assert again["estimates"] == warm["estimates"], (
+            "warm-restart answer must be bit-identical to the pre-restart one"
+        )
+    finally:
+        second.terminate_and_collect()
+    print("restart phase: warm restart served a bit-identical cache hit", flush=True)
+
+
+def _fsck_phase(directory: Path) -> None:
+    """A bit-flipped sidecar is refused, typed, and flagged by fsck."""
+    import numpy as np
+
+    from repro.cli import main as cli_main
+    from repro.durability import write_npz
+    from repro.exceptions import ArtifactCorruptError
+    from repro.graph.csr import CSRGraph
+
+    n = 512
+    edges = np.column_stack([np.arange(n), (np.arange(n) + 1) % n])
+    csr = CSRGraph.from_edge_array(edges, num_nodes=n)
+    artifact = directory / "spill.npz"
+    write_npz(artifact, {"indptr": csr.indptr, "indices": csr.indices})
+    assert cli_main(["fsck", str(artifact)]) == 0, "intact artifact must pass"
+
+    raw = bytearray(artifact.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    artifact.write_bytes(bytes(raw))
+    assert cli_main(["fsck", str(artifact)]) == 1, "bit flip must fail fsck"
+    from repro.durability import verify_artifact
+
+    try:
+        verify_artifact(artifact, mode="full")
+    except ArtifactCorruptError as exc:
+        assert exc.retryable and str(artifact) in str(exc)
+    else:
+        raise AssertionError("verify_artifact must refuse a bit-flipped file")
+    print("fsck phase: bit-flipped artifact refused with ArtifactCorruptError", flush=True)
+
+
+_SWEEP_DRIVER = """
+import sys
+import numpy as np
+from repro.experiments.algorithms import build_algorithm_suite
+from repro.experiments.runner import compare_algorithms
+from repro.graph.csr import CSRGraph
+
+rng = np.random.default_rng(3)
+hub = np.column_stack([np.zeros(299, dtype=np.int64), np.arange(1, 300)])
+edges = np.concatenate([hub, rng.integers(0, 300, size=(1500, 2))])
+graph = CSRGraph.from_edge_array(
+    edges, num_nodes=300, label_array=rng.integers(1, 3, size=300)
+)
+full = build_algorithm_suite(include_baselines=False)
+suite = {"%(algo)s": full["%(algo)s"]}
+compare_algorithms(
+    graph, 1, 2,
+    sample_fractions=(0.02, 0.04, 0.06),
+    repetitions=3, algorithms=suite, burn_in=5, seed=42,
+    execution="fleet", n_jobs=2, graph_store="ram",
+    journal=sys.argv[1],
+)
+""" % {"algo": ALGORITHM}
+
+
+def _journal_resume_phase(journal: Path) -> None:
+    """SIGKILL a --jobs 2 sweep mid-journal; --resume is bit-identical."""
+    import signal
+    import subprocess
+
+    import numpy as np
+
+    from repro.durability import journal_is_committed, read_records
+    from repro.experiments.algorithms import build_algorithm_suite
+    from repro.experiments.runner import compare_algorithms
+    from repro.graph.csr import CSRGraph
+
+    rng = np.random.default_rng(3)
+    hub = np.column_stack([np.zeros(299, dtype=np.int64), np.arange(1, 300)])
+    edges = np.concatenate([hub, rng.integers(0, 300, size=(1500, 2))])
+    csr = CSRGraph.from_edge_array(
+        edges, num_nodes=300, label_array=rng.integers(1, 3, size=300)
+    )
+    full = build_algorithm_suite(include_baselines=False)
+    suite = {ALGORITHM: full[ALGORITHM]}
+
+    def table(**overrides):
+        settings = dict(
+            sample_fractions=(0.02, 0.04, 0.06), repetitions=3,
+            algorithms=suite, burn_in=5, seed=42,
+            execution="fleet", n_jobs=2, graph_store="ram",
+        )
+        settings.update(overrides)
+        return compare_algorithms(csr, 1, 2, **settings)
+
+    print("journal phase: clean reference table ...", flush=True)
+    reference = table()
+
+    print("journal phase: SIGKILL a --jobs 2 sweep mid-journal ...", flush=True)
+    child = subprocess.Popen(
+        [sys.executable, "-c", _SWEEP_DRIVER, str(journal)],
+        env=dict(
+            os.environ,
+            PYTHONPATH="src",
+            REPRO_FAULTS="worker.cell=delay,seconds=0.5",
+        ),
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        if any(r["type"] == "cell" for r in read_records(journal)):
+            break
+        assert child.poll() is None, "sweep finished before it could be killed"
+        time.sleep(0.01)
+    else:
+        raise AssertionError("no journaled cell appeared within the deadline")
+    os.killpg(child.pid, signal.SIGKILL)
+    child.wait(timeout=30)
+    assert not journal_is_committed(journal)
+    done = sum(1 for r in read_records(journal) if r["type"] == "cell")
+    print(f"journal phase: crashed with {done}/3 cells journaled; resuming ...", flush=True)
+
+    resumed = table(journal=journal, resume=True)
+    for name in reference.algorithms():
+        for ours, theirs in zip(resumed.cells[name], reference.cells[name]):
+            assert ours.estimates == theirs.estimates, (name, ours, theirs)
+            assert ours.api_calls == theirs.api_calls, (name, ours, theirs)
+    assert journal_is_committed(journal)
+    print("journal phase: resumed table bit-identical; journal committed", flush=True)
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -381,5 +608,12 @@ if __name__ == "__main__":
         action="store_true",
         help="run the chaos mode (injected faults + worker-kill recovery)",
     )
+    parser.add_argument(
+        "--restart",
+        action="store_true",
+        help="run the durability mode (SIGTERM restart, fsck, journal resume)",
+    )
     args = parser.parse_args()
+    if args.restart:
+        sys.exit(restart_main())
     sys.exit(chaos_main() if args.faults else main())

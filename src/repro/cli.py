@@ -24,13 +24,17 @@ Sub-commands
     HTTP (``/healthz``, ``/stats``, ``POST /estimate``).
 ``sweep-spills``
     Reclaim orphaned ``$REPRO_MMAP_DIR`` spill files left behind by
-    killed runs.
+    killed runs, plus committed journals and dead-pid scratch temps.
+``fsck``
+    Verify durable ``.npz`` artifacts: blake2b manifest check plus the
+    deep :meth:`CSRGraph.validate_invariants` structural check.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.bounds import compute_all_bounds
@@ -137,6 +141,19 @@ def build_parser() -> argparse.ArgumentParser:
         "the dataset from an .npz sidecar (out-of-core); needs "
         "--representation csr (identical tables either way)",
     )
+    table.add_argument(
+        "--journal",
+        default=None,
+        help="path to an append-only experiment journal; every completed "
+        "cell is made durable as it finishes, so a crashed run can be "
+        "resumed (.journal.jsonl is appended to the name if missing)",
+    )
+    table.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the finished cells of --journal and run only the "
+        "missing ones (bit-identical to an uninterrupted run)",
+    )
 
     figure = subparsers.add_parser("figure", help="reproduce a paper figure series")
     figure.add_argument("number", type=int, choices=[1, 2])
@@ -185,6 +202,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="CSR buffer store: 'shm' shares one segment across --jobs "
         "workers; 'mmap' memory-maps the dataset (out-of-core); needs "
         "--representation csr",
+    )
+    figure.add_argument(
+        "--journal",
+        default=None,
+        help="path to an append-only experiment journal (see 'table')",
+    )
+    figure.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the finished points of --journal and run only the "
+        "missing ones",
     )
 
     bounds = subparsers.add_parser("bounds", help="Theorem 4.1-4.5 sample-size bounds")
@@ -309,6 +337,22 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=7;store.attach=error,count=1;worker.cell=kill,count=1' "
         "(see docs/operations.md; REPRO_FAULTS is the env equivalent)",
     )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        dest="snapshot_path",
+        help="checkpoint the answer cache to this path for warm restarts "
+        "(written on a timer and on graceful shutdown; loaded at boot "
+        "when the graph fingerprint matches)",
+    )
+    serve.add_argument(
+        "--snapshot-interval-ms",
+        type=float,
+        default=30000.0,
+        dest="snapshot_interval_ms",
+        help="periodic snapshot timer (needs --snapshot); this is what a "
+        "SIGKILL'd server warm-restarts from",
+    )
 
     sweep = subparsers.add_parser(
         "sweep-spills",
@@ -333,6 +377,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="dry_run",
         help="report what would be deleted without deleting",
+    )
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="verify checksums and CSR invariants of durable .npz artifacts",
+    )
+    fsck.add_argument(
+        "paths",
+        nargs="+",
+        help=".npz artifact files, or directories to scan for them",
+    )
+    fsck.add_argument(
+        "--mode",
+        choices=("full", "sampled"),
+        default="full",
+        help="manifest verification depth: every byte, or member sizes "
+        "plus sampled pages (default: full)",
+    )
+    fsck.add_argument(
+        "--no-structure",
+        action="store_true",
+        dest="no_structure",
+        help="skip the deep CSR invariant check (checksums only)",
+    )
+    fsck.add_argument(
+        "--symmetry-samples",
+        type=int,
+        default=1024,
+        dest="symmetry_samples",
+        help="adjacency slots to spot-check for symmetry (0 disables)",
     )
     return parser
 
@@ -416,6 +490,8 @@ def _command_table(args) -> int:
         representation=args.representation,
         graph_store=args.graph_store,
         n_jobs=n_jobs,
+        journal=args.journal,
+        resume=args.resume,
         pinned=pinned,
     )
     result = run_paper_table(args.number, config)
@@ -446,6 +522,8 @@ def _command_figure(args) -> int:
         representation=args.representation,
         graph_store=args.graph_store,
         n_jobs=n_jobs,
+        journal=args.journal,
+        resume=args.resume,
         pinned=pinned,
     )
     result = run_paper_figure(
@@ -549,6 +627,8 @@ def _command_serve(args) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_ms=args.breaker_cooldown_ms,
         faults=args.faults,
+        snapshot_path=args.snapshot_path,
+        snapshot_interval_ms=args.snapshot_interval_ms,
     )
     if config.faults is not None:
         from repro.resilience import FaultInjector, FaultPlan, install_injector
@@ -564,6 +644,7 @@ def _command_serve(args) -> int:
         name=f"{config.dataset}-scale{config.scale}",
         breaker_threshold=config.breaker_threshold,
         breaker_cooldown_seconds=config.breaker_cooldown_seconds,
+        snapshot_path=config.snapshot_path,
     )
     try:
         run_server(
@@ -574,6 +655,7 @@ def _command_serve(args) -> int:
             window_seconds=config.window_seconds,
             max_in_flight=config.max_in_flight,
             deadline_ms=config.deadline_ms,
+            snapshot_interval_seconds=config.snapshot_interval_seconds,
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
         print("shutting down")
@@ -597,6 +679,55 @@ def _command_sweep_spills(args) -> int:
     return 0
 
 
+def _command_fsck(args) -> int:
+    import numpy as np
+
+    from repro.durability import verify_artifact
+    from repro.exceptions import ArtifactCorruptError
+    from repro.graph.csr import CSRGraph
+
+    targets: List = []
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            targets.extend(sorted(path.glob("*.npz")))
+        else:
+            targets.append(path)
+    if not targets:
+        print("fsck: no .npz artifacts found")
+        return 0
+    corrupt = 0
+    for path in targets:
+        try:
+            outcome = verify_artifact(path, mode=args.mode)
+            detail = f"manifest {outcome}"
+            if not args.no_structure:
+                with np.load(path) as payload:
+                    arrays = {key: payload[key] for key in payload.files}
+                if "indptr" in arrays and "indices" in arrays:
+                    report = CSRGraph(
+                        arrays.get("node_ids"),
+                        arrays["indptr"],
+                        arrays["indices"],
+                        label_array=arrays.get("label_array"),
+                        validate=False,
+                    ).validate_invariants(symmetry_samples=args.symmetry_samples)
+                    detail += (
+                        f", structure ok ({report['num_nodes']} nodes, "
+                        f"{report['num_edges']} edges)"
+                    )
+                else:
+                    detail += ", structure skipped (not a CSR artifact)"
+        except ArtifactCorruptError as exc:
+            corrupt += 1
+            print(f"CORRUPT {path}: {exc}")
+            continue
+        print(f"ok      {path}: {detail}")
+    clean = len(targets) - corrupt
+    print(f"fsck: {clean} clean, {corrupt} corrupt of {len(targets)} artifact(s)")
+    return 1 if corrupt else 0
+
+
 _COMMANDS = {
     "datasets": _command_datasets,
     "estimate": _command_estimate,
@@ -608,6 +739,7 @@ _COMMANDS = {
     "cost": _command_cost,
     "serve": _command_serve,
     "sweep-spills": _command_sweep_spills,
+    "fsck": _command_fsck,
 }
 
 

@@ -428,10 +428,12 @@ def load_dataset(
         if graph_store == "mmap":
             # Spill-and-reattach: synthesis is deterministic in (name,
             # seed, scale), but specs are test-tweakable, so the sidecar
-            # is rewritten (atomically) rather than trusted when present.
-            # The pid in the name keeps concurrent processes off each
-            # other's files and lets sweep_orphan_spills identify files
-            # whose spilling process died without releasing them.
+            # is rewritten (atomically, with a blake2b manifest footer
+            # that attach verifies per REPRO_VERIFY_ARTIFACTS) rather
+            # than trusted when present.  The pid in the name keeps
+            # concurrent processes off each other's files and lets
+            # sweep_orphan_spills identify files whose spilling process
+            # died without releasing them.
             sidecar = default_mmap_dir() / (
                 f"{name}-seed{int(seed)}-scale{float(scale)}-pid{os.getpid()}.npz"
             )

@@ -1,0 +1,75 @@
+"""Checksummed pickle blobs: the answer-cache snapshot format.
+
+A warm restart needs one durable object — the service's
+:class:`~repro.service.cache.AnswerCache` contents plus the graph
+fingerprint they were computed against.  :func:`write_blob` pickles the
+payload behind a small header (magic, format version, payload length,
+blake2b digest) and lands it through the atomic-write protocol, so a
+crash mid-snapshot leaves the previous snapshot intact;
+:func:`read_blob` verifies the digest before unpickling and raises
+:class:`~repro.exceptions.ArtifactCorruptError` on any mismatch — a
+corrupt snapshot costs a cold cache, never a poisoned one.
+
+``write_blob`` is the ``snapshot.write`` fault site.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from hashlib import blake2b
+from pathlib import Path
+
+from repro.durability.atomic import PathLike, atomic_write_bytes
+from repro.exceptions import ArtifactCorruptError
+from repro.resilience.faults import fire
+
+_MAGIC = b"repro-snap"
+_FORMAT = 1
+_DIGEST_SIZE = 16
+_HEADER = struct.Struct(f">{len(_MAGIC)}sBQ{_DIGEST_SIZE}s")
+
+
+def write_blob(path: PathLike, payload: object) -> Path:
+    """Atomically write *payload* as a checksummed pickle blob at *path*."""
+    fire("snapshot.write", location=str(path))
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = blake2b(body, digest_size=_DIGEST_SIZE).digest()
+    header = _HEADER.pack(_MAGIC, _FORMAT, len(body), digest)
+    return atomic_write_bytes(path, header + body)
+
+
+def read_blob(path: PathLike) -> object:
+    """Read and verify a :func:`write_blob` artifact; raise on corruption."""
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as exc:
+        raise ArtifactCorruptError(
+            f"snapshot {path} is unreadable ({exc})", location=str(path)
+        ) from exc
+    if len(raw) < _HEADER.size:
+        raise ArtifactCorruptError(
+            f"snapshot {path} is truncated ({len(raw)} bytes)",
+            location=str(path),
+        )
+    magic, fmt, length, digest = _HEADER.unpack(raw[: _HEADER.size])
+    body = raw[_HEADER.size:]
+    if magic != _MAGIC or fmt != _FORMAT:
+        raise ArtifactCorruptError(
+            f"snapshot {path} has an unknown header", location=str(path)
+        )
+    if len(body) != length:
+        raise ArtifactCorruptError(
+            f"snapshot {path} is {len(body)} payload bytes, header says "
+            f"{length}",
+            location=str(path),
+        )
+    if blake2b(body, digest_size=_DIGEST_SIZE).digest() != digest:
+        raise ArtifactCorruptError(
+            f"snapshot {path} failed its blake2b integrity check",
+            location=str(path),
+        )
+    return pickle.loads(body)
+
+
+__all__ = ["read_blob", "write_blob"]

@@ -110,6 +110,32 @@ class StoreAttachError(GraphError):
         self.location = location
 
 
+class ArtifactCorruptError(GraphError):
+    """A durable artifact failed its integrity check.
+
+    Raised by the durability layer (:mod:`repro.durability`) when a
+    checksummed ``.npz`` sidecar, spill, snapshot, or checkpoint does
+    not match its blake2b manifest — a torn write, a bit flip, a
+    truncation — and by :meth:`repro.graph.csr.CSRGraph.validate_invariants`
+    when the CSR structure itself is inconsistent.  The attach paths
+    raise this *instead of* memory-mapping garbage, so a corrupt file
+    can never silently walk.
+
+    Marked :attr:`retryable` because the most common cause in practice
+    is not media corruption but a reader racing a writer's atomic
+    rewrite (the ``os.replace`` has not landed yet): a retry typically
+    observes the completed artifact.  Genuinely corrupt files keep
+    failing, which the retry policy surfaces after its budget.
+    """
+
+    #: A racing rewrite looks identical to corruption; retry once cheaply.
+    retryable = True
+
+    def __init__(self, message: str, location: object = None) -> None:
+        super().__init__(message)
+        self.location = location
+
+
 class ResilienceError(ReproError):
     """Base class for failure-policy rejections in the serving layer.
 

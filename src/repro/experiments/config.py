@@ -100,6 +100,15 @@ class ExperimentConfig:
     n_jobs:
         Worker processes for cell-level parallelism; per-cell seeds are
         pre-derived so any worker count reproduces the same tables.
+    journal:
+        Optional path to an append-only experiment journal (WAL): every
+        completed cell is made durable as it finishes, so a crashed run
+        leaves resume state behind (``.journal.jsonl`` is appended to
+        the name if missing).
+    resume:
+        With :attr:`journal`, replay the finished cells of a previous
+        run and execute only the missing ones (bit-identical — cell
+        seeds are pre-derived).  Requires :attr:`journal`.
     pinned:
         Field names whose values were set explicitly (e.g. CLI flags)
         and must not be changed by :meth:`apply_environment` — an
@@ -122,6 +131,8 @@ class ExperimentConfig:
     representation: str = "dict"
     graph_store: str = "ram"
     n_jobs: int = 1
+    journal: Optional[str] = None
+    resume: bool = False
     pinned: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -158,6 +169,11 @@ class ExperimentConfig:
             check_fraction(fraction, "sample_fractions entry")
         if self.target_pair_index < 0:
             raise ConfigurationError("target_pair_index must be non-negative")
+        if self.resume and self.journal is None:
+            raise ConfigurationError(
+                "resume=True replays a journal; pass journal= (--journal) "
+                "with the path the crashed run was writing"
+            )
 
     # ------------------------------------------------------------------
     # presets

@@ -131,6 +131,8 @@ def run_paper_figure(
         n_jobs=config.n_jobs,
         reuse=config.reuse,
         graph_store=config.graph_store,
+        journal=config.journal,
+        resume=config.resume,
     )
     return PaperFigureResult(definition=definition, points=points, config=config)
 

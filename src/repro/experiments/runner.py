@@ -37,6 +37,13 @@ Three orthogonal performance knobs:
   zero-copy — at the 10⁶-node rung the serialization this avoids dwarfs
   the cell work itself.  The store never touches any random stream, so
   tables are bit-identical across all three stores.
+
+One durability knob: ``journal=`` names an append-only JSONL WAL
+(:class:`repro.durability.ExperimentJournal`) that records every
+completed cell the moment it finishes, keyed by a suite fingerprint.
+``resume=True`` replays the finished cells out of it and re-runs only
+the missing ones — bit-identical to an uninterrupted run, because each
+cell's seed is pre-derived.
 """
 
 from __future__ import annotations
@@ -46,7 +53,10 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.durability import ExperimentJournal, suite_fingerprint
 
 from repro.baselines.fleet import (
     classify_line_fleet,
@@ -468,6 +478,8 @@ def compare_algorithms(
     n_jobs: int = 1,
     reuse: str = "none",
     graph_store: str = "ram",
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> NRMSETable:
     """Reproduce one NRMSE table: every algorithm at every budget.
 
@@ -526,6 +538,19 @@ def compare_algorithms(
         :class:`CSRGraph`; irrelevant (and ignored) at ``n_jobs=1``.
         Tables are bit-identical across stores: the store moves bytes,
         never random draws.
+    journal:
+        Optional path to an append-only experiment journal (WAL).  Every
+        completed cell is made durable the moment it finishes (fsync'd
+        JSONL, self-checking lines), keyed by a fingerprint of the graph
+        content and every run-shaping parameter.  A run that dies
+        mid-table leaves the journal behind as resume state.
+    resume:
+        With *journal*, replay the cells a previous (crashed) run
+        already finished and execute only the missing ones.  Because
+        cell and fleet seeds are pre-derived, the resumed table is
+        bit-identical to an uninterrupted run.  Raises
+        :class:`ExperimentError` if the journal belongs to a different
+        suite (fingerprint mismatch).
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
@@ -555,6 +580,47 @@ def compare_algorithms(
         sample_fractions=list(sample_fractions),
     )
     outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    if resume and journal is None:
+        raise ConfigurationError("resume=True needs a journal path to replay")
+    active_journal: Optional[ExperimentJournal] = None
+    if journal is not None:
+        # The fingerprint covers the graph content and every parameter
+        # that shapes a cell, so a journal can never replay into a run
+        # it does not belong to.
+        fingerprint = suite_fingerprint(
+            graph,
+            kind="nrmse-table",
+            dataset=dataset_name,
+            target_pair=[t1, t2],
+            sample_sizes=sample_sizes,
+            repetitions=repetitions,
+            seed=seed,
+            burn_in=burn_in,
+            backend=backend,
+            execution=execution,
+            reuse=reuse,
+            algorithms=list(algorithms),
+        )
+        active_journal = ExperimentJournal(journal, fingerprint, resume=resume)
+        for (name, column), record in active_journal.completed_cells().items():
+            if (
+                name in algorithms
+                and isinstance(column, int)
+                and 0 <= column < len(sample_sizes)
+            ):
+                outcomes[(name, column)] = _outcome_from_record(record)
+
+    def record_cell(cell: CellTask, outcome: TrialOutcome) -> None:
+        if active_journal is not None:
+            active_journal.append_cell(
+                outcome.algorithm,
+                cell.column,
+                outcome.sample_size,
+                outcome.true_count,
+                outcome.estimates,
+                outcome.api_calls,
+            )
+
     prefix_names = [
         name
         for name in algorithms
@@ -562,73 +628,121 @@ def compare_algorithms(
         and isinstance(algorithms[name], (ProposedRunner, BaselineRunner))
     ]
     total_cells = len(algorithms) * len(sample_sizes)
-    done = 0
-    for name in prefix_names:
-        row = run_trials_prefix(
-            graph,
-            t1,
-            t2,
-            algorithms[name],
-            name,
-            sample_sizes,
-            repetitions,
-            burn_in,
-            seed=_derive_group_seed(seed, name),
-            true_count=true_count,
-            csr=shared_csr,
-        )
-        for column, outcome in enumerate(row):
-            outcomes[(name, column)] = outcome
-            done += 1
-            if progress is not None:
-                progress(name, outcome.sample_size, done / total_cells)
-
-    cells = [
-        CellTask(
-            algorithm=name,
-            column=column,
-            sample_size=sample_size,
-            seed=_derive_cell_seed(seed, name, column),
-            t1=t1,
-            t2=t2,
-            repetitions=repetitions,
-            burn_in=burn_in,
-            true_count=true_count,
-            backend=backend,
-            execution=execution,
-        )
-        for name in algorithms
-        if name not in prefix_names
-        for column, sample_size in enumerate(sample_sizes)
-    ]
-    if cells and n_jobs > 1:
-
-        def pool_progress(algorithm: str, sample_size: int, _fraction: float) -> None:
-            nonlocal done
-            done += 1
-            if progress is not None:
-                progress(algorithm, sample_size, done / total_cells)
-
-        outcomes.update(
-            run_cells_parallel(
-                graph, algorithms, cells, n_jobs,
-                pool_progress if progress is not None else None,
-                graph_store=graph_store,
+    done = len(outcomes)
+    try:
+        for name in prefix_names:
+            if all(
+                (name, column) in outcomes
+                for column in range(len(sample_sizes))
+            ):
+                continue  # every column of this fleet was replayed
+            # A partially journaled fleet re-runs whole: the fleet seed
+            # is pre-derived, so recomputed columns are bit-identical to
+            # the journaled ones they overwrite.
+            row = run_trials_prefix(
+                graph,
+                t1,
+                t2,
+                algorithms[name],
+                name,
+                sample_sizes,
+                repetitions,
+                burn_in,
+                seed=_derive_group_seed(seed, name),
+                true_count=true_count,
+                csr=shared_csr,
             )
-        )
-    else:
-        for cell in cells:
-            outcomes[(cell.algorithm, cell.column)] = run_cell(
-                graph, algorithms[cell.algorithm], cell, shared_csr
+            for column, outcome in enumerate(row):
+                fresh = (name, column) not in outcomes
+                outcomes[(name, column)] = outcome
+                if fresh:
+                    if active_journal is not None:
+                        active_journal.append_cell(
+                            name,
+                            column,
+                            outcome.sample_size,
+                            outcome.true_count,
+                            outcome.estimates,
+                            outcome.api_calls,
+                        )
+                    done += 1
+                    if progress is not None:
+                        progress(name, outcome.sample_size, done / total_cells)
+
+        cells = [
+            CellTask(
+                algorithm=name,
+                column=column,
+                sample_size=sample_size,
+                seed=_derive_cell_seed(seed, name, column),
+                t1=t1,
+                t2=t2,
+                repetitions=repetitions,
+                burn_in=burn_in,
+                true_count=true_count,
+                backend=backend,
+                execution=execution,
             )
-            done += 1
-            if progress is not None:
-                progress(cell.algorithm, cell.sample_size, done / total_cells)
-    for name in algorithms:
-        table.cells[name] = [
-            outcomes[(name, column)] for column in range(len(sample_sizes))
+            for name in algorithms
+            if name not in prefix_names
+            for column, sample_size in enumerate(sample_sizes)
+            if (name, column) not in outcomes
         ]
+        if cells and n_jobs > 1:
+
+            def pool_progress(
+                algorithm: str, sample_size: int, _fraction: float
+            ) -> None:
+                nonlocal done
+                done += 1
+                if progress is not None:
+                    progress(algorithm, sample_size, done / total_cells)
+
+            outcomes.update(
+                run_cells_parallel(
+                    graph, algorithms, cells, n_jobs,
+                    pool_progress if progress is not None else None,
+                    graph_store=graph_store,
+                    on_cell=record_cell,
+                )
+            )
+        else:
+            for cell in cells:
+                outcome = run_cell(
+                    graph, algorithms[cell.algorithm], cell, shared_csr
+                )
+                outcomes[(cell.algorithm, cell.column)] = outcome
+                record_cell(cell, outcome)
+                done += 1
+                if progress is not None:
+                    progress(cell.algorithm, cell.sample_size, done / total_cells)
+        for name in algorithms:
+            table.cells[name] = [
+                outcomes[(name, column)] for column in range(len(sample_sizes))
+            ]
+        if active_journal is not None:
+            active_journal.commit(total_cells)
+    finally:
+        # On failure the journal stays uncommitted — that *is* the
+        # resume state a crashed run leaves behind.
+        if active_journal is not None:
+            active_journal.close()
     return table
+
+
+def _outcome_from_record(record: Mapping[str, object]) -> TrialOutcome:
+    """Rebuild a :class:`TrialOutcome` from a journal ``cell`` record.
+
+    JSON floats round-trip exactly (shortest-repr), so a replayed cell
+    is bit-identical to the one the crashed run computed.
+    """
+    return TrialOutcome(
+        algorithm=str(record["algorithm"]),
+        sample_size=int(record["sample_size"]),  # type: ignore[arg-type]
+        true_count=int(record["true_count"]),  # type: ignore[arg-type]
+        estimates=[float(value) for value in record["estimates"]],  # type: ignore[union-attr]
+        api_calls=[int(value) for value in record["api_calls"]],  # type: ignore[union-attr]
+    )
 
 
 def _derive_cell_seed(seed: RandomSource, algorithm: str, column: int) -> int:
@@ -753,6 +867,7 @@ def run_cells_parallel(
     progress: Optional[Callable[[str, int, float], None]],
     graph_store: str = "ram",
     max_pool_respawns: int = 2,
+    on_cell: Optional[Callable[[CellTask, TrialOutcome], None]] = None,
 ) -> Dict[Tuple[str, int], TrialOutcome]:
     """Run cells across a process pool; results keyed (algorithm, column).
 
@@ -788,6 +903,11 @@ def run_cells_parallel(
     (pinned by the recovery integration tests).  Exceptions *raised by*
     a cell (as opposed to a dead worker) still propagate immediately;
     they are deterministic and a retry would just repeat them.
+
+    *on_cell* is invoked **in the parent** as each cell's result is
+    retained (the experiment-journal hook): it sees every completed
+    cell exactly once, including cells that finished before a pool
+    break, and never sees a cell that died with its worker.
     """
     validate_graph_store(graph_store)
     suite = dict(algorithms)
@@ -853,6 +973,8 @@ def run_cells_parallel(
                         pool_broken = True
                         continue
                     outcomes[(cell.algorithm, cell.column)] = outcome
+                    if on_cell is not None:
+                        on_cell(cell, outcome)
                     if progress is not None:
                         progress(
                             cell.algorithm,

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.durability import ExperimentJournal, suite_fingerprint
 
 from repro.core.pipeline import ProposedRunner
 from repro.core.samplers.csr_backend import (
@@ -18,6 +21,7 @@ from repro.core.samplers.csr_backend import (
     validate_execution,
     validate_reuse,
 )
+from repro.exceptions import ConfigurationError
 from repro.graph.csr import csr_view
 from repro.graph.labeled_graph import Label, LabeledGraph
 from repro.graph.store import validate_graph_store
@@ -37,6 +41,7 @@ from repro.experiments.runner import (
     CellTask,
     NRMSETable,
     TrialOutcome,
+    _outcome_from_record,
     compare_algorithms,
     run_cell,
     run_cells_parallel,
@@ -58,13 +63,16 @@ def sample_size_sweep(
     n_jobs: int = 1,
     reuse: str = "none",
     graph_store: str = "ram",
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> NRMSETable:
     """NRMSE of every algorithm as the budget grows — one paper table.
 
     Thin wrapper over :func:`repro.experiments.runner.compare_algorithms`
     kept for symmetry with :func:`frequency_sweep`.  ``reuse="prefix"``
     walks one max-budget fleet per proposed algorithm and reads every
-    smaller budget off its prefixes.
+    smaller budget off its prefixes.  *journal* / *resume* thread
+    through to the experiment WAL (see ``compare_algorithms``).
     """
     return compare_algorithms(
         graph,
@@ -81,6 +89,8 @@ def sample_size_sweep(
         n_jobs=n_jobs,
         reuse=reuse,
         graph_store=graph_store,
+        journal=journal,
+        resume=resume,
     )
 
 
@@ -107,6 +117,8 @@ def frequency_sweep(
     n_jobs: int = 1,
     reuse: str = "none",
     graph_store: str = "ram",
+    journal: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> List[FrequencyPoint]:
     """NRMSE vs relative target-edge count at a fixed budget (Figures 1–2).
 
@@ -154,6 +166,13 @@ def frequency_sweep(
         buffers once and ship O(1) reattach handles (see
         :func:`repro.experiments.runner.run_cells_parallel`).  The
         series is bit-identical across stores.
+    journal / resume:
+        The experiment WAL, keyed ``(algorithm, pair_index)`` here: with
+        *journal* every completed point is made durable as it finishes;
+        *resume* replays the finished points of a crashed sweep and
+        re-runs only the missing ones, bit-identically (point seeds are
+        pre-derived; a partially journaled prefix fleet re-runs whole
+        from its pre-derived fleet seed).
     """
     check_positive_int(n_jobs, "n_jobs")
     validate_backend(backend)
@@ -182,63 +201,122 @@ def frequency_sweep(
         plottable.append((pair_index, (t1, t2), true_count))
 
     outcomes: Dict[Tuple[str, int], TrialOutcome] = {}
+    if resume and journal is None:
+        raise ConfigurationError("resume=True needs a journal path to replay")
+    active_journal: Optional[ExperimentJournal] = None
+    if journal is not None:
+        plottable_indices = {pair_index for pair_index, _, _ in plottable}
+        fingerprint = suite_fingerprint(
+            graph,
+            kind="frequency-sweep",
+            target_pairs=[list(pair) for pair in target_pairs],
+            budget_fraction=budget_fraction,
+            sample_size=sample_size,
+            repetitions=repetitions,
+            seed=seed,
+            burn_in=burn_in,
+            backend=backend,
+            execution=execution,
+            reuse=reuse,
+            algorithms=list(algorithms),
+        )
+        active_journal = ExperimentJournal(journal, fingerprint, resume=resume)
+        for (name, column), record in active_journal.completed_cells().items():
+            if (
+                name in algorithms
+                and isinstance(column, int)
+                and column in plottable_indices
+            ):
+                outcomes[(name, column)] = _outcome_from_record(record)
+
+    def record_point(name: str, pair_index: int, outcome: TrialOutcome) -> None:
+        if active_journal is not None:
+            active_journal.append_cell(
+                name,
+                pair_index,
+                outcome.sample_size,
+                outcome.true_count,
+                outcome.estimates,
+                outcome.api_calls,
+            )
+
     prefix_names = [
         name
         for name in algorithms
         if reuse == "prefix"
         and isinstance(algorithms[name], (ProposedRunner, BaselineRunner))
     ]
-    for name in prefix_names:
-        # One label-agnostic fleet per algorithm; every target pair of
-        # the sweep is classified off the same walk (PrefixFleet is the
-        # shared planner — budget sweeps and the serving layer reuse it).
-        fleet = PrefixFleet(
-            shared_csr,
-            algorithms[name],
-            FleetSpec(
-                name, derive_seed(seed, name, "prefix-frequency"), repetitions, burn_in
-            ),
-            sample_size,
-        )
-        for pair_index, (t1, t2), true_count in plottable:
-            estimates, api_calls = fleet.estimate(t1, t2, sample_size)
-            outcomes[(name, pair_index)] = TrialOutcome(
-                algorithm=name,
-                sample_size=sample_size,
-                true_count=true_count,
-                estimates=estimates,
-                api_calls=api_calls,
+    try:
+        for name in prefix_names:
+            if all(
+                (name, pair_index) in outcomes
+                for pair_index, _, _ in plottable
+            ):
+                continue  # the whole fleet's points were replayed
+            # One label-agnostic fleet per algorithm; every target pair of
+            # the sweep is classified off the same walk (PrefixFleet is the
+            # shared planner — budget sweeps and the serving layer reuse it).
+            fleet = PrefixFleet(
+                shared_csr,
+                algorithms[name],
+                FleetSpec(
+                    name, derive_seed(seed, name, "prefix-frequency"), repetitions, burn_in
+                ),
+                sample_size,
             )
+            for pair_index, (t1, t2), true_count in plottable:
+                fresh = (name, pair_index) not in outcomes
+                estimates, api_calls = fleet.estimate(t1, t2, sample_size)
+                outcomes[(name, pair_index)] = TrialOutcome(
+                    algorithm=name,
+                    sample_size=sample_size,
+                    true_count=true_count,
+                    estimates=estimates,
+                    api_calls=api_calls,
+                )
+                if fresh:
+                    record_point(name, pair_index, outcomes[(name, pair_index)])
 
-    cells = [
-        CellTask(
-            algorithm=name,
-            column=pair_index,
-            sample_size=sample_size,
-            seed=_derive_point_seed(seed, name, pair_index),
-            t1=t1,
-            t2=t2,
-            repetitions=repetitions,
-            burn_in=burn_in,
-            true_count=true_count,
-            backend=backend,
-            execution=execution,
-        )
-        for pair_index, (t1, t2), true_count in plottable
-        for name in algorithms
-        if name not in prefix_names
-    ]
-    if cells and n_jobs > 1:
-        outcomes.update(
-            run_cells_parallel(
-                graph, algorithms, cells, n_jobs, None, graph_store=graph_store
+        cells = [
+            CellTask(
+                algorithm=name,
+                column=pair_index,
+                sample_size=sample_size,
+                seed=_derive_point_seed(seed, name, pair_index),
+                t1=t1,
+                t2=t2,
+                repetitions=repetitions,
+                burn_in=burn_in,
+                true_count=true_count,
+                backend=backend,
+                execution=execution,
             )
-        )
-    else:
-        for cell in cells:
-            outcomes[(cell.algorithm, cell.column)] = run_cell(
-                graph, algorithms[cell.algorithm], cell, shared_csr
+            for pair_index, (t1, t2), true_count in plottable
+            for name in algorithms
+            if name not in prefix_names and (name, pair_index) not in outcomes
+        ]
+        if cells and n_jobs > 1:
+            outcomes.update(
+                run_cells_parallel(
+                    graph, algorithms, cells, n_jobs, None,
+                    graph_store=graph_store,
+                    on_cell=lambda cell, outcome: record_point(
+                        cell.algorithm, cell.column, outcome
+                    ),
+                )
             )
+        else:
+            for cell in cells:
+                outcome = run_cell(
+                    graph, algorithms[cell.algorithm], cell, shared_csr
+                )
+                outcomes[(cell.algorithm, cell.column)] = outcome
+                record_point(cell.algorithm, cell.column, outcome)
+        if active_journal is not None:
+            active_journal.commit(len(algorithms) * len(plottable))
+    finally:
+        if active_journal is not None:
+            active_journal.close()
 
     points: List[FrequencyPoint] = []
     for pair_index, pair, true_count in plottable:

@@ -163,6 +163,8 @@ def run_paper_table(
         n_jobs=config.n_jobs,
         reuse=config.reuse,
         graph_store=config.graph_store,
+        journal=config.journal,
+        resume=config.resume,
     )
     return PaperTableResult(definition=definition, table=table, config=config)
 

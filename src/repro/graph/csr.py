@@ -46,7 +46,7 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
-from repro.exceptions import GraphError, NodeNotFoundError
+from repro.exceptions import ArtifactCorruptError, GraphError, NodeNotFoundError
 from repro.graph.labeled_graph import Label, LabeledGraph, Node
 
 #: Nodes beyond which ``indices`` must fall back to int64.
@@ -642,6 +642,112 @@ class CSRGraph:
             count = int(self.target_incident_counts(t1, t2).sum()) // 2
             self._target_count_cache[key] = count
         return count
+
+    def validate_invariants(
+        self,
+        *,
+        check_sorted_rows: bool = True,
+        symmetry_samples: int = 1024,
+        seed: int = 0,
+        chunk_size: int = _MMAP_CHUNK,
+    ) -> Dict[str, object]:
+        """Structural fsck of the CSR arrays; raise on any inconsistency.
+
+        The deep check behind ``repro-osn fsck``, complementing the
+        byte-level manifest verification in :mod:`repro.durability`:
+        a file whose checksums match can still describe an impossible
+        graph if it was written by a buggy or hostile producer.  Checks
+
+        * ``indptr`` starts at 0, ends at ``len(indices)``, and is
+          monotone non-decreasing;
+        * every entry of ``indices`` lies in ``[0, num_nodes)``
+          (streamed in :data:`_MMAP_CHUNK` windows so a memory-mapped
+          graph is never materialised);
+        * rows are strictly increasing (*check_sorted_rows*; the
+          invariant of every artifact writer —
+          :meth:`from_edge_array` sorts and dedupes — but not of dict
+          :func:`csr_view` freezes, which preserve reference neighbor
+          order: pass ``False`` for those);
+        * symmetry, spot-checked on *symmetry_samples* seeded random
+          adjacency slots: ``v ∈ row(u)`` must imply ``u ∈ row(v)``.
+
+        Returns a small report dict on success and raises
+        :class:`~repro.exceptions.ArtifactCorruptError` (typed,
+        retryable — see the class docstring) on the first violation.
+        """
+
+        def corrupt(detail: str) -> None:
+            raise ArtifactCorruptError(
+                f"CSR invariant violated: {detail} "
+                f"(num_nodes={self.num_nodes}, store={self.store!r})"
+            )
+
+        indptr, indices = self.indptr, self.indices
+        total = int(indices.size)
+        if int(indptr[0]) != 0:
+            corrupt(f"indptr[0] == {int(indptr[0])}, expected 0")
+        if int(indptr[-1]) != total:
+            corrupt(
+                f"indptr[-1] == {int(indptr[-1])}, expected len(indices) "
+                f"== {total}"
+            )
+        if np.any(np.diff(indptr) < 0):
+            position = int(np.argmax(np.diff(indptr) < 0))
+            corrupt(f"indptr decreases at node {position}")
+        for lo in range(0, total, chunk_size):
+            hi = min(lo + chunk_size, total)
+            window = np.asarray(indices[lo:hi], dtype=np.int64)
+            if window.size == 0:
+                continue
+            low, high = int(window.min()), int(window.max())
+            if low < 0 or high >= self._num_nodes:
+                corrupt(
+                    f"indices[{lo}:{hi}] contains {low if low < 0 else high}, "
+                    f"outside [0, {self._num_nodes})"
+                )
+            if check_sorted_rows:
+                # Include the last entry of the previous window so pairs
+                # spanning a chunk boundary are checked too.
+                prev = (
+                    np.asarray(indices[lo - 1 : lo], dtype=np.int64)
+                    if lo
+                    else window[:0]
+                )
+                joined = np.concatenate([prev, window]) if lo else window
+                drops = np.flatnonzero(joined[1:] <= joined[:-1]) + (lo - 1 if lo else 0) + 1
+                if drops.size:
+                    # A non-increase is legal exactly at a row start.
+                    starts = np.searchsorted(indptr, drops, side="right")
+                    is_row_start = indptr[starts - 1] == drops
+                    bad = drops[~np.asarray(is_row_start)]
+                    if bad.size:
+                        position = int(bad[0])
+                        corrupt(
+                            f"row containing indices[{position}] is not "
+                            "strictly increasing (unsorted or duplicate "
+                            "neighbors)"
+                        )
+        symmetry_checked = 0
+        if symmetry_samples > 0 and total:
+            rng = np.random.default_rng(seed)
+            slots = rng.integers(0, total, size=min(symmetry_samples, total))
+            rows = np.searchsorted(indptr, slots, side="right") - 1
+            for slot, u in zip(slots.tolist(), rows.tolist()):
+                v = int(indices[slot])
+                row_v = indices[indptr[v] : indptr[v + 1]]
+                if not np.any(np.asarray(row_v) == u):
+                    corrupt(
+                        f"edge ({u}, {v}) has no reverse entry — the "
+                        "adjacency is not symmetric"
+                    )
+                symmetry_checked += 1
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "checked_sorted_rows": bool(check_sorted_rows),
+            "symmetry_samples": symmetry_checked,
+            "store": self.store,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - repr cosmetics
         return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

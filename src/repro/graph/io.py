@@ -32,6 +32,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.durability import verify_artifact, write_npz
 from repro.exceptions import DatasetError
 from repro.graph.cleaning import largest_connected_component_csr, simplify_osn_graph
 from repro.graph.csr import CSRGraph
@@ -253,6 +254,11 @@ def load_edge_list_csr(
             "(or an explicit cache path) so there is a sidecar to map"
         )
     if cache_path is not None and cache_path.exists():
+        # Integrity before freshness: a torn or bit-flipped sidecar
+        # raises a typed ArtifactCorruptError here (see the corrupt-
+        # artifact runbook in docs/operations.md) instead of being
+        # np.load-ed — or worse, memory-mapped — as garbage.
+        verify_artifact(cache_path)
         with np.load(cache_path) as payload:
             # The sidecar records whether the component cleaner ran and
             # a fingerprint of the source bytes it was built from; a
@@ -281,14 +287,19 @@ def load_edge_list_csr(
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
         mtime_ns, size = _source_fingerprint(path)
-        np.savez(
+        # Atomic, checksummed sidecar write (scratch + fsync + rename):
+        # a writer killed mid-write leaves any existing sidecar intact
+        # instead of a torn archive the mmap path would try to attach.
+        write_npz(
             cache_path,
-            node_ids=np.asarray(csr.node_ids),
-            indptr=csr.indptr,
-            indices=csr.indices,
-            cleaned=np.bool_(keep_largest_component),
-            source_mtime_ns=np.int64(mtime_ns),
-            source_size=np.int64(size),
+            dict(
+                node_ids=np.asarray(csr.node_ids),
+                indptr=csr.indptr,
+                indices=csr.indices,
+                cleaned=np.bool_(keep_largest_component),
+                source_mtime_ns=np.int64(mtime_ns),
+                source_size=np.int64(size),
+            ),
         )
     if mmap:
         return _attach_sidecar_mmap(cache_path)

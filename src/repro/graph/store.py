@@ -69,6 +69,13 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.durability import (
+    JOURNAL_SUFFIX,
+    SCRATCH_PATTERN,
+    journal_is_committed,
+    verify_artifact,
+)
+from repro.durability import write_npz as _write_checksummed_npz
 from repro.exceptions import ConfigurationError, StoreAttachError
 from repro.graph.csr import CSRGraph
 from repro.resilience.faults import fire
@@ -424,20 +431,16 @@ def _attach_mmap(handle: CSRHandle) -> CSRGraph:
 
 
 def _write_npz(path: Path, payload: Dict[str, np.ndarray]) -> Path:
-    """Write *payload* as an uncompressed ``.npz``, atomically.
+    """Write *payload* as a checksummed uncompressed ``.npz``, atomically.
 
-    Temp file + rename, so a concurrent reader never sees a
-    half-written archive.
+    Delegates to :func:`repro.durability.write_npz`: pid-stamped scratch
+    file in the same directory, blake2b manifest footer, fsync, rename —
+    a concurrent reader never sees a half-written archive, a crashed
+    writer never corrupts an existing one, and the attach paths verify
+    the manifest before mapping a byte.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
-    scratch = path.with_name(f".{path.name}.{uuid.uuid4().hex}.tmp")
-    try:
-        with open(scratch, "wb") as sink:
-            np.savez(sink, **payload)
-        os.replace(scratch, path)
-    finally:
-        scratch.unlink(missing_ok=True)
-    return path
+    return _write_checksummed_npz(path, payload)
 
 
 def save_csr_npz(csr: CSRGraph, path: Union[str, Path]) -> Path:
@@ -461,7 +464,9 @@ def load_csr_npz(path: Union[str, Path], mmap: bool = True) -> CSRGraph:
     """
     path = Path(path)
     if mmap:
+        verify_artifact(path)
         return _attach_mmap(CSRHandle("mmap", str(path), tuple(npz_array_specs(path))))
+    verify_artifact(path)
     with np.load(path) as payload:
         arrays = {key: np.ascontiguousarray(payload[key]) for key in payload.files}
     return CSRGraph(
@@ -704,15 +709,23 @@ def sweep_orphan_spills(
     The opt-in janitor for ``$REPRO_MMAP_DIR`` (exposed as ``repro-osn
     sweep-spills``): ownership tracking reclaims spills on clean exits,
     but a SIGKILLed run leaves its files behind with nobody holding a
-    token.  A ``.npz`` under *directory* (default
-    :func:`default_mmap_dir`) is an orphan when
+    token.  Under *directory* (default :func:`default_mmap_dir`),
 
-    * its name embeds a spilling pid that is no longer alive, or
-    * it embeds no pid (hand-named spills, pre-tracking leftovers) and
-      *max_age_seconds* is given and its mtime is older than that;
+    * a ``.npz`` spill is an orphan when its name embeds a spilling pid
+      that is no longer alive, or when it embeds no pid (hand-named
+      spills, pre-tracking leftovers), *max_age_seconds* is given, and
+      its mtime is older than that;
+    * an atomic-write scratch file (``.<name>.pid<pid>.<uuid>.tmp`` —
+      the only garbage the durability layer's write protocol can leave)
+      is an orphan when its writer pid is dead — that covers sidecar,
+      checkpoint and snapshot temps alike;
+    * an experiment journal (``*.journal.jsonl``) is an orphan only
+      when it recorded a ``commit`` — its run completed and delivered.
+      **Uncommitted journals are never swept**: they are the resume
+      state of a crashed sweep, exactly what ``--resume`` needs.
 
-    files this process currently owns a token for are never touched,
-    and neither are pid-less files when no age bound was passed (the
+    Files this process currently owns a token for are never touched,
+    and neither are pid-less spills when no age bound was passed (the
     sweep refuses to guess).  ``dry_run=True`` reports without
     deleting.
     """
@@ -722,19 +735,29 @@ def sweep_orphan_spills(
     tracked = {str(Path(path)) for path in _TRACKED_SPILLS.keys()}
     victims: List[Path] = []
     now = time.time()
-    for path in sorted(target.glob("*.npz")):
-        if str(path) in tracked:
+    for path in sorted(target.iterdir()):
+        if str(path) in tracked or not path.is_file():
             continue
-        pid = _spill_owner_pid(path.name)
-        if pid is not None:
+        name = path.name
+        scratch = SCRATCH_PATTERN.match(name)
+        if scratch is not None:
+            pid = int(scratch.group("pid"))
             orphaned = pid != os.getpid() and not _pid_alive(pid)
-        elif max_age_seconds is not None:
-            try:
-                orphaned = (now - path.stat().st_mtime) > max_age_seconds
-            except FileNotFoundError:  # pragma: no cover - raced deletion
-                continue
+        elif name.endswith(JOURNAL_SUFFIX):
+            orphaned = journal_is_committed(path)
+        elif name.endswith(".npz"):
+            pid = _spill_owner_pid(name)
+            if pid is not None:
+                orphaned = pid != os.getpid() and not _pid_alive(pid)
+            elif max_age_seconds is not None:
+                try:
+                    orphaned = (now - path.stat().st_mtime) > max_age_seconds
+                except FileNotFoundError:  # pragma: no cover - raced deletion
+                    continue
+            else:
+                orphaned = False
         else:
-            orphaned = False
+            continue
         if orphaned:
             victims.append(path)
             if not dry_run:
@@ -802,6 +825,16 @@ def attach_csr(handle: CSRHandle) -> CSRGraph:
     fire("store.attach", location=handle.location, store=handle.store)
     if handle.store == "shm":
         return _attach_shm(handle)
+    # Verify the sidecar's manifest footer *before* memory-mapping a
+    # byte: a torn or bit-flipped spill raises a typed (retryable)
+    # ArtifactCorruptError instead of being silently walked.  Mode via
+    # REPRO_VERIFY_ARTIFACTS (full | sampled | off).  A *missing*
+    # sidecar is an attach race, not corruption — fall through so the
+    # attach raises its usual retryable StoreAttachError.
+    try:
+        verify_artifact(handle.location)
+    except FileNotFoundError:
+        pass
     return _attach_mmap(handle)
 
 

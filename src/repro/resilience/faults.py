@@ -31,6 +31,12 @@ Sites currently wired (grep for ``fire(`` to audit):
                           :class:`repro.service.core.EstimationService`
 ``batcher.flush``         :class:`repro.service.batcher.MicroBatcher` flushes
 ``worker.cell``           :func:`repro.experiments.runner` pool workers, per cell
+``artifact.verify``       :func:`repro.durability.verify_artifact` manifest
+                          checks on every checksummed-``.npz`` open
+``journal.append``        :class:`repro.durability.ExperimentJournal` WAL
+                          appends, per completed cell
+``snapshot.write``        :func:`repro.durability.write_blob` — the answer-cache
+                          snapshot path in :mod:`repro.service.core`
 ========================= ====================================================
 
 Cross-process fire budgets
@@ -54,7 +60,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from repro.exceptions import ConfigurationError, StoreAttachError
+from repro.exceptions import (
+    ArtifactCorruptError,
+    ConfigurationError,
+    StoreAttachError,
+)
 from repro.utils.rng import derive_seed
 
 #: The named injection points library code exposes.
@@ -63,6 +73,9 @@ FAULT_SITES: Tuple[str, ...] = (
     "fleet.run",
     "batcher.flush",
     "worker.cell",
+    "artifact.verify",
+    "journal.append",
+    "snapshot.write",
 )
 
 #: What a spec can do when it fires.
@@ -88,14 +101,19 @@ class InjectedFaultError(RuntimeError):
 _ERROR_TYPES: Dict[str, type] = {
     "InjectedFaultError": InjectedFaultError,
     "StoreAttachError": StoreAttachError,
+    "ArtifactCorruptError": ArtifactCorruptError,
     "TimeoutError": TimeoutError,
     "OSError": OSError,
 }
 
 #: Default exception per site when ``exc=`` is omitted: attach faults
-#: must be *retryable* store errors (that is the policy under test);
+#: must be *retryable* store errors and verification faults must be
+#: *retryable* corruption errors (those are the policies under test);
 #: everywhere else simulates an unexpected crash.
-_DEFAULT_EXC = {"store.attach": "StoreAttachError"}
+_DEFAULT_EXC = {
+    "store.attach": "StoreAttachError",
+    "artifact.verify": "ArtifactCorruptError",
+}
 
 
 @dataclass(frozen=True)
@@ -354,8 +372,8 @@ class FaultInjector:
             f"spec {spec_index}{detail})"
         )
         exc_type = spec.exception_type()
-        if exc_type is StoreAttachError:
-            raise StoreAttachError(message, location=context.get("location"))
+        if exc_type in (StoreAttachError, ArtifactCorruptError):
+            raise exc_type(message, location=context.get("location"))
         raise exc_type(message)
 
 

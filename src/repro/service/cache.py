@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.utils.validation import check_non_negative_int
 
@@ -121,6 +121,30 @@ class AnswerCache:
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def export_entries(self) -> List[Tuple[CacheKey, object]]:
+        """Every entry in LRU order (oldest first) — the snapshot payload.
+
+        A consistent point-in-time copy under the cache lock; replaying
+        it through :meth:`load_entries` reproduces both the contents
+        and the eviction order.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
+    def load_entries(self, entries: List[Tuple[CacheKey, object]]) -> int:
+        """Repopulate from a snapshot; returns how many entries landed.
+
+        Entries are inserted in the given (oldest-first) order so LRU
+        recency survives the restart; overflow beyond ``max_size`` is
+        evicted exactly as live puts would.  Counters are untouched —
+        a warm restart starts its hit-rate accounting fresh.
+        """
+        loaded = 0
+        for key, value in entries:
+            self.put(tuple(key), value)
+            loaded += 1
+        return loaded
 
     def invalidate(self) -> int:
         """Drop every entry (graph swap); returns how many were dropped.

@@ -46,6 +46,14 @@ class ServiceConfig:
     * ``faults`` — a :class:`repro.resilience.FaultPlan` string
       (validated eagerly) installed at startup for chaos runs; the
       ``REPRO_FAULTS`` environment variable is the env-only equivalent.
+
+    The durability knobs:
+
+    * ``snapshot_path`` — where the answer cache is checkpointed for
+      warm restarts (atomic, checksummed; loaded back at boot when the
+      graph fingerprint matches).  ``None`` disables snapshots.
+    * ``snapshot_interval_ms`` — the periodic snapshot timer (the
+      SIGKILL-survival story; graceful SIGTERM snapshots regardless).
     """
 
     dataset: str = "facebook"
@@ -65,6 +73,8 @@ class ServiceConfig:
     breaker_threshold: int = 3
     breaker_cooldown_ms: float = 5000.0
     faults: Optional[str] = None
+    snapshot_path: Optional[str] = None
+    snapshot_interval_ms: float = 30000.0
 
     def __post_init__(self) -> None:
         if self.dataset not in DATASET_SPECS:
@@ -98,6 +108,7 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"breaker_cooldown_ms must be >= 0, got {self.breaker_cooldown_ms}"
             )
+        check_positive(self.snapshot_interval_ms, "snapshot_interval_ms")
         if self.faults is not None:
             # Parse eagerly: a typo'd fault plan should fail at flag
             # time, not after the graph has been built and published.
@@ -112,6 +123,10 @@ class ServiceConfig:
     @property
     def breaker_cooldown_seconds(self) -> float:
         return self.breaker_cooldown_ms / 1000.0
+
+    @property
+    def snapshot_interval_seconds(self) -> float:
+        return self.snapshot_interval_ms / 1000.0
 
 
 __all__ = ["ServiceConfig", "TRANSPORTS"]

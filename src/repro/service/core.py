@@ -33,9 +33,12 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Union
 
+from repro.durability import artifact_counters, graph_fingerprint, read_blob, write_blob
 from repro.exceptions import (
+    ArtifactCorruptError,
     CircuitOpenError,
     ConfigurationError,
     DeadlineExceededError,
@@ -201,6 +204,15 @@ class EstimationService:
         version-matched stale cache answers flagged ``degraded: true``
         when any exist, or rejected with
         :class:`~repro.exceptions.CircuitOpenError` (HTTP 503).
+    snapshot_path:
+        Optional path for **warm restarts**: :meth:`save_snapshot`
+        checkpoints the answer cache there (a checksummed, atomically
+        written blob — :mod:`repro.durability.snapshot`), the HTTP
+        layer snapshots on a timer and on graceful shutdown, and the
+        constructor loads a snapshot back when its graph fingerprint
+        matches the serving graph — so a restarted service answers its
+        working set from cache instead of re-walking it.  A corrupt or
+        mismatched snapshot costs a cold cache, never a wrong answer.
     """
 
     def __init__(
@@ -215,6 +227,7 @@ class EstimationService:
         name: str = "graph",
         breaker_threshold: int = 3,
         breaker_cooldown_seconds: float = 5.0,
+        snapshot_path: Optional[Union[str, Path]] = None,
     ) -> None:
         validate_graph_store(graph_store)
         check_positive_int(default_repetitions, "default_repetitions")
@@ -237,11 +250,20 @@ class EstimationService:
         self.walk_seconds = 0.0
         self.degraded_served = 0
         self.deadline_misses = 0
+        # durability accounting (the /stats "durability" block)
+        self.snapshot_path = Path(snapshot_path) if snapshot_path is not None else None
+        self.snapshots_written = 0
+        self.snapshot_failures = 0
+        self.snapshot_loaded_entries = 0
+        self.snapshot_load_error: Optional[str] = None
+        self._last_snapshot_at: Optional[float] = None
         self._started_at = time.monotonic()
         self._install_graph(graph, algorithms)
         if default_burn_in is None:
             default_burn_in = recommended_burn_in(self._csr, rng=0)
         self.default_burn_in = int(default_burn_in)
+        if self.snapshot_path is not None and self.snapshot_path.exists():
+            self.load_snapshot()
 
     # ------------------------------------------------------------------
     # graph lifecycle
@@ -317,11 +339,94 @@ class EstimationService:
                 old.unlink()
             return self._graph_version
 
+    # ------------------------------------------------------------------
+    # warm-restart snapshots
+    # ------------------------------------------------------------------
+    def graph_fingerprint(self) -> str:
+        """Content fingerprint of the serving graph (the snapshot key)."""
+        return graph_fingerprint(self._csr)
+
+    def save_snapshot(self) -> bool:
+        """Checkpoint the answer cache to :attr:`snapshot_path`.
+
+        Atomic and checksummed (:func:`repro.durability.write_blob`), so
+        a crash mid-snapshot leaves the previous one intact.  Failures
+        are counted, never raised — losing a snapshot degrades the next
+        restart to a cold cache, which must not take the live service
+        down with it.  Returns whether a snapshot was written.
+        """
+        if self.snapshot_path is None:
+            return False
+        payload = {
+            "format": 1,
+            "service": self.name,
+            "graph_fingerprint": self.graph_fingerprint(),
+            "graph_version": self._graph_version,
+            "entries": self._cache.export_entries(),
+        }
+        try:
+            write_blob(self.snapshot_path, payload)
+        except Exception as exc:
+            self.snapshot_failures += 1
+            self.snapshot_load_error = f"write failed: {exc}"
+            return False
+        self.snapshots_written += 1
+        self._last_snapshot_at = time.monotonic()
+        return True
+
+    def load_snapshot(self) -> int:
+        """Warm the cache from :attr:`snapshot_path`; returns entries loaded.
+
+        The snapshot must have been taken against a graph with the same
+        content fingerprint — the version *number* restarts at 1 with
+        every process, so loaded keys are re-stamped with the current
+        version (and the answers' ``graph_version`` field with them).
+        A corrupt, unreadable, or fingerprint-mismatched snapshot is
+        recorded and skipped: a cold cache, never a poisoned one.
+        """
+        if self.snapshot_path is None:
+            return 0
+        try:
+            payload = read_blob(self.snapshot_path)
+        except ArtifactCorruptError as exc:
+            self.snapshot_load_error = str(exc)
+            return 0
+        if not isinstance(payload, dict) or payload.get("format") != 1:
+            self.snapshot_load_error = (
+                f"snapshot {self.snapshot_path} has an unknown payload format"
+            )
+            return 0
+        expected = self.graph_fingerprint()
+        if payload.get("graph_fingerprint") != expected:
+            self.snapshot_load_error = (
+                f"snapshot {self.snapshot_path} was taken against a different "
+                "graph (fingerprint mismatch); starting cold"
+            )
+            return 0
+        entries = []
+        for key, answer in payload.get("entries", []):
+            # Re-stamp with this process's graph version: the content is
+            # identical (fingerprint-checked), only the counter differs.
+            rekeyed = (self._graph_version,) + tuple(key)[1:]
+            if isinstance(answer, EstimateAnswer):
+                answer = replace(answer, graph_version=self._graph_version)
+            entries.append((rekeyed, answer))
+        self.snapshot_loaded_entries = self._cache.load_entries(entries)
+        self.snapshot_load_error = None
+        return self.snapshot_loaded_entries
+
+    def last_snapshot_age_seconds(self) -> Optional[float]:
+        """Seconds since the last successful snapshot (None if never)."""
+        if self._last_snapshot_at is None:
+            return None
+        return time.monotonic() - self._last_snapshot_at
+
     def close(self) -> None:
-        """Release the buffer-store publication (idempotent)."""
+        """Snapshot (when configured) and release the publication (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        self.save_snapshot()
         if self._publication is not None:
             self._publication.close()
             self._publication.unlink()
@@ -596,11 +701,14 @@ class EstimationService:
         queue depth (admission control lives in the batcher).
         """
         open_breakers = self.breakers.open_algorithms()
-        return {
+        report: Dict[str, object] = {
             "status": "degraded" if open_breakers else "ok",
             "graph_version": self._graph_version,
             "open_breakers": open_breakers,
         }
+        if self.snapshot_path is not None:
+            report["last_snapshot_age_seconds"] = self.last_snapshot_age_seconds()
+        return report
 
     def stats(self) -> Dict[str, object]:
         """Runtime snapshot for the ``/stats`` endpoint."""
@@ -635,6 +743,19 @@ class EstimationService:
                     if active_injector() is not None
                     else "no faults"
                 ),
+            },
+            "durability": {
+                "snapshot_path": (
+                    str(self.snapshot_path)
+                    if self.snapshot_path is not None
+                    else None
+                ),
+                "snapshots_written": self.snapshots_written,
+                "snapshot_failures": self.snapshot_failures,
+                "snapshot_loaded_entries": self.snapshot_loaded_entries,
+                "snapshot_load_error": self.snapshot_load_error,
+                "last_snapshot_age_seconds": self.last_snapshot_age_seconds(),
+                "artifacts": artifact_counters(),
             },
             "uptime_seconds": time.monotonic() - self._started_at,
             "algorithms": list(self._suite),

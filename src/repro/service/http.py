@@ -50,8 +50,10 @@ status     meaning                                      client action
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import math
+import signal
 from typing import Dict, Optional, Tuple
 
 from repro.exceptions import (
@@ -310,6 +312,7 @@ def run_server(
     window_seconds: float = 0.005,
     max_in_flight: Optional[int] = None,
     deadline_ms: Optional[float] = None,
+    snapshot_interval_seconds: Optional[float] = None,
 ) -> None:
     """Run the service until interrupted (the ``repro-osn serve`` core).
 
@@ -318,6 +321,14 @@ def run_server(
     back silently — the container images this repo targets ship
     without either extra, so ``auto`` normally lands on the stdlib
     server.
+
+    The stdlib transport installs ``SIGTERM`` / ``SIGINT`` handlers for
+    **graceful shutdown**: stop accepting connections, drain the
+    micro-batch window (in-flight queries get their answers), snapshot
+    the answer cache, exit 0.  A ``SIGKILL`` skips all of that and the
+    next boot warm-starts from the last periodic snapshot instead —
+    *snapshot_interval_seconds* (with the service's ``snapshot_path``)
+    enables that timer.
     """
     if transport not in ("auto", "fastapi", "stdlib"):
         raise ConfigurationError(
@@ -358,12 +369,59 @@ def run_server(
             f"(stdlib transport, graph version {service.graph_version})",
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+        installed_signals = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop_requested.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                continue  # e.g. non-main thread or unsupported platform
+            installed_signals.append(signum)
+
+        async def _snapshot_timer() -> None:
+            while True:
+                await asyncio.sleep(snapshot_interval_seconds)
+                # The engine swallows and counts write failures; a full
+                # disk must not kill the serving loop.
+                await loop.run_in_executor(None, service.save_snapshot)
+
+        timer_task = (
+            asyncio.create_task(_snapshot_timer())
+            if snapshot_interval_seconds is not None
+            and service.snapshot_path is not None
+            else None
+        )
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop_requested.wait())
         try:
-            await server.serve_forever()
-        except asyncio.CancelledError:  # pragma: no cover - signal path
-            pass
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if stop_requested.is_set():
+                print(
+                    "repro-osn serve: shutdown signal received; draining "
+                    "in-flight queries",
+                    flush=True,
+                )
         finally:
+            for task in (timer_task, serve_task, stop_task):
+                if task is not None:
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+            for signum in installed_signals:
+                loop.remove_signal_handler(signum)
+            # stop() flushes the batch window, so every admitted query
+            # is answered before the snapshot below captures the cache.
             await server.stop()
+            if service.save_snapshot():
+                print(
+                    f"repro-osn serve: snapshot written to "
+                    f"{service.snapshot_path}",
+                    flush=True,
+                )
+            print("repro-osn serve: shutdown complete", flush=True)
 
     asyncio.run(_serve())
 

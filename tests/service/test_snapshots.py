@@ -1,0 +1,162 @@
+"""Warm restarts: the answer-cache snapshot round trip.
+
+The serving-layer leg of the durability story: a service with a
+``snapshot_path`` checkpoints its cache (atomic, checksummed) on
+``close()`` and on the periodic timer, and a fresh service booted
+against the *same graph content* replays it — the first repeated query
+after a restart is a cache hit, bit-identical to the pre-crash answer.
+A corrupt or foreign snapshot costs a cold cache, never a poisoned one.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.labeling import assign_binary_labels
+from repro.datasets.synthetic import powerlaw_cluster_osn
+from repro.service import EstimationService
+
+BURN_IN = 5  # matches the conftest fixtures
+
+
+def build_serving_graph(rng: int = 7):
+    graph = powerlaw_cluster_osn(250, 5, 0.3, rng=rng)
+    assign_binary_labels(graph, 0.5, labels=(1, 2), rng=rng + 1)
+    return graph
+
+
+def _query(**overrides):
+    fields = dict(
+        algorithm="NeighborSample-HH",
+        t1=1,
+        t2=2,
+        budget=30,
+        seed=7,
+        repetitions=6,
+        burn_in=BURN_IN,
+    )
+    fields.update(overrides)
+    return fields
+
+
+def _service(graph, snapshot_path):
+    return EstimationService(
+        graph,
+        graph_store="ram",
+        default_repetitions=6,
+        default_burn_in=BURN_IN,
+        snapshot_path=snapshot_path,
+        name="test-snap",
+    )
+
+
+class TestSnapshotRoundTrip:
+    def test_close_snapshots_and_restart_serves_from_cache(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        first = _service(build_serving_graph(), snap)
+        warm = first.estimate(_query())
+        assert not warm.cached
+        first.close()
+        assert snap.exists()
+        assert first.snapshots_written >= 1
+
+        # Same graph content (same seeds) => fingerprint matches.
+        second = _service(build_serving_graph(), snap)
+        try:
+            assert second.snapshot_loaded_entries == 1
+            assert second.snapshot_load_error is None
+            answer = second.estimate(_query())
+            assert answer.cached
+            assert answer.estimates == warm.estimates
+            assert answer.api_calls == warm.api_calls
+        finally:
+            second.close()
+
+    def test_save_snapshot_is_explicit_and_counted(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        service = _service(build_serving_graph(), snap)
+        try:
+            service.estimate(_query())
+            assert service.save_snapshot()
+            assert service.snapshots_written == 1
+            assert service.last_snapshot_age_seconds() is not None
+            assert service.last_snapshot_age_seconds() >= 0.0
+        finally:
+            service.close()
+
+    def test_graph_mismatch_cold_starts(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        first = _service(build_serving_graph(), snap)
+        first.estimate(_query())
+        first.close()
+
+        other = _service(build_serving_graph(rng=8), snap)
+        try:
+            assert other.snapshot_loaded_entries == 0
+            assert "different graph" in other.snapshot_load_error
+            # Still serves; the query just walks.
+            assert not other.estimate(_query()).cached
+        finally:
+            other.snapshot_path = None  # keep the mismatch evidence
+            other.close()
+
+    def test_corrupt_snapshot_cold_starts(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        first = _service(build_serving_graph(), snap)
+        first.estimate(_query())
+        first.close()
+        raw = bytearray(snap.read_bytes())
+        raw[-3] ^= 0xFF
+        snap.write_bytes(bytes(raw))
+
+        second = _service(build_serving_graph(), snap)
+        try:
+            assert second.snapshot_loaded_entries == 0
+            assert second.snapshot_load_error is not None
+            assert not second.estimate(_query()).cached
+        finally:
+            second.snapshot_path = None
+            second.close()
+
+    def test_snapshot_failures_never_raise(self, tmp_path):
+        # Point the snapshot at an unwritable location: save_snapshot
+        # must report False and count the failure, not kill the server.
+        service = _service(
+            build_serving_graph(), tmp_path / "missing-dir" / "cache.snap"
+        )
+        try:
+            service.estimate(_query())
+            assert service.save_snapshot() is False
+            assert service.snapshot_failures == 1
+        finally:
+            service.snapshot_path = None
+            service.close()
+
+
+class TestDurabilityReporting:
+    def test_stats_and_health_carry_the_durability_block(self, tmp_path):
+        snap = tmp_path / "cache.snap"
+        service = _service(build_serving_graph(), snap)
+        try:
+            service.estimate(_query())
+            service.save_snapshot()
+            durability = service.stats()["durability"]
+            assert durability["snapshot_path"] == str(snap)
+            assert durability["snapshots_written"] == 1
+            assert durability["snapshot_failures"] == 0
+            assert durability["last_snapshot_age_seconds"] >= 0.0
+            assert set(durability["artifacts"]) == {"verified", "failed", "skipped"}
+            assert "last_snapshot_age_seconds" in service.health()
+        finally:
+            service.close()
+
+    def test_health_omits_snapshot_age_when_snapshots_are_off(self, tmp_path):
+        service = EstimationService(
+            build_serving_graph(),
+            graph_store="ram",
+            default_repetitions=6,
+            default_burn_in=BURN_IN,
+            name="test-nosnap",
+        )
+        try:
+            assert "last_snapshot_age_seconds" not in service.health()
+        finally:
+            service.close()

@@ -150,3 +150,59 @@ class TestGraphStoreFlag:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "Reproduction of paper Table 4" in captured
+
+
+class TestFsckCommand:
+    def _spill(self, tmp_path, name="graph.npz"):
+        import numpy as np
+
+        from repro.durability import write_npz
+        from repro.graph.csr import CSRGraph
+
+        n = 64
+        edges = np.column_stack([np.arange(n), (np.arange(n) + 1) % n])
+        graph = CSRGraph.from_edge_array(edges, num_nodes=n)
+        target = tmp_path / name
+        write_npz(target, {"indptr": graph.indptr, "indices": graph.indices})
+        return target
+
+    def test_fsck_passes_an_intact_artifact(self, tmp_path, capsys):
+        target = self._spill(tmp_path)
+        exit_code = main(["fsck", str(target)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.startswith("ok") and str(target) in out
+
+    def test_fsck_scans_directories(self, tmp_path, capsys):
+        self._spill(tmp_path, "a.npz")
+        self._spill(tmp_path, "b.npz")
+        exit_code = main(["fsck", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("ok      ") == 2
+
+    def test_fsck_flags_a_bit_flipped_artifact(self, tmp_path, capsys):
+        target = self._spill(tmp_path)
+        raw = bytearray(target.read_bytes())
+        raw[200] ^= 0xFF
+        target.write_bytes(bytes(raw))
+        exit_code = main(["fsck", str(target)])
+        out = capsys.readouterr().out
+        assert exit_code == 1
+        assert f"CORRUPT {target}" in out
+
+    def test_fsck_flags_structurally_broken_csr(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.durability import write_npz
+
+        # Checksums match the bytes, but the bytes are not a valid CSR:
+        # an out-of-range neighbor index.  Structure checking catches it.
+        indptr = np.array([0, 2, 4], dtype=np.int64)
+        indices = np.array([1, 9999, 0, 0], dtype=np.int64)
+        target = tmp_path / "broken.npz"
+        write_npz(target, {"indptr": indptr, "indices": indices})
+        assert main(["fsck", str(target)]) == 1
+        assert "CORRUPT" in capsys.readouterr().out
+        # --no-structure trusts the checksums alone and passes it.
+        assert main(["fsck", "--no-structure", str(target)]) == 0
