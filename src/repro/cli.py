@@ -79,7 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKENDS,
         default="python",
-        help="walk backend: dict-based reference engine or vectorized CSR arrays",
+        help="walk backend: dict-based reference engine, vectorized CSR "
+        "arrays, or numba-compiled kernels (bit-identical to csr; numpy "
+        "fallback when numba is absent)",
     )
 
     table = subparsers.add_parser("table", help="reproduce a paper NRMSE table")
@@ -100,7 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKENDS,
         default="python",
-        help="walk backend for the proposed algorithms",
+        help="walk backend for the proposed algorithms ('compiled' runs "
+        "numba-njit fleet kernels, bit-identical to 'csr')",
     )
     table.add_argument(
         "--execution",
@@ -164,7 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend",
         choices=BACKENDS,
         default="python",
-        help="walk backend for the proposed algorithms",
+        help="walk backend for the proposed algorithms ('compiled' runs "
+        "numba-njit fleet kernels, bit-identical to 'csr')",
     )
     figure.add_argument(
         "--execution",
@@ -261,6 +265,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="buffer store the graph is published into at startup: 'shm' "
         "(fits-in-RAM, fastest), 'mmap' (out-of-core sidecar), 'ram' "
         "(no publication; dev only)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("csr", "compiled"),
+        default="csr",
+        help="fleet tier the server walks with: 'csr' (vectorized numpy) "
+        "or 'compiled' (numba-njit kernels; numpy fallback with a typed "
+        "warning when numba is absent) — answers are bit-identical",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
@@ -615,6 +627,7 @@ def _command_serve(args) -> int:
         scale=args.scale,
         seed=args.seed,
         graph_store=args.graph_store,
+        backend=args.backend,
         host=args.host,
         port=args.port,
         batch_window_ms=args.batch_window_ms,
@@ -638,6 +651,7 @@ def _command_serve(args) -> int:
     service = EstimationService(
         dataset.graph,
         graph_store=config.graph_store,
+        backend=config.backend,
         default_repetitions=config.repetitions,
         default_burn_in=config.burn_in,
         cache_size=config.cache_size,

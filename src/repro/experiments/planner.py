@@ -84,6 +84,13 @@ class PrefixFleet:
     Hand-written runner callables cannot vectorize and raise
     :class:`ConfigurationError`, exactly like the historical inline
     check in ``run_trials_prefix``.
+
+    *engine* selects the fleet execution tier (``"numpy"`` default,
+    ``"compiled"`` for the numba kernels).  It is deliberately **not**
+    part of :class:`FleetSpec`: the engines are bit-identical from the
+    same seed, so a fleet walked by either engine answers the same
+    queries with the same bits — answer caches and fleet sharing stay
+    engine-agnostic.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class PrefixFleet:
         runner: AlgorithmRunner,
         spec: FleetSpec,
         max_budget: int,
+        engine: str = "numpy",
     ) -> None:
         if not isinstance(runner, (ProposedRunner, BaselineRunner)):
             raise ConfigurationError(
@@ -114,10 +122,17 @@ class PrefixFleet:
                 spec.repetitions,
                 burn_in=spec.burn_in,
                 rng=rng,
+                engine=engine,
             )
         else:
             self._fleet = run_fleet_walk(
-                csr, self.max_budget, spec.repetitions, spec.burn_in, rng, "simple"
+                csr,
+                self.max_budget,
+                spec.repetitions,
+                spec.burn_in,
+                rng,
+                "simple",
+                engine=engine,
             )
 
     @property

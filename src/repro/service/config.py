@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.samplers.csr_backend import validate_backend
 from repro.datasets.registry import DATASET_SPECS
 from repro.exceptions import ConfigurationError
 from repro.graph.store import validate_graph_store
@@ -32,6 +33,13 @@ class ServiceConfig:
     memory-mapped sidecar (out-of-core graphs); ``"ram"`` skips
     publication entirely (single-process dev server).  See
     ``docs/scaling-guide.md`` for the trade-off.
+
+    ``backend`` selects the fleet tier the server walks with:
+    ``"csr"`` (default, vectorized numpy) or ``"compiled"`` (numba-njit
+    kernels, falling back to numpy with a typed warning when numba is
+    absent).  The tiers are bit-identical from the same seed, so
+    answers — and the answer cache — are backend-agnostic.
+    ``"python"`` has no fleet engine and is rejected.
 
     The resilience knobs (``docs/operations.md`` is the runbook):
 
@@ -60,6 +68,7 @@ class ServiceConfig:
     scale: float = 0.25
     seed: int = 0
     graph_store: str = "shm"
+    backend: str = "csr"
     host: str = "127.0.0.1"
     port: int = 8000
     batch_window_ms: float = 5.0
@@ -84,6 +93,12 @@ class ServiceConfig:
             )
         check_positive(self.scale, "scale")
         validate_graph_store(self.graph_store)
+        validate_backend(self.backend)
+        if self.backend == "python":
+            raise ConfigurationError(
+                "the estimation service walks vectorized fleets; "
+                "backend must be 'csr' or 'compiled'"
+            )
         if not (0 <= int(self.port) <= 65535):
             raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")
         if self.batch_window_ms < 0:

@@ -55,6 +55,11 @@ from repro.exceptions import (
 )
 from repro.graph.csr import CSRGraph
 from repro.utils.rng import RandomSource, ensure_numpy_rng, ensure_rng
+from repro.walks.compiled import (
+    compiled_node_fleet,
+    pow_like_scalar,
+    resolve_engine,
+)
 from repro.utils.validation import (
     check_in_range,
     check_non_negative_int,
@@ -213,7 +218,12 @@ def kernel_move_probabilities(
     if name == "rcmh":
         if spec.alpha == 0.0:
             return None
-        return np.minimum(1.0, (current_degrees / proposal_degrees) ** spec.alpha)
+        # pow_like_scalar, not `** alpha`: numpy's SIMD pow can be 1 ULP
+        # off libm, which every scalar tier (and the compiled engine)
+        # calls — the bit-exactness contract spans all of them.
+        return np.minimum(
+            1.0, pow_like_scalar(current_degrees / proposal_degrees, spec.alpha)
+        )
     if name == "mdrw":
         worst = int(current_degrees.max(initial=0))
         if worst > spec.max_degree:
@@ -239,7 +249,7 @@ def kernel_stationary_weights(spec: KernelSpec, degrees: np.ndarray) -> np.ndarr
     if name in ("mhrw", "mdrw"):
         return np.ones(degrees.shape, dtype=np.float64)
     if name == "rcmh":
-        return degrees.astype(np.float64) ** (1.0 - spec.alpha)
+        return pow_like_scalar(degrees, 1.0 - spec.alpha)
     if name == "gmd":
         return np.maximum(degrees, spec.delta * spec.max_degree).astype(np.float64)
     return degrees.astype(np.float64)  # simple / non_backtracking
@@ -786,6 +796,17 @@ class BatchedWalkEngine:
         distinct pages fetched exceeds the budget.
     rng:
         Seed / generator (normalised to a numpy generator).
+    engine:
+        ``"numpy"`` (default) steps the fleet with one vectorized numpy
+        pass per transition; ``"compiled"`` runs the numba-njit twin
+        kernels of :mod:`repro.walks.compiled` over chunked pre-drawn
+        uniforms.  Both consume the generator identically, so the two
+        engines are **bit-identical** from the same seed (the
+        differential suite in ``tests/unit/test_compiled_backend.py``
+        pins this).  When numba is missing, ``"compiled"`` falls back
+        to ``"numpy"`` with a
+        :class:`~repro.walks.compiled.CompiledFallbackWarning` — never
+        an import error.
     """
 
     def __init__(
@@ -794,12 +815,14 @@ class BatchedWalkEngine:
         kernel: KernelLike = "simple",
         budget: Optional[int] = None,
         rng: RandomSource = None,
+        engine: str = "numpy",
     ) -> None:
         self.csr = csr
         self.kernel = resolve_kernel_spec(kernel)
         self.kernel_name = self.kernel.name
         self.budget = budget if budget is None else check_non_negative_int(budget, "budget")
         self._nprng = ensure_numpy_rng(rng)
+        self.engine = resolve_engine(engine)
 
     def run(
         self,
@@ -818,11 +841,33 @@ class BatchedWalkEngine:
         starts = current.copy()
 
         tracker = PageBudgetTracker(csr.num_nodes, self.budget)
+        total = burn_in + num_steps
+
+        if self.engine == "compiled":
+            # The compiled kernels walk the whole fleet first; the page
+            # charges are then replayed per step from the trajectory
+            # columns in the exact order the numpy loop issues them, so
+            # a budget crossing raises at the same step either way.
+            trajectories, probes = self._fleet_trajectories(current, total)
+            for step in range(total):
+                tracker.charge_pages(trajectories[:, step])
+                if probes is not None:
+                    tracker.charge_pages(probes[:, step])
+            tracker.charge_pages(trajectories[:, total])
+            nodes = np.ascontiguousarray(trajectories[:, burn_in + 1 :])
+            return BatchedWalkResult(
+                nodes=nodes,
+                degrees=csr.degrees[nodes],
+                start_nodes=starts,
+                tail_nodes=trajectories[:, burn_in].copy(),
+                burn_in=burn_in,
+                charged_calls=tracker.charged,
+            )
+
         nodes = np.empty((num_walkers, num_steps), dtype=np.int64)
         tail = starts.copy()
         previous = np.full(num_walkers, -1, dtype=np.int64)
 
-        total = burn_in + num_steps
         for step in range(total):
             tracker.charge_pages(current)  # fetch pages of current positions
             nxt, probed = self._advance(current, previous)
@@ -876,19 +921,7 @@ class BatchedWalkEngine:
         current = self._draw_starts(num_walkers, start_nodes)
 
         total = burn_in + num_steps
-        trajectories = np.empty((num_walkers, total + 1), dtype=np.int64)
-        trajectories[:, 0] = current
-        probes: Optional[np.ndarray] = None
-        if self.kernel.probes_proposals:
-            probes = np.empty((num_walkers, total), dtype=np.int64)
-        previous = np.full(num_walkers, -1, dtype=np.int64)
-        for step in range(total):
-            nxt, probed = self._advance(current, previous)
-            if probes is not None:
-                probes[:, step] = probed
-            previous = current
-            current = nxt
-            trajectories[:, step + 1] = current
+        trajectories, probes = self._fleet_trajectories(current, total)
 
         result = FleetWalkResult(
             trajectories=trajectories,
@@ -903,6 +936,40 @@ class BatchedWalkEngine:
         return result
 
     # ------------------------------------------------------------------
+    def _fleet_trajectories(
+        self, current: np.ndarray, total: int
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Walk *total* transitions from *current*; return the full record.
+
+        The single seam both engines share: ``trajectories`` is
+        ``(N, total + 1)`` with the start positions in column 0, and
+        ``probes`` is the ``(N, total)`` proposal record for probing
+        kernels (else ``None``).  The compiled engine consumes the
+        generator in chunked pre-drawn blocks that replay the numpy
+        loop's per-step draws bit for bit, so both engines return
+        identical arrays from the same generator state.
+        """
+        num_walkers = int(current.shape[0])
+        trajectories = np.empty((num_walkers, total + 1), dtype=np.int64)
+        trajectories[:, 0] = current
+        probes: Optional[np.ndarray] = None
+        if self.kernel.probes_proposals:
+            probes = np.empty((num_walkers, total), dtype=np.int64)
+        if self.engine == "compiled":
+            compiled_node_fleet(
+                self.csr, self.kernel, self._nprng, current.copy(), trajectories, probes
+            )
+            return trajectories, probes
+        previous = np.full(num_walkers, -1, dtype=np.int64)
+        for step in range(total):
+            nxt, probed = self._advance(current, previous)
+            if probes is not None:
+                probes[:, step] = probed
+            previous = current
+            current = nxt
+            trajectories[:, step + 1] = current
+        return trajectories, probes
+
     def _draw_starts(
         self, num_walkers: int, start_nodes: Optional[Sequence[int]]
     ) -> np.ndarray:
@@ -937,21 +1004,29 @@ class BatchedWalkEngine:
         csr = self.csr
         degrees = csr.degrees[current]
         draws = self._nprng.random(current.size)
+        if self.kernel_name == "non_backtracking":
+            # Exclude the previous node by a swap-with-last draw: sample
+            # an offset over the d−1 allowed slots and, when it lands on
+            # the excluded neighbor, take the last slot instead — a
+            # bijection onto row∖{previous} that needs no redraw loop
+            # (fixed one-draw-per-step consumption, which is what lets
+            # the compiled engine pre-draw its uniforms and stay
+            # bit-identical).  Dead ends (degree 1) and the first step
+            # (previous = −1) fall back to the plain uniform draw, so
+            # backtracking stays the only option at a dead end.
+            eligible = (previous >= 0) & (degrees > 1)
+            span = np.where(eligible, degrees - 1, degrees)
+            offsets = (draws * span).astype(np.int64)
+            np.minimum(offsets, span - 1, out=offsets)
+            rows = csr.indptr[current]
+            nxt = csr.indices[rows + offsets].astype(np.int64)
+            bump = eligible & (nxt == previous)
+            if bump.any():
+                nxt[bump] = csr.indices[rows[bump] + degrees[bump] - 1]
+            return nxt, None
         offsets = (draws * degrees).astype(np.int64)
         np.minimum(offsets, degrees - 1, out=offsets)
         nxt = csr.indices[csr.indptr[current] + offsets].astype(np.int64)
-        if self.kernel_name == "non_backtracking":
-            # Reject candidates equal to the previous node, except at dead
-            # ends (degree 1) where backtracking is the only option.
-            redo = (nxt == previous) & (degrees > 1)
-            while redo.any():
-                where = np.flatnonzero(redo)
-                deg = degrees[where]
-                offs = (self._nprng.random(where.size) * deg).astype(np.int64)
-                np.minimum(offs, deg - 1, out=offs)
-                nxt[where] = csr.indices[csr.indptr[current[where]] + offs]
-                redo[where] = nxt[where] == previous[where]
-            return nxt, None
         if self.kernel_name == "simple":
             return nxt, None
         # Accept/reject baselines: one vectorized accept mask; rejected

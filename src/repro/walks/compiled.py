@@ -1,0 +1,504 @@
+"""Compiled (numba-``njit``) twins of the batched fleet hot loops.
+
+The numpy engines of :mod:`repro.walks.batched` and
+:mod:`repro.walks.line_batched` advance every walker with a handful of
+full-fleet array operations per transition — fast, but each step still
+pays several gathers, temporaries, and Python dispatch.  This module
+holds scalar twin kernels of those loops that run over the raw CSR
+``indptr`` / ``indices`` / ``degrees`` arrays, compiled with numba when
+it is installed and executed as plain Python otherwise (slow but
+identical — the differential suite runs them un-jitted).
+
+**Bit-exact replay contract.**  Both engines draw from the same numpy
+``Generator`` and must consume it identically so a fleet is
+reproducible regardless of engine:
+
+* every numpy-engine step consumes fixed-size ``random(n)`` blocks —
+  an offset block (node walks), a side + offset block pair (line
+  walks), and one accept block for the accept/reject kernels that
+  draw one (``mhrw`` / ``mdrw`` / ``gmd`` / ``rcmh`` with
+  ``alpha > 0``);
+* ``Generator.random((steps, blocks, n))`` fills its output from the
+  underlying bit stream in C order, i.e. exactly the concatenation of
+  the per-step ``random(n)`` calls — so the drivers here pre-draw a
+  chunk of steps at a time and the kernels index ``draws[step, block,
+  walker]``;
+* exclusion draws (non-backtracking, line stage 2) use a
+  *swap-with-last* bijection — draw over the ``d − 1`` allowed slots
+  and bump a collision with the excluded neighbor to the last slot —
+  instead of a data-dependent redraw loop, so consumption per step is
+  fixed in both engines;
+* the accept probabilities mirror
+  :func:`repro.walks.batched.kernel_move_probabilities` operation for
+  operation (including numpy's ``x ** 0.5 -> sqrt`` scalar-power fast
+  path), so the float compares come out bit-identical.
+
+Kernels cannot raise rich exceptions under ``nopython``; they return
+status codes which the drivers convert back to the same
+:class:`~repro.exceptions.WalkError` types the numpy engines raise.
+
+When numba is missing, selecting the compiled engine falls back to the
+numpy engine with a :class:`CompiledFallbackWarning` — never an import
+error — and, because the two engines are bit-identical, the results
+are unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, WalkError
+
+#: Fleet engines selectable on the batched walk engines.
+ENGINES: Tuple[str, ...] = ("numpy", "compiled")
+
+#: Target size (in float64 draws) of one pre-drawn uniform chunk
+#: (~32 MB); chunking keeps memory flat while amortising RNG calls.
+_CHUNK_DOUBLES = 4_000_000
+
+_KERNEL_IDS = {
+    "simple": 0,
+    "non_backtracking": 1,
+    "mhrw": 2,
+    "rcmh": 3,
+    "mdrw": 4,
+    "gmd": 5,
+}
+
+
+class CompiledFallbackWarning(RuntimeWarning):
+    """The compiled engine was requested but numba is not installed.
+
+    The fleet silently runs on the bit-identical numpy engine instead;
+    this warning is the only difference in observable behavior.
+    """
+
+
+try:  # pragma: no cover - exercised via both CI legs
+    from numba import njit as _numba_njit
+
+    _NUMBA_AVAILABLE = True
+except Exception:  # ImportError, or a broken install
+    _numba_njit = None
+    _NUMBA_AVAILABLE = False
+
+
+def numba_available() -> bool:
+    """Whether numba imported, i.e. the compiled engine actually JITs."""
+    return _NUMBA_AVAILABLE
+
+
+def _jit(func):
+    """``numba.njit`` when available, identity otherwise.
+
+    The un-jitted functions are plain nopython-compatible Python, so
+    the differential tests exercise the very same code numba compiles.
+    """
+    if _numba_njit is None:
+        return func
+    return _numba_njit(cache=True)(func)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalise an engine name, falling back when numba is absent.
+
+    Returns ``"numpy"`` or ``"compiled"``; requesting ``"compiled"``
+    without numba installed emits a :class:`CompiledFallbackWarning`
+    and returns ``"numpy"`` (identical results, no JIT speedup).
+    """
+    if engine is None:
+        engine = "numpy"
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown fleet engine {engine!r}; choose one of {', '.join(ENGINES)}"
+        )
+    if engine == "compiled" and not _NUMBA_AVAILABLE:
+        warnings.warn(
+            "numba is not installed; the compiled fleet engine falls back to "
+            "the bit-identical numpy engine (install numba to enable the JIT "
+            "kernels)",
+            CompiledFallbackWarning,
+            stacklevel=3,
+        )
+        return "numpy"
+    return engine
+
+
+def has_accept_draw(spec) -> bool:
+    """Whether *spec*'s advance consumes an accept uniform per step.
+
+    Mirrors :func:`~repro.walks.batched.kernel_move_probabilities`
+    returning an array (vs ``None``): the degree-stationary kernels and
+    ``rcmh`` at ``alpha = 0`` always move and draw nothing.
+    """
+    if spec.name in ("simple", "non_backtracking"):
+        return False
+    if spec.name == "rcmh" and spec.alpha == 0.0:
+        return False
+    return True
+
+
+def _scalar_pow(x: float, y: float) -> float:
+    """Scalar twin of :func:`pow_like_scalar` for ``x > 0``.
+
+    Exponents 1, 2 and 0.5 take the same exactly-rounded branches the
+    vectorized helper takes (the last via ``sqrt``, correctly rounded
+    where generic ``pow`` need not be); everything else is libm ``pow``
+    — what Python ``**`` calls and what numba lowers ``**`` to — so the
+    rcmh accept probabilities come out bit-identical across all tiers.
+    """
+    if y == 1.0:
+        return x
+    if y == 2.0:
+        return x * x
+    if y == 0.5:
+        return math.sqrt(x)
+    return x ** y
+
+
+def pow_like_scalar(values, exponent: float) -> np.ndarray:
+    """Elementwise ``values ** exponent`` with *scalar* (libm) rounding.
+
+    numpy's vectorized float64 power loop may come from a SIMD
+    implementation that disagrees with libm ``pow`` by 1 ULP on some
+    inputs (machine-dependent), while every scalar tier — Python
+    ``**``, the reference kernels, the per-step CSR loops and numba's
+    lowering of ``**`` — calls libm.  The vectorized engines route
+    their generic powers through this helper so all tiers compute the
+    same accept probabilities bit for bit: the correctly-rounded
+    exponents (1, 2, 0.5) vectorize directly (they match
+    :func:`_scalar_pow`'s fast paths exactly), everything else
+    evaluates libm ``pow`` once per *unique* base — degrees and degree
+    ratios repeat heavily — and gathers the results back.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if exponent == 1.0:
+        return values.copy()
+    if exponent == 2.0:
+        return values * values
+    if exponent == 0.5:
+        return np.sqrt(values)
+    unique, inverse = np.unique(values, return_inverse=True)
+    powered = np.array(
+        [math.pow(base, exponent) for base in unique.tolist()], dtype=np.float64
+    )
+    # numpy < 2.1 flattens return_inverse; reshape covers both behaviors.
+    return powered[np.reshape(inverse, values.shape)]
+
+
+def _accept_probability(
+    kernel_id: int,
+    current_degree: int,
+    proposal_degree: int,
+    alpha: float,
+    delta: float,
+    max_degree: float,
+) -> float:
+    """One walker's accept probability; scalar twin of the formula table."""
+    if kernel_id == 2:  # mhrw: min(1, d(u)/d(v))
+        p = current_degree / proposal_degree
+        if p > 1.0:
+            p = 1.0
+        return p
+    if kernel_id == 3:  # rcmh: min(1, (d(u)/d(v)) ** alpha)
+        p = _scalar_pow(current_degree / proposal_degree, alpha)
+        if p > 1.0:
+            p = 1.0
+        return p
+    if kernel_id == 4:  # mdrw: d(u)/d_max (overflow checked by caller)
+        return current_degree / max_degree
+    # gmd: d(u)/max(d(u), delta * d_max)
+    cap = delta * max_degree
+    if current_degree > cap:
+        return 1.0  # d(u)/d(u), exactly 1.0 in the numpy engine too
+    return current_degree / cap
+
+
+def _node_fleet_chunk(
+    indptr,
+    indices,
+    degrees,
+    draws,
+    current,
+    previous,
+    trajectories,
+    probes,
+    step0,
+    kernel_id,
+    alpha,
+    delta,
+    max_degree,
+    record_probes,
+):
+    """Advance a node fleet by ``draws.shape[0]`` transitions.
+
+    ``draws`` is ``(chunk_steps, blocks, n)`` pre-drawn uniforms —
+    block 0 the offset draw, block 1 (when present) the accept draw —
+    consumed in the exact order the numpy engine draws them.
+    ``current`` / ``previous`` are updated in place; positions land in
+    ``trajectories[:, step0 + 1 :]`` and proposals in
+    ``probes[:, step0 :]`` when *record_probes*.
+
+    Returns ``(status, value)``: ``(0, 0)`` on success, ``(1, degree)``
+    when mdrw reached a node above ``max_degree``.
+    """
+    chunk_steps = draws.shape[0]
+    blocks = draws.shape[1]
+    n = current.shape[0]
+    for s in range(chunk_steps):
+        col = step0 + s + 1
+        for i in range(n):
+            cur = current[i]
+            deg = degrees[cur]
+            r = draws[s, 0, i]
+            if kernel_id == 1:  # non-backtracking: swap-with-last exclusion
+                prev = previous[i]
+                if prev >= 0 and deg > 1:
+                    span = deg - 1
+                    off = int(r * span)
+                    if off > span - 1:
+                        off = span - 1
+                    nxt = indices[indptr[cur] + off]
+                    if nxt == prev:
+                        nxt = indices[indptr[cur] + deg - 1]
+                else:
+                    off = int(r * deg)
+                    if off > deg - 1:
+                        off = deg - 1
+                    nxt = indices[indptr[cur] + off]
+                previous[i] = cur
+                current[i] = nxt
+                trajectories[i, col] = nxt
+                continue
+            off = int(r * deg)
+            if off > deg - 1:
+                off = deg - 1
+            cand = indices[indptr[cur] + off]
+            nxt = cand
+            if blocks > 1:  # accept/reject kernels that draw
+                if kernel_id == 4 and deg > max_degree:
+                    return 1, deg
+                p = _accept_probability(
+                    kernel_id, deg, degrees[cand], alpha, delta, max_degree
+                )
+                if not draws[s, 1, i] < p:
+                    nxt = cur
+            if record_probes:
+                probes[i, step0 + s] = cand
+            previous[i] = cur
+            current[i] = nxt
+            trajectories[i, col] = nxt
+    return 0, 0
+
+
+def _line_fleet_chunk(
+    indptr,
+    indices,
+    degrees,
+    draws,
+    u,
+    v,
+    src,
+    dst,
+    probes_u,
+    probes_v,
+    step0,
+    kernel_id,
+    alpha,
+    delta,
+    max_degree,
+    record_probes,
+):
+    """Advance a line-graph fleet by ``draws.shape[0]`` transitions.
+
+    Blocks per step: 0 the pivot-side draw, 1 the stage-2 neighbor
+    offset, 2 (when present) the accept draw — the numpy engine's
+    order.  ``u`` / ``v`` are updated in place; endpoints land in
+    ``src`` / ``dst`` and proposal endpoints in ``probes_u`` /
+    ``probes_v`` when *record_probes*.
+
+    Returns ``(status, a, b)``: ``(0, 0, 0)`` on success, ``(1, u, v)``
+    for an isolated line node, ``(2, line_degree, 0)`` when mdrw
+    reached a line node above ``max_degree``.
+    """
+    chunk_steps = draws.shape[0]
+    blocks = draws.shape[1]
+    n = u.shape[0]
+    for s in range(chunk_steps):
+        col = step0 + s + 1
+        for i in range(n):
+            uu = u[i]
+            vv = v[i]
+            du = degrees[uu]
+            dv = degrees[vv]
+            line_degree = du + dv - 2
+            if line_degree <= 0:
+                return 1, uu, vv
+            # Stage 1 — pivot side, proportional to its d − 1 slots.
+            side = int(draws[s, 0, i] * line_degree)
+            if side > line_degree - 1:
+                side = line_degree - 1
+            if side < du - 1:
+                pivot = uu
+                other = vv
+            else:
+                pivot = vv
+                other = uu
+            # Stage 2 — swap-with-last exclusion draw over the pivot's
+            # d − 1 allowed slots (pivot degree >= 2 on the chosen side).
+            pivot_degree = degrees[pivot]
+            span = pivot_degree - 1
+            off = int(draws[s, 1, i] * span)
+            if off > span - 1:
+                off = span - 1
+            w = indices[indptr[pivot] + off]
+            if w == other:
+                w = indices[indptr[pivot] + pivot_degree - 1]
+            new_u = pivot
+            new_v = w
+            if blocks > 2:  # accept test on the line degrees
+                if kernel_id == 4 and line_degree > max_degree:
+                    return 2, line_degree, 0
+                proposal_degree = degrees[pivot] + degrees[w] - 2
+                p = _accept_probability(
+                    kernel_id, line_degree, proposal_degree, alpha, delta, max_degree
+                )
+                if not draws[s, 2, i] < p:
+                    new_u = uu
+                    new_v = vv
+            if record_probes:
+                probes_u[i, step0 + s] = pivot
+                probes_v[i, step0 + s] = w
+            u[i] = new_u
+            v[i] = new_v
+            src[i, col] = new_u
+            dst[i, col] = new_v
+    return 0, 0, 0
+
+
+_node_fleet_chunk = _jit(_node_fleet_chunk)
+_line_fleet_chunk = _jit(_line_fleet_chunk)
+_accept_probability = _jit(_accept_probability)
+_scalar_pow = _jit(_scalar_pow)
+
+
+def _chunk_steps(total: int, blocks: int, num_walkers: int) -> int:
+    """Steps per pre-drawn chunk, targeting ``_CHUNK_DOUBLES`` draws."""
+    per_step = max(1, blocks * num_walkers)
+    return max(1, min(total, _CHUNK_DOUBLES // per_step))
+
+
+def compiled_node_fleet(csr, spec, rng, current, trajectories, probes) -> None:
+    """Walk a node fleet with the compiled kernel; bit-identical to numpy.
+
+    *current* holds the start positions (consumed as scratch),
+    *trajectories* is the ``(N, total + 1)`` output with column 0
+    already filled, *probes* the ``(N, total)`` proposal record or
+    ``None``.  Draws exactly ``total`` offset blocks (plus accept
+    blocks for drawing kernels) from *rng*, matching the numpy engine's
+    consumption from the same generator state.
+    """
+    total = trajectories.shape[1] - 1
+    n = current.shape[0]
+    blocks = 2 if has_accept_draw(spec) else 1
+    record_probes = probes is not None
+    probe_out = probes if record_probes else np.empty((0, 0), dtype=np.int64)
+    previous = np.full(n, -1, dtype=np.int64)
+    kernel_id = _KERNEL_IDS[spec.name]
+    chunk = _chunk_steps(total, blocks, n)
+    step = 0
+    while step < total:
+        span = min(chunk, total - step)
+        draws = rng.random((span, blocks, n))
+        status, value = _node_fleet_chunk(
+            csr.indptr,
+            csr.indices,
+            csr.degrees,
+            draws,
+            current,
+            previous,
+            trajectories,
+            probe_out,
+            step,
+            kernel_id,
+            float(spec.alpha),
+            float(spec.delta),
+            float(spec.max_degree),
+            record_probes,
+        )
+        if status == 1:
+            raise WalkError(
+                f"walk reached a node of degree {int(value)} > "
+                f"max_degree={spec.max_degree}"
+            )
+        step += span
+
+
+def compiled_line_fleet(
+    csr, spec, rng, u, v, src, dst, probes_u, probes_v
+) -> None:
+    """Walk a line-graph fleet with the compiled kernel.
+
+    *u* / *v* hold the seed-edge endpoints (consumed as scratch);
+    *src* / *dst* are the ``(N, total + 1)`` outputs with column 0
+    already filled, *probes_u* / *probes_v* the proposal-endpoint
+    records or ``None``.  Bit-identical to the numpy engine from the
+    same generator state.
+    """
+    total = src.shape[1] - 1
+    n = u.shape[0]
+    blocks = 3 if has_accept_draw(spec) else 2
+    record_probes = probes_u is not None
+    empty = np.empty((0, 0), dtype=np.int64)
+    kernel_id = _KERNEL_IDS[spec.name]
+    chunk = _chunk_steps(total, blocks, n)
+    step = 0
+    while step < total:
+        span = min(chunk, total - step)
+        draws = rng.random((span, blocks, n))
+        status, a, b = _line_fleet_chunk(
+            csr.indptr,
+            csr.indices,
+            csr.degrees,
+            draws,
+            u,
+            v,
+            src,
+            dst,
+            probes_u if record_probes else empty,
+            probes_v if record_probes else empty,
+            step,
+            kernel_id,
+            float(spec.alpha),
+            float(spec.delta),
+            float(spec.max_degree),
+            record_probes,
+        )
+        if status == 1:
+            raise WalkError(
+                f"line walk reached isolated line node "
+                f"({csr.node_ids[int(a)]!r}, {csr.node_ids[int(b)]!r}); "
+                "run on the largest connected component"
+            )
+        if status == 2:
+            raise WalkError(
+                f"walk reached a node of degree {int(a)} > "
+                f"max_degree={spec.max_degree}"
+            )
+        step += span
+
+
+__all__ = [
+    "ENGINES",
+    "CompiledFallbackWarning",
+    "numba_available",
+    "resolve_engine",
+    "has_accept_draw",
+    "pow_like_scalar",
+    "compiled_node_fleet",
+    "compiled_line_fleet",
+]

@@ -18,8 +18,10 @@ of ``G``:
 * a uniform line neighbor is drawn in two vectorized stages: choose the
   pivot endpoint with probability proportional to its ``d − 1`` other
   incident edges, then draw a uniform neighbor of the pivot excluding
-  the opposite endpoint (a one-in-``d`` rejection redraw, the same
-  device the non-backtracking kernel uses);
+  the opposite endpoint (a swap-with-last draw over the ``d − 1``
+  allowed slots, the same device the non-backtracking kernel uses —
+  fixed draw consumption per step, so the compiled engine can pre-draw
+  its uniforms and replay bit-identically);
 * the kernel's accept test is one vectorized mask over the current and
   proposal line degrees (:func:`~repro.walks.batched.kernel_move_probabilities`),
   with stay-in-place semantics on rejection.
@@ -54,6 +56,7 @@ from repro.walks.batched import (
     per_walker_distinct_counts,
     resolve_kernel_spec,
 )
+from repro.walks.compiled import compiled_line_fleet, resolve_engine
 
 
 @dataclass
@@ -174,6 +177,12 @@ class BatchedLineWalkEngine:
         (:func:`repro.baselines.adaptations.line_graph_max_degree`).
     rng:
         Seed / generator (normalised to a numpy generator).
+    engine:
+        ``"numpy"`` (default) or ``"compiled"`` — see
+        :class:`~repro.walks.batched.BatchedWalkEngine`; the two
+        engines consume the generator identically and are bit-identical
+        from the same seed, and ``"compiled"`` falls back to
+        ``"numpy"`` (typed warning) when numba is absent.
     """
 
     def __init__(
@@ -181,6 +190,7 @@ class BatchedLineWalkEngine:
         csr: CSRGraph,
         kernel: KernelLike = "simple",
         rng: RandomSource = None,
+        engine: str = "numpy",
     ) -> None:
         self.csr = csr
         self.kernel = resolve_kernel_spec(kernel)
@@ -190,6 +200,7 @@ class BatchedLineWalkEngine:
                 "accept/reject kernels; non_backtracking has no baseline"
             )
         self._nprng = ensure_numpy_rng(rng)
+        self.engine = resolve_engine(engine)
 
     def run_fleet(
         self,
@@ -243,13 +254,18 @@ class BatchedLineWalkEngine:
                 np.empty((num_walkers, total), dtype=np.int64),
             )
 
-        for step in range(total):
-            u, v, proposal = self._advance(u, v)
-            if probes[0] is not None:
-                probes[0][:, step] = proposal[0]
-                probes[1][:, step] = proposal[1]
-            src[:, step + 1] = u
-            dst[:, step + 1] = v
+        if self.engine == "compiled":
+            compiled_line_fleet(
+                csr, spec, rng, u.copy(), v.copy(), src, dst, probes[0], probes[1]
+            )
+        else:
+            for step in range(total):
+                u, v, proposal = self._advance(u, v)
+                if probes[0] is not None:
+                    probes[0][:, step] = proposal[0]
+                    probes[1][:, step] = proposal[1]
+                src[:, step + 1] = u
+                dst[:, step + 1] = v
 
         return LineFleetResult(
             src=src,
@@ -295,20 +311,21 @@ class BatchedLineWalkEngine:
         other = np.where(side_u, v, u)
 
         # Stage 2 — uniform neighbor of the pivot excluding the opposite
-        # endpoint, by redraw (pivot degree >= 2 on the chosen side, so
-        # the rejection terminates).
+        # endpoint, by a swap-with-last draw: sample over the pivot's
+        # d−1 allowed slots (pivot degree >= 2 on the chosen side) and
+        # bump a draw that lands on the excluded endpoint to the last
+        # slot — a bijection onto row∖{other} with exactly one uniform
+        # consumed per walker per step (what lets the compiled engine
+        # pre-draw its uniforms and replay bit-identically).
         pivot_degrees = degrees[pivot]
-        offsets = (rng.random(u.size) * pivot_degrees).astype(np.int64)
-        np.minimum(offsets, pivot_degrees - 1, out=offsets)
-        w = csr.indices[csr.indptr[pivot] + offsets].astype(np.int64)
-        redo = w == other
-        while redo.any():
-            where = np.flatnonzero(redo)
-            deg = pivot_degrees[where]
-            offs = (rng.random(where.size) * deg).astype(np.int64)
-            np.minimum(offs, deg - 1, out=offs)
-            w[where] = csr.indices[csr.indptr[pivot[where]] + offs]
-            redo[where] = w[where] == other[where]
+        span = pivot_degrees - 1
+        offsets = (rng.random(u.size) * span).astype(np.int64)
+        np.minimum(offsets, span - 1, out=offsets)
+        rows = csr.indptr[pivot]
+        w = csr.indices[rows + offsets].astype(np.int64)
+        bump = w == other
+        if bump.any():
+            w[bump] = csr.indices[rows[bump] + pivot_degrees[bump] - 1]
 
         # Kernel accept test on line degrees; rejected walkers stay.
         accept_probabilities = kernel_move_probabilities(

@@ -1,0 +1,319 @@
+"""Differential suite for the compiled (numba-njit) fleet engine.
+
+The contract under test: ``engine="compiled"`` is **bit-identical** to
+the numpy engine — same trajectories, same proposal probes, same
+distinct-page ledgers, same budget-crossing behavior — from the same
+seed, for every vectorizable kernel, at any fleet width.
+
+The container running the fast tier may not have numba; that is the
+point.  ``force_compiled`` flips the availability flag so the engines
+dispatch to the *un-jitted* kernels — the very same Python code numba
+compiles — which keeps the parity suite meaningful on both CI legs.
+Tests that need the actual JIT carry ``@pytest.mark.requires_numba``.
+"""
+
+import numpy as np
+import pytest
+
+import repro.walks.compiled as compiled_module
+from repro.exceptions import (
+    APIBudgetExceededError,
+    ConfigurationError,
+    WalkError,
+)
+from repro.graph.csr import csr_view
+from repro.graph.labeled_graph import LabeledGraph
+from repro.walks.batched import BatchedWalkEngine, KernelSpec
+from repro.walks.compiled import (
+    CompiledFallbackWarning,
+    has_accept_draw,
+    numba_available,
+    resolve_engine,
+)
+from repro.walks.line_batched import BatchedLineWalkEngine
+
+STEPS = 40
+BURN_IN = 9
+WIDTHS = (1, 7, 32)
+
+
+@pytest.fixture
+def force_compiled(monkeypatch):
+    """Make ``resolve_engine("compiled")`` return "compiled" without numba.
+
+    The kernels then run as plain Python (bit-identical by design); when
+    numba *is* installed this is a no-op and the JIT'd kernels run.
+    """
+    monkeypatch.setattr(compiled_module, "_NUMBA_AVAILABLE", True)
+
+
+@pytest.fixture(scope="module")
+def walk_csr():
+    """A power-law graph plus a pendant chain.
+
+    The pendant (degree-1) node exercises the non-backtracking dead-end
+    branch and gives the swap-with-last exclusion draw a degree spread
+    to chew on.
+    """
+    from repro.datasets.synthetic import powerlaw_cluster_osn
+
+    graph = powerlaw_cluster_osn(220, 3, 0.3, rng=17)
+    graph.add_edge(0, 220)  # pendant: degree-1 dead end
+    graph.add_edge(220, 221)
+    return csr_view(graph)
+
+
+def _node_specs(csr):
+    d_max = float(csr.degrees.max())
+    return [
+        KernelSpec("simple"),
+        KernelSpec("non_backtracking"),
+        KernelSpec("mhrw"),
+        KernelSpec("rcmh", alpha=0.0),
+        KernelSpec("rcmh", alpha=0.2),
+        KernelSpec("rcmh", alpha=0.5),
+        KernelSpec("mdrw", max_degree=d_max),
+        KernelSpec("gmd", max_degree=d_max, delta=0.5),
+    ]
+
+
+def _line_specs(csr):
+    # Line-graph degree of edge (u, v) is d(u) + d(v) - 2.
+    degrees = csr.degrees
+    line_max = 0
+    for u in range(csr.num_nodes):
+        row = csr.indices[csr.indptr[u] : csr.indptr[u + 1]]
+        if row.size:
+            line_max = max(line_max, int(degrees[u] + degrees[row].max() - 2))
+    return [
+        KernelSpec("simple"),
+        KernelSpec("mhrw"),
+        KernelSpec("rcmh", alpha=0.0),
+        KernelSpec("rcmh", alpha=0.2),
+        KernelSpec("rcmh", alpha=0.5),
+        KernelSpec("mdrw", max_degree=float(line_max)),
+        KernelSpec("gmd", max_degree=float(line_max), delta=0.5),
+    ]
+
+
+# ----------------------------------------------------------------------
+# engine resolution and fallback
+# ----------------------------------------------------------------------
+class TestEngineResolution:
+    def test_default_and_none_resolve_to_numpy(self):
+        assert resolve_engine(None) == "numpy"
+        assert resolve_engine("numpy") == "numpy"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_engine("cuda")
+
+    def test_compiled_resolves_when_available(self, force_compiled):
+        assert resolve_engine("compiled") == "compiled"
+
+    def test_fallback_warns_and_returns_numpy(self, monkeypatch, walk_csr):
+        monkeypatch.setattr(compiled_module, "_NUMBA_AVAILABLE", False)
+        with pytest.warns(CompiledFallbackWarning):
+            engine = BatchedWalkEngine(walk_csr, rng=0, engine="compiled")
+        assert engine.engine == "numpy"
+        # ...and the fallback engine is the numpy engine, bit for bit.
+        fleet = engine.run_fleet(4, 20, burn_in=5)
+        reference = BatchedWalkEngine(walk_csr, rng=0).run_fleet(4, 20, burn_in=5)
+        assert np.array_equal(fleet.trajectories, reference.trajectories)
+
+    def test_fallback_on_line_engine_too(self, monkeypatch, walk_csr):
+        monkeypatch.setattr(compiled_module, "_NUMBA_AVAILABLE", False)
+        with pytest.warns(CompiledFallbackWarning):
+            engine = BatchedLineWalkEngine(walk_csr, rng=0, engine="compiled")
+        assert engine.engine == "numpy"
+
+    def test_has_accept_draw_table(self):
+        assert not has_accept_draw(KernelSpec("simple"))
+        assert not has_accept_draw(KernelSpec("non_backtracking"))
+        assert not has_accept_draw(KernelSpec("rcmh", alpha=0.0))
+        assert has_accept_draw(KernelSpec("rcmh", alpha=0.2))
+        assert has_accept_draw(KernelSpec("mhrw"))
+        assert has_accept_draw(KernelSpec("mdrw", max_degree=8.0))
+        assert has_accept_draw(KernelSpec("gmd", max_degree=8.0))
+
+
+# ----------------------------------------------------------------------
+# node-fleet bit parity
+# ----------------------------------------------------------------------
+@pytest.mark.usefixtures("force_compiled")
+class TestNodeFleetParity:
+    def _pair(self, csr, spec, width, seed):
+        fleets = {}
+        for engine in ("numpy", "compiled"):
+            fleets[engine] = BatchedWalkEngine(
+                csr, kernel=spec, rng=seed, engine=engine
+            ).run_fleet(width, STEPS, burn_in=BURN_IN)
+        return fleets["numpy"], fleets["compiled"]
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_trajectories_probes_and_ledgers(self, walk_csr, width):
+        for spec in _node_specs(walk_csr):
+            reference, compiled = self._pair(walk_csr, spec, width, seed=3)
+            assert np.array_equal(
+                reference.trajectories, compiled.trajectories
+            ), spec
+            if reference.probed is None:
+                assert compiled.probed is None, spec
+            else:
+                assert np.array_equal(reference.probed, compiled.probed), spec
+            assert np.array_equal(
+                reference.charged_calls(), compiled.charged_calls()
+            ), spec
+
+    def test_run_matches_shared_tracker_semantics(self, walk_csr):
+        """run(): shared page cache, interleaved probe charges replayed."""
+        for spec in _node_specs(walk_csr):
+            results = {}
+            for engine in ("numpy", "compiled"):
+                results[engine] = BatchedWalkEngine(
+                    walk_csr, kernel=spec, rng=5, engine=engine
+                ).run(8, STEPS, burn_in=BURN_IN)
+            reference, compiled = results["numpy"], results["compiled"]
+            assert np.array_equal(reference.nodes, compiled.nodes), spec
+            assert np.array_equal(reference.degrees, compiled.degrees), spec
+            assert np.array_equal(reference.start_nodes, compiled.start_nodes)
+            assert np.array_equal(reference.tail_nodes, compiled.tail_nodes)
+            assert reference.charged_calls == compiled.charged_calls, spec
+
+    def test_prefix_slices_bit_identical(self, walk_csr):
+        """FleetWalkResult.prefix of a compiled fleet == numpy prefixes."""
+        spec = KernelSpec("mhrw")
+        reference, compiled = self._pair(walk_csr, spec, width=9, seed=11)
+        for num_steps in (1, STEPS // 2, STEPS):
+            ref_prefix = reference.prefix(num_steps)
+            cmp_prefix = compiled.prefix(num_steps)
+            assert np.array_equal(ref_prefix.trajectories, cmp_prefix.trajectories)
+            assert np.array_equal(
+                ref_prefix.charged_calls(), cmp_prefix.charged_calls()
+            )
+
+    def test_chunked_predraw_is_seamless(self, walk_csr, monkeypatch):
+        """Tiny chunks (many rng.random calls) must not move a single bit."""
+        spec = KernelSpec("mhrw")
+        whole = BatchedWalkEngine(
+            walk_csr, kernel=spec, rng=13, engine="compiled"
+        ).run_fleet(6, STEPS, burn_in=BURN_IN)
+        monkeypatch.setattr(compiled_module, "_CHUNK_DOUBLES", 16)
+        chunked = BatchedWalkEngine(
+            walk_csr, kernel=spec, rng=13, engine="compiled"
+        ).run_fleet(6, STEPS, burn_in=BURN_IN)
+        assert np.array_equal(whole.trajectories, chunked.trajectories)
+        assert np.array_equal(whole.probed, chunked.probed)
+
+    def test_budget_crossing_raises_on_both_engines(self, walk_csr):
+        probe = BatchedWalkEngine(walk_csr, kernel="mhrw", rng=7).run(
+            6, STEPS, burn_in=BURN_IN
+        )
+        tight = probe.charged_calls - 1
+        for engine in ("numpy", "compiled"):
+            with pytest.raises(APIBudgetExceededError):
+                BatchedWalkEngine(
+                    walk_csr, kernel="mhrw", rng=7, budget=tight, engine=engine
+                ).run(6, STEPS, burn_in=BURN_IN)
+
+    def test_mdrw_overflow_raises_on_both_engines(self, walk_csr):
+        spec = KernelSpec("mdrw", max_degree=1.5)  # below the real maximum
+        for engine in ("numpy", "compiled"):
+            with pytest.raises(WalkError, match="max_degree"):
+                BatchedWalkEngine(
+                    walk_csr, kernel=spec, rng=1, engine=engine
+                ).run_fleet(16, STEPS)
+
+
+# ----------------------------------------------------------------------
+# line-graph fleet bit parity (the EX-* baselines)
+# ----------------------------------------------------------------------
+@pytest.mark.usefixtures("force_compiled")
+class TestLineFleetParity:
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_trajectories_probes_and_ledgers(self, walk_csr, width):
+        for spec in _line_specs(walk_csr):
+            fleets = {}
+            for engine in ("numpy", "compiled"):
+                fleets[engine] = BatchedLineWalkEngine(
+                    walk_csr, kernel=spec, rng=23, engine=engine
+                ).run_fleet(width, STEPS, burn_in=BURN_IN)
+            reference, compiled = fleets["numpy"], fleets["compiled"]
+            assert np.array_equal(reference.src, compiled.src), spec
+            assert np.array_equal(reference.dst, compiled.dst), spec
+            if reference.probed_src is None:
+                assert compiled.probed_src is None, spec
+            else:
+                assert np.array_equal(reference.probed_src, compiled.probed_src)
+                assert np.array_equal(reference.probed_dst, compiled.probed_dst)
+            assert np.array_equal(
+                reference.charged_calls(), compiled.charged_calls()
+            ), spec
+
+    def test_isolated_line_node_raises_on_both_engines(self):
+        graph = LabeledGraph()
+        graph.add_edge(1, 2)  # the only edge: a line graph with no neighbors
+        csr = csr_view(graph)
+        for engine in ("numpy", "compiled"):
+            with pytest.raises(WalkError, match="isolated line node"):
+                BatchedLineWalkEngine(csr, rng=0, engine=engine).run_fleet(3, 5)
+
+
+# ----------------------------------------------------------------------
+# harness-level parity: run_trials_prefix across backends
+# ----------------------------------------------------------------------
+@pytest.mark.usefixtures("force_compiled")
+class TestHarnessParity:
+    @pytest.mark.parametrize(
+        "algorithm", ["NeighborSample-HH", "NeighborExploration-HH", "EX-MHRW"]
+    )
+    def test_run_trials_prefix_bit_identical_across_backends(
+        self, gender_osn, algorithm
+    ):
+        from repro.experiments.algorithms import build_algorithm_suite
+        from repro.experiments.runner import run_trials_prefix
+
+        suite = build_algorithm_suite(gender_osn)
+        columns = {}
+        for backend in ("csr", "compiled"):
+            columns[backend] = run_trials_prefix(
+                gender_osn, 1, 2, suite[algorithm], algorithm,
+                [15, 30], 5, BURN_IN, seed=29, backend=backend,
+            )
+        for reference, compiled in zip(columns["csr"], columns["compiled"]):
+            assert reference.estimates == compiled.estimates
+            assert reference.api_calls == compiled.api_calls
+
+    def test_run_trials_fleet_bit_identical_across_backends(self, gender_osn):
+        from repro.experiments.algorithms import build_algorithm_suite
+        from repro.experiments.runner import run_trials
+
+        suite = build_algorithm_suite(gender_osn)
+        outcomes = {}
+        for backend in ("csr", "compiled"):
+            outcomes[backend] = run_trials(
+                gender_osn, 1, 2, suite["NeighborSample-HT"], "NeighborSample-HT",
+                sample_size=30, repetitions=5, burn_in=BURN_IN, seed=31,
+                backend=backend, execution="fleet",
+            )
+        assert outcomes["csr"].estimates == outcomes["compiled"].estimates
+        assert outcomes["csr"].api_calls == outcomes["compiled"].api_calls
+
+
+# ----------------------------------------------------------------------
+# the real JIT (numba CI leg only)
+# ----------------------------------------------------------------------
+@pytest.mark.requires_numba
+class TestActualJit:
+    def test_kernels_are_dispatchers(self):
+        assert numba_available()
+        # njit wraps the Python functions in dispatchers carrying py_func.
+        assert hasattr(compiled_module._node_fleet_chunk, "py_func")
+        assert hasattr(compiled_module._line_fleet_chunk, "py_func")
+
+    def test_compiled_engine_selected_without_forcing(self, walk_csr):
+        engine = BatchedWalkEngine(walk_csr, rng=0, engine="compiled")
+        assert engine.engine == "compiled"
+        fleet = engine.run_fleet(4, 20, burn_in=5)
+        reference = BatchedWalkEngine(walk_csr, rng=0).run_fleet(4, 20, burn_in=5)
+        assert np.array_equal(fleet.trajectories, reference.trajectories)
